@@ -1,0 +1,185 @@
+package activitytraj
+
+import (
+	"io"
+
+	"activitytraj/internal/baseline"
+	"activitytraj/internal/checkin"
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/gat"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// Core data model re-exports. The aliases make the internal packages'
+// types part of the public surface without duplicating them.
+type (
+	// Point is a planar location in kilometres.
+	Point = geo.Point
+	// Rect is an axis-aligned rectangle.
+	Rect = geo.Rect
+	// ActivityID identifies an activity in a dataset's vocabulary.
+	ActivityID = trajectory.ActivityID
+	// ActivitySet is a sorted set of activity IDs.
+	ActivitySet = trajectory.ActivitySet
+	// Vocabulary maps activity names to frequency-ranked IDs.
+	Vocabulary = trajectory.Vocabulary
+	// TrajID identifies a trajectory within a dataset.
+	TrajID = trajectory.TrajID
+	// TrajectoryPoint is one activity-tagged point of a trajectory.
+	TrajectoryPoint = trajectory.Point
+	// Trajectory is a sequence of activity-tagged points.
+	Trajectory = trajectory.Trajectory
+	// Dataset is a trajectory database with its vocabulary.
+	Dataset = trajectory.Dataset
+	// DatasetStats summarizes a dataset (the paper's Table IV quantities).
+	DatasetStats = trajectory.Stats
+
+	// Query is a sequence of query locations with desired activities.
+	Query = query.Query
+	// QueryPoint is one query location.
+	QueryPoint = query.Point
+	// Result is one top-k answer entry.
+	Result = query.Result
+	// SearchStats itemizes the work a search performed.
+	SearchStats = query.SearchStats
+	// Engine answers ATSQ and OATSQ queries.
+	Engine = query.Engine
+
+	// TrajStore is the disk-resident trajectory storage every engine
+	// shares (coordinates, activity posting lists, activity sketches).
+	TrajStore = evaluate.TrajStore
+	// StoreConfig tunes TrajStore construction.
+	StoreConfig = evaluate.TrajStoreConfig
+	// GATConfig tunes the GAT index; the zero value uses the paper's
+	// defaults (256×256 leaf grid, 6 in-memory HICL levels).
+	GATConfig = gat.Config
+	// GATIndex is a built GAT index.
+	GATIndex = gat.Index
+
+	// GeneratorConfig parameterizes synthetic dataset generation.
+	GeneratorConfig = dataset.Config
+	// WorkloadConfig parameterizes query workload generation.
+	WorkloadConfig = queries.Config
+)
+
+// NewActivitySet returns a normalized activity set.
+func NewActivitySet(ids ...ActivityID) ActivitySet { return trajectory.NewActivitySet(ids...) }
+
+// NewVocabulary builds a vocabulary from activity occurrence counts,
+// assigning IDs in descending frequency order (ties broken by name) as the
+// sketch construction requires. Use it when assembling datasets from your
+// own check-in data.
+func NewVocabulary(counts map[string]int64) *Vocabulary {
+	b := trajectory.NewVocabularyBuilder()
+	for name, n := range counts {
+		b.AddN(name, n)
+	}
+	return b.Build()
+}
+
+// NewStore lays ds out on the simulated disk and builds the per-trajectory
+// activity sketches. All engines for a dataset should share one store.
+func NewStore(ds *Dataset) (*TrajStore, error) {
+	return evaluate.BuildTrajStore(ds, evaluate.TrajStoreConfig{})
+}
+
+// NewStoreWithConfig is NewStore with explicit storage options (sketch
+// interval count, buffer pool size, optional file backing).
+func NewStoreWithConfig(ds *Dataset, cfg StoreConfig) (*TrajStore, error) {
+	return evaluate.BuildTrajStore(ds, cfg)
+}
+
+// BuildGATIndex constructs the GAT index over a store. Use NewGAT unless
+// you need access to the index itself (memory breakdowns, grid).
+func BuildGATIndex(ts *TrajStore, cfg GATConfig) (*GATIndex, error) {
+	return gat.Build(ts, cfg)
+}
+
+// NewGAT builds the paper's GAT engine: hierarchical inverted cell lists,
+// per-cell inverted trajectory lists, activity sketches and disk-resident
+// posting lists, searched best-first with the tight Algorithm 2 bound.
+func NewGAT(ts *TrajStore, cfg GATConfig) (Engine, error) {
+	idx, err := gat.Build(ts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gat.NewEngine(idx), nil
+}
+
+// NewEngineForIndex wraps an already-built GAT index.
+func NewEngineForIndex(idx *GATIndex) Engine { return gat.NewEngine(idx) }
+
+// NewIL builds the inverted-list baseline (activity-only pruning).
+func NewIL(ts *TrajStore) Engine { return baseline.BuildIL(ts) }
+
+// NewRT builds the R-tree baseline (spatial-only pruning).
+func NewRT(ts *TrajStore) Engine { return baseline.BuildRT(ts, 0, 0) }
+
+// NewIRT builds the IR-tree baseline (spatial pruning with node-level
+// activity filters).
+func NewIRT(ts *TrajStore) Engine { return baseline.BuildIRT(ts, 0, 0) }
+
+// GenerateDataset synthesizes a check-in dataset (see GeneratorConfig).
+func GenerateDataset(cfg GeneratorConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// PresetLA returns the Los Angeles generator preset scaled by scale
+// (1.0 = the paper's Table IV cardinalities).
+func PresetLA(scale float64) GeneratorConfig { return dataset.LA(scale) }
+
+// PresetNY returns the New York generator preset.
+func PresetNY(scale float64) GeneratorConfig { return dataset.NY(scale) }
+
+// GenerateQueries derives a query workload from a dataset the way the
+// paper's experiments do (random trajectories, steered diameter).
+func GenerateQueries(ds *Dataset, cfg WorkloadConfig) ([]Query, error) {
+	return queries.Generate(ds, cfg)
+}
+
+// Dist returns the Euclidean distance between two points in kilometres.
+func Dist(a, b Point) float64 { return geo.Dist(a, b) }
+
+// SaveGATIndex serializes a built GAT index so deployments can pay the
+// build cost once; reload with LoadGATIndex against a store holding the
+// same dataset.
+func SaveGATIndex(idx *GATIndex, w io.Writer) (int64, error) { return idx.WriteTo(w) }
+
+// LoadGATIndex reconstructs an index written by SaveGATIndex.
+func LoadGATIndex(r io.Reader, ts *TrajStore) (*GATIndex, error) { return gat.Load(r, ts) }
+
+// GATMemLevelsForBudget applies the paper's memory-budget rule
+// (h = ⌊log₄(3B/4C + 1)⌋) to choose how many HICL levels to keep in
+// memory for a byte budget and vocabulary size; pass the result as
+// GATConfig.MemLevels.
+func GATMemLevelsForBudget(budgetBytes int64, vocabSize, depth int) int {
+	return gat.MemLevelsForBudget(budgetBytes, vocabSize, depth)
+}
+
+// Raw check-in ingestion: the paper's source data is check-in logs (user,
+// time, venue coordinates, tip text); these helpers turn such logs into a
+// searchable dataset.
+type (
+	// LatLon is a geodetic coordinate in degrees.
+	LatLon = geo.LatLon
+	// CheckinRecord is one raw check-in.
+	CheckinRecord = checkin.Record
+	// CheckinOptions tunes dataset assembly from raw check-ins.
+	CheckinOptions = checkin.Options
+)
+
+// ParseCheckinsCSV reads "user,timestamp,lat,lon,venue,tip" rows.
+func ParseCheckinsCSV(r io.Reader) ([]CheckinRecord, error) { return checkin.ParseCSV(r) }
+
+// BuildDatasetFromCheckins groups records by user in chronological order,
+// extracts activities from tip text, and projects coordinates onto the
+// planar kilometre frame.
+func BuildDatasetFromCheckins(recs []CheckinRecord, opts CheckinOptions) (*Dataset, error) {
+	return checkin.BuildDataset(recs, opts)
+}
+
+// ExtractActivities tokenizes tip text into activity words (lowercased,
+// stopwords removed).
+func ExtractActivities(tip string) []string { return checkin.ExtractActivities(tip) }

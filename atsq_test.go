@@ -1,0 +1,119 @@
+package activitytraj_test
+
+import (
+	"math"
+	"testing"
+
+	"activitytraj"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to
+// end: generate → store → engines → both query types, and checks that all
+// four engines agree (the library's core guarantee).
+func TestPublicAPIQuickstart(t *testing.T) {
+	cfg := activitytraj.PresetNY(0.01)
+	ds, err := activitytraj.GenerateDataset(cfg)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	store, err := activitytraj.NewStore(ds)
+	if err != nil {
+		t.Fatalf("store: %v", err)
+	}
+	gatEng, err := activitytraj.NewGAT(store, activitytraj.GATConfig{Depth: 6, MemLevels: 4})
+	if err != nil {
+		t.Fatalf("gat: %v", err)
+	}
+	engines := []activitytraj.Engine{
+		activitytraj.NewIL(store),
+		activitytraj.NewRT(store),
+		activitytraj.NewIRT(store),
+		gatEng,
+	}
+	qs, err := activitytraj.GenerateQueries(ds, activitytraj.WorkloadConfig{
+		NumQueries: 8, NumPoints: 3, ActsPerPoint: 2, DiameterKm: 6, Seed: 4,
+	})
+	if err != nil {
+		t.Fatalf("queries: %v", err)
+	}
+	for qi, q := range qs {
+		var ref []float64
+		for _, e := range engines {
+			for _, ordered := range []bool{false, true} {
+				var rs []activitytraj.Result
+				var err error
+				if ordered {
+					rs, err = e.SearchOATSQ(q, 5)
+				} else {
+					rs, err = e.SearchATSQ(q, 5)
+				}
+				if err != nil {
+					t.Fatalf("q%d %s: %v", qi, e.Name(), err)
+				}
+				if !ordered {
+					dv := make([]float64, len(rs))
+					for i, r := range rs {
+						dv[i] = r.Dist
+					}
+					if ref == nil {
+						ref = dv
+					} else if len(dv) != len(ref) {
+						t.Fatalf("q%d: %s returned %d results, IL %d", qi, e.Name(), len(dv), len(ref))
+					} else {
+						for i := range dv {
+							if math.Abs(dv[i]-ref[i]) > 1e-9 {
+								t.Fatalf("q%d: %s disagrees at %d: %v vs %v", qi, e.Name(), i, dv, ref)
+							}
+						}
+					}
+				}
+			}
+			if e.MemBytes() <= 0 {
+				t.Fatalf("%s: MemBytes = %d", e.Name(), e.MemBytes())
+			}
+		}
+	}
+}
+
+// TestIndexBreakdownAPI verifies the GAT index introspection surface used
+// by the indexreport example and Figure 8.
+func TestIndexBreakdownAPI(t *testing.T) {
+	ds, err := activitytraj.GenerateDataset(activitytraj.PresetLA(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := activitytraj.NewStoreWithConfig(ds, activitytraj.StoreConfig{SketchIntervals: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := activitytraj.BuildGATIndex(store, activitytraj.GATConfig{Depth: 7, MemLevels: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := idx.Breakdown()
+	if bd.Total <= 0 || bd.HICL <= 0 || bd.ITL <= 0 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+	e := activitytraj.NewEngineForIndex(idx)
+	if e.Name() != "GAT" {
+		t.Fatalf("name = %s", e.Name())
+	}
+	if store.DiskBytes() <= 0 {
+		t.Fatal("store must report disk usage")
+	}
+}
+
+// TestDistHelper covers the re-exported geometry helper.
+func TestDistHelper(t *testing.T) {
+	d := activitytraj.Dist(activitytraj.Point{X: 0, Y: 0}, activitytraj.Point{X: 3, Y: 4})
+	if d != 5 {
+		t.Fatalf("Dist = %v", d)
+	}
+	s := activitytraj.NewActivitySet(3, 1, 3)
+	if len(s) != 2 || !s.Contains(1) {
+		t.Fatalf("NewActivitySet = %v", s)
+	}
+}

@@ -1,0 +1,326 @@
+package activitytraj_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section VII), plus the design-choice ablations from DESIGN.md. These run
+// on small preset scales so `go test -bench=. -benchmem` finishes in
+// minutes; cmd/atsqbench runs the same experiments at publication scale
+// with full sweeps and table output.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/gat"
+	"activitytraj/internal/harness"
+	"activitytraj/internal/matcher"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+const (
+	benchScale   = 0.04
+	benchQueries = 4
+)
+
+var (
+	benchMu     sync.Mutex
+	benchSetups = map[string]*harness.Setup{}
+	benchData   = map[string]*trajectory.Dataset{}
+)
+
+func benchDataset(b *testing.B, name string) *trajectory.Dataset {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if ds, ok := benchData[name]; ok {
+		return ds
+	}
+	var cfg dataset.Config
+	switch name {
+	case "LA":
+		cfg = dataset.LA(benchScale)
+	case "NY":
+		cfg = dataset.NY(benchScale)
+	default:
+		b.Fatalf("unknown dataset %s", name)
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchData[name] = ds
+	return ds
+}
+
+func benchSetup(b *testing.B, name string) *harness.Setup {
+	b.Helper()
+	ds := benchDataset(b, name)
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if st, ok := benchSetups[name]; ok {
+		return st
+	}
+	st, err := harness.BuildSetup(ds, gat.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSetups[name] = st
+	return st
+}
+
+func benchWorkload(b *testing.B, ds *trajectory.Dataset, cfg queries.Config) []query.Query {
+	b.Helper()
+	cfg.NumQueries = benchQueries
+	if cfg.Seed == 0 {
+		cfg.Seed = 77
+	}
+	qs, err := queries.Generate(ds, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return qs
+}
+
+func runEngines(b *testing.B, st *harness.Setup, qs []query.Query, k int, ordered bool) {
+	b.Helper()
+	for _, e := range st.Engines {
+		b.Run(e.Name(), func(b *testing.B) {
+			var cands int
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunWorkload(st.TS, e, qs, k, ordered)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cands = res.Stats.Candidates
+			}
+			b.ReportMetric(float64(cands)/float64(len(qs)), "cands/query")
+		})
+	}
+}
+
+// BenchmarkTable4_DatasetStats regenerates the Table IV statistics:
+// each iteration generates a preset dataset and computes its stats.
+func BenchmarkTable4_DatasetStats(b *testing.B) {
+	for _, name := range []string{"LA", "NY"} {
+		b.Run(name, func(b *testing.B) {
+			var cfg dataset.Config
+			if name == "LA" {
+				cfg = dataset.LA(0.01)
+			} else {
+				cfg = dataset.NY(0.01)
+			}
+			for i := 0; i < b.N; i++ {
+				ds, err := dataset.Generate(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := ds.Stats()
+				b.ReportMetric(float64(st.ActivityTokens)/float64(st.Trajectories), "tokens/traj")
+			}
+		})
+	}
+}
+
+// BenchmarkFig3_EffectOfK: top-k sweep for both query types and datasets.
+func BenchmarkFig3_EffectOfK(b *testing.B) {
+	for _, name := range []string{"LA", "NY"} {
+		st := benchSetup(b, name)
+		qs := benchWorkload(b, st.DS, queries.Config{})
+		for _, k := range []int{5, 25} {
+			for _, ordered := range []bool{false, true} {
+				qt := "ATSQ"
+				if ordered {
+					qt = "OATSQ"
+				}
+				b.Run(fmt.Sprintf("%s/%s/k=%d", name, qt, k), func(b *testing.B) {
+					runEngines(b, st, qs, k, ordered)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4_EffectOfQ: query-location count sweep.
+func BenchmarkFig4_EffectOfQ(b *testing.B) {
+	st := benchSetup(b, "NY")
+	for _, n := range []int{2, 4, 6} {
+		qs := benchWorkload(b, st.DS, queries.Config{NumPoints: n})
+		for _, ordered := range []bool{false, true} {
+			qt := "ATSQ"
+			if ordered {
+				qt = "OATSQ"
+			}
+			b.Run(fmt.Sprintf("%s/Q=%d", qt, n), func(b *testing.B) {
+				runEngines(b, st, qs, queries.DefaultK, ordered)
+			})
+		}
+	}
+}
+
+// BenchmarkFig5_EffectOfPhi: per-location activity count sweep.
+func BenchmarkFig5_EffectOfPhi(b *testing.B) {
+	st := benchSetup(b, "NY")
+	for _, n := range []int{1, 3, 5} {
+		qs := benchWorkload(b, st.DS, queries.Config{ActsPerPoint: n})
+		for _, ordered := range []bool{false, true} {
+			qt := "ATSQ"
+			if ordered {
+				qt = "OATSQ"
+			}
+			b.Run(fmt.Sprintf("%s/phi=%d", qt, n), func(b *testing.B) {
+				runEngines(b, st, qs, queries.DefaultK, ordered)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6_EffectOfDiameter: query spread sweep.
+func BenchmarkFig6_EffectOfDiameter(b *testing.B) {
+	st := benchSetup(b, "NY")
+	for _, d := range []float64{5, 20, 50} {
+		qs := benchWorkload(b, st.DS, queries.Config{DiameterKm: d})
+		b.Run(fmt.Sprintf("ATSQ/diam=%.0fkm", d), func(b *testing.B) {
+			runEngines(b, st, qs, queries.DefaultK, false)
+		})
+	}
+}
+
+// BenchmarkFig7_Scalability: dataset-size sweep over NY prefixes.
+func BenchmarkFig7_Scalability(b *testing.B) {
+	full := benchDataset(b, "NY")
+	for _, frac := range []float64{0.5, 1.0} {
+		n := int(float64(len(full.Trajs)) * frac)
+		sub := full.Sample(n)
+		st, err := harness.BuildSetup(sub, gat.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs := benchWorkload(b, sub, queries.Config{Seed: 31})
+		b.Run(fmt.Sprintf("D=%d", n), func(b *testing.B) {
+			runEngines(b, st, qs, queries.DefaultK, false)
+		})
+	}
+}
+
+// BenchmarkFig8_Granularity: GAT grid depth sweep with memory metrics.
+func BenchmarkFig8_Granularity(b *testing.B) {
+	st := benchSetup(b, "NY")
+	qs := benchWorkload(b, st.DS, queries.Config{Seed: 97})
+	for _, depth := range []int{5, 6, 7, 8} {
+		b.Run(fmt.Sprintf("partitions=%d", 1<<depth), func(b *testing.B) {
+			idx, err := gat.Build(st.TS, gat.Config{Depth: depth, MemLevels: 6})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := gat.NewEngine(idx)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.RunWorkload(st.TS, e, qs, queries.DefaultK, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(idx.MemBytes())/(1<<20), "mem-MB")
+		})
+	}
+}
+
+// BenchmarkAblation_LowerBound: Algorithm 2's tight bound vs the naive
+// queue-head bound (design choice A1).
+func BenchmarkAblation_LowerBound(b *testing.B) {
+	st := benchSetup(b, "NY")
+	qs := benchWorkload(b, st.DS, queries.Config{Seed: 13})
+	for _, loose := range []bool{false, true} {
+		name := "tight"
+		if loose {
+			name = "loose"
+		}
+		b.Run(name, func(b *testing.B) {
+			idx, err := gat.Build(st.TS, gat.Config{LooseLowerBound: loose})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := gat.NewEngine(idx)
+			b.ResetTimer()
+			var cands int
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunWorkload(st.TS, e, qs, queries.DefaultK, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cands = res.Stats.Candidates
+			}
+			b.ReportMetric(float64(cands)/float64(len(qs)), "cands/query")
+		})
+	}
+}
+
+// BenchmarkAblation_TAS: sketch pre-filter on/off (design choice A2).
+func BenchmarkAblation_TAS(b *testing.B) {
+	st := benchSetup(b, "NY")
+	qs := benchWorkload(b, st.DS, queries.Config{Seed: 13})
+	for _, disable := range []bool{false, true} {
+		name := "with-TAS"
+		if disable {
+			name = "no-TAS"
+		}
+		b.Run(name, func(b *testing.B) {
+			idx, err := gat.Build(st.TS, gat.Config{DisableTAS: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := gat.NewEngine(idx)
+			b.ResetTimer()
+			var pages int
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunWorkload(st.TS, e, qs, queries.DefaultK, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pages = res.Stats.PageReads
+			}
+			b.ReportMetric(float64(pages)/float64(len(qs)), "pages/query")
+		})
+	}
+}
+
+// BenchmarkAblation_Dmpm: Algorithm 3 vs the plain cover relaxation vs
+// brute force on growing candidate sets (design choice A3).
+func BenchmarkAblation_Dmpm(b *testing.B) {
+	mkPts := func(n int) []matcher.WeightedPoint {
+		pts := make([]matcher.WeightedPoint, n)
+		for i := range pts {
+			pts[i] = matcher.WeightedPoint{
+				Dist: float64((i*7)%97) + 0.5,
+				Mask: uint32(1+i*3) & 0xF,
+			}
+		}
+		return pts
+	}
+	for _, n := range []int{8, 64, 512} {
+		pts := mkPts(n)
+		b.Run(fmt.Sprintf("alg3-sorted/n=%d", n), func(b *testing.B) {
+			var m matcher.Matcher
+			work := make([]matcher.WeightedPoint, n)
+			for i := 0; i < b.N; i++ {
+				copy(work, pts)
+				m.MinPointMatch(4, work)
+			}
+		})
+		b.Run(fmt.Sprintf("coverDP/n=%d", n), func(b *testing.B) {
+			var m matcher.Matcher
+			for i := 0; i < b.N; i++ {
+				m.MinPointMatchDP(4, pts)
+			}
+		})
+		if n <= 8 {
+			b.Run(fmt.Sprintf("brute/n=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					matcher.BruteMinPointMatch(4, pts)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command atsqgen generates synthetic activity-trajectory datasets in the
+// library's binary format, and prints Table IV-style statistics for
+// existing files.
+//
+// Usage:
+//
+//	atsqgen -preset la -scale 0.1 -out la.atrj
+//	atsqgen -import checkins.csv -out city.atrj
+//	atsqgen -stats la.atrj
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"activitytraj"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atsqgen: ")
+
+	preset := flag.String("preset", "ny", "dataset preset: la or ny")
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's Table IV cardinalities (0..1]")
+	seed := flag.Int64("seed", 0, "override the preset RNG seed (0 keeps the preset's)")
+	out := flag.String("out", "", "output file (required unless -stats)")
+	stats := flag.String("stats", "", "print statistics of an existing dataset file and exit")
+	importCSV := flag.String("import", "", "build the dataset from a raw check-in CSV (user,timestamp,lat,lon,venue,tip) instead of generating")
+	flag.Parse()
+
+	if *stats != "" {
+		printStats(*stats)
+		return
+	}
+	if *importCSV != "" {
+		if *out == "" {
+			log.Fatal("missing -out")
+		}
+		importCheckins(*importCSV, *out)
+		return
+	}
+	if *out == "" {
+		log.Fatal("missing -out (or use -stats FILE)")
+	}
+
+	var cfg activitytraj.GeneratorConfig
+	switch strings.ToLower(*preset) {
+	case "la":
+		cfg = activitytraj.PresetLA(*scale)
+	case "ny":
+		cfg = activitytraj.PresetNY(*scale)
+	default:
+		log.Fatalf("unknown preset %q (want la or ny)", *preset)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	ds, err := activitytraj.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	n, err := ds.WriteTo(f)
+	if err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	st := ds.Stats()
+	fmt.Printf("wrote %s (%d bytes)\n", *out, n)
+	printStatsTable(ds.Name, st)
+}
+
+func printStats(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	ds, err := readDataset(f)
+	if err != nil {
+		log.Fatalf("decode: %v", err)
+	}
+	printStatsTable(ds.Name, ds.Stats())
+}
+
+func printStatsTable(name string, st activitytraj.DatasetStats) {
+	fmt.Printf("dataset            %s\n", name)
+	fmt.Printf("#trajectory        %d\n", st.Trajectories)
+	fmt.Printf("#points            %d\n", st.Points)
+	fmt.Printf("#activity          %d\n", st.ActivityTokens)
+	fmt.Printf("#distinct activity %d\n", st.DistinctActs)
+	fmt.Printf("avg points/traj    %.1f\n", st.AvgPointsPerTraj)
+	fmt.Printf("avg acts/point     %.2f\n", st.AvgActsPerPoint)
+}
+
+func importCheckins(csvPath, outPath string) {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		log.Fatalf("open csv: %v", err)
+	}
+	defer f.Close()
+	recs, err := activitytraj.ParseCheckinsCSV(f)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	ds, err := activitytraj.BuildDatasetFromCheckins(recs, activitytraj.CheckinOptions{
+		Name: strings.TrimSuffix(csvPath, ".csv"),
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	o, err := os.Create(outPath)
+	if err != nil {
+		log.Fatalf("create: %v", err)
+	}
+	defer o.Close()
+	n, err := ds.WriteTo(o)
+	if err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	fmt.Printf("imported %d check-ins into %s (%d bytes)\n", len(recs), outPath, n)
+	printStatsTable(ds.Name, ds.Stats())
+}

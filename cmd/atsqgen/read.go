@@ -1,0 +1,14 @@
+package main
+
+import (
+	"io"
+
+	"activitytraj"
+	"activitytraj/internal/trajectory"
+)
+
+// readDataset decodes the binary dataset format. The codec lives in the
+// internal trajectory package; commands inside this module may reach it.
+func readDataset(r io.Reader) (*activitytraj.Dataset, error) {
+	return trajectory.ReadDataset(r)
+}

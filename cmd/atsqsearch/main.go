@@ -1,0 +1,224 @@
+// Command atsqsearch loads (or generates) a dataset, builds one of the four
+// engines, and answers ad-hoc ATSQ/OATSQ queries from the command line.
+//
+// The query syntax is a semicolon-separated list of query points, each
+// "x,y:act1,act2,...". Activities are vocabulary names; the special form
+// "@N" denotes the activity with ID N.
+//
+//	atsqsearch -preset ny -scale 0.02 -engine gat -k 5 \
+//	    -query "12.0,30.5:act000001,act000004;14.2,31.0:act000002"
+//
+// With -random N, the tool instead generates N workload queries (Table V
+// parameters) and prints per-query results and statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"activitytraj"
+	"activitytraj/internal/trajectory"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atsqsearch: ")
+
+	data := flag.String("data", "", "dataset file from atsqgen (overrides -preset)")
+	preset := flag.String("preset", "ny", "generate a preset dataset: la or ny")
+	scale := flag.Float64("scale", 0.02, "preset scale")
+	engineName := flag.String("engine", "gat", "engine: gat|il|rt|irt")
+	k := flag.Int("k", 9, "number of results")
+	ordered := flag.Bool("ordered", false, "run OATSQ instead of ATSQ")
+	queryStr := flag.String("query", "", `query: "x,y:act1,act2;x,y:act3"`)
+	random := flag.Int("random", 0, "generate this many random workload queries instead")
+	verbose := flag.Bool("v", false, "print per-result trajectory details")
+	flag.Parse()
+
+	ds := loadDataset(*data, *preset, *scale)
+	st := ds.Stats()
+	fmt.Printf("dataset %s: %d trajectories, %d points, %d distinct activities\n",
+		ds.Name, st.Trajectories, st.Points, st.DistinctActs)
+
+	store, err := activitytraj.NewStore(ds)
+	if err != nil {
+		log.Fatalf("store: %v", err)
+	}
+	engine := buildEngine(*engineName, store)
+	fmt.Printf("engine %s built (%.1f MiB in memory)\n\n", engine.Name(), float64(engine.MemBytes())/(1<<20))
+
+	var qs []activitytraj.Query
+	switch {
+	case *random > 0:
+		qs, err = activitytraj.GenerateQueries(ds, activitytraj.WorkloadConfig{
+			NumQueries: *random, Seed: time.Now().UnixNano(),
+		})
+		if err != nil {
+			log.Fatalf("workload: %v", err)
+		}
+	case *queryStr != "":
+		q, err := parseQuery(*queryStr, ds.Vocab)
+		if err != nil {
+			log.Fatalf("parse query: %v", err)
+		}
+		qs = []activitytraj.Query{q}
+	default:
+		log.Fatal("provide -query or -random N")
+	}
+
+	for qi, q := range qs {
+		describeQuery(qi, q, ds.Vocab)
+		start := time.Now()
+		var results []activitytraj.Result
+		if *ordered {
+			results, err = engine.SearchOATSQ(q, *k)
+		} else {
+			results, err = engine.SearchATSQ(q, *k)
+		}
+		if err != nil {
+			log.Fatalf("search: %v", err)
+		}
+		elapsed := time.Since(start)
+		stats := engine.LastStats()
+		fmt.Printf("  %d results in %s (candidates=%d scored=%d pages=%d)\n",
+			len(results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored, stats.PageReads)
+		for ri, r := range results {
+			fmt.Printf("  %2d. trajectory %-6d distance %8.3f km\n", ri+1, r.ID, r.Dist)
+			if *verbose {
+				describeTrajectory(&ds.Trajs[r.ID], ds.Vocab)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func loadDataset(path, preset string, scale float64) *activitytraj.Dataset {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("open: %v", err)
+		}
+		defer f.Close()
+		ds, err := trajectory.ReadDataset(f)
+		if err != nil {
+			log.Fatalf("decode: %v", err)
+		}
+		return ds
+	}
+	var cfg activitytraj.GeneratorConfig
+	switch strings.ToLower(preset) {
+	case "la":
+		cfg = activitytraj.PresetLA(scale)
+	case "ny":
+		cfg = activitytraj.PresetNY(scale)
+	default:
+		log.Fatalf("unknown preset %q", preset)
+	}
+	ds, err := activitytraj.GenerateDataset(cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	return ds
+}
+
+func buildEngine(name string, store *activitytraj.TrajStore) activitytraj.Engine {
+	switch strings.ToLower(name) {
+	case "gat":
+		e, err := activitytraj.NewGAT(store, activitytraj.GATConfig{})
+		if err != nil {
+			log.Fatalf("gat: %v", err)
+		}
+		return e
+	case "il":
+		return activitytraj.NewIL(store)
+	case "rt":
+		return activitytraj.NewRT(store)
+	case "irt":
+		return activitytraj.NewIRT(store)
+	default:
+		log.Fatalf("unknown engine %q (want gat|il|rt|irt)", name)
+		return nil
+	}
+}
+
+// parseQuery parses "x,y:act1,act2;x,y:act3".
+func parseQuery(s string, vocab *activitytraj.Vocabulary) (activitytraj.Query, error) {
+	var q activitytraj.Query
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		locActs := strings.SplitN(part, ":", 2)
+		if len(locActs) != 2 {
+			return q, fmt.Errorf("query point %q: want x,y:acts", part)
+		}
+		xy := strings.SplitN(locActs[0], ",", 2)
+		if len(xy) != 2 {
+			return q, fmt.Errorf("location %q: want x,y", locActs[0])
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(xy[0]), 64)
+		if err != nil {
+			return q, fmt.Errorf("x %q: %v", xy[0], err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(xy[1]), 64)
+		if err != nil {
+			return q, fmt.Errorf("y %q: %v", xy[1], err)
+		}
+		var ids []activitytraj.ActivityID
+		for _, name := range strings.Split(locActs[1], ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if strings.HasPrefix(name, "@") {
+				n, err := strconv.Atoi(name[1:])
+				if err != nil {
+					return q, fmt.Errorf("activity id %q: %v", name, err)
+				}
+				ids = append(ids, activitytraj.ActivityID(n))
+				continue
+			}
+			id, ok := vocab.ID(name)
+			if !ok {
+				return q, fmt.Errorf("activity %q not in vocabulary", name)
+			}
+			ids = append(ids, id)
+		}
+		q.Pts = append(q.Pts, activitytraj.QueryPoint{
+			Loc:  activitytraj.Point{X: x, Y: y},
+			Acts: activitytraj.NewActivitySet(ids...),
+		})
+	}
+	return q, q.Validate()
+}
+
+func describeQuery(qi int, q activitytraj.Query, vocab *activitytraj.Vocabulary) {
+	fmt.Printf("query %d (|Q|=%d, δ=%.1fkm):\n", qi, q.Len(), q.Diameter())
+	for i, p := range q.Pts {
+		names := make([]string, len(p.Acts))
+		for j, a := range p.Acts {
+			names[j] = vocab.Name(a)
+		}
+		fmt.Printf("  q%d (%.2f, %.2f) {%s}\n", i+1, p.Loc.X, p.Loc.Y, strings.Join(names, ", "))
+	}
+}
+
+func describeTrajectory(tr *activitytraj.Trajectory, vocab *activitytraj.Vocabulary) {
+	for pi, p := range tr.Pts {
+		if pi >= 8 {
+			fmt.Printf("      … %d more points\n", len(tr.Pts)-pi)
+			break
+		}
+		names := make([]string, len(p.Acts))
+		for j, a := range p.Acts {
+			names[j] = vocab.Name(a)
+		}
+		fmt.Printf("      p%-3d (%.2f, %.2f) {%s}\n", pi+1, p.Loc.X, p.Loc.Y, strings.Join(names, ", "))
+	}
+}

@@ -1,0 +1,37 @@
+// Package activitytraj is a library for similarity search over activity
+// trajectories — sequences of geo-tagged points annotated with the
+// activities performed there (check-in histories, geo-tagged media trails).
+// It is a from-scratch reproduction of
+//
+//	Kai Zheng, Shuo Shang, Nicholas Jing Yuan, Yi Yang.
+//	"Towards Efficient Search for Activity Trajectories." ICDE 2013.
+//
+// Given a query — a list of locations, each with a set of desired
+// activities — the library answers:
+//
+//   - ATSQ (activity trajectory similarity query): the k trajectories that
+//     cover every query location's activities at the smallest summed
+//     distance (the minimum match distance Dmm);
+//   - OATSQ (order-sensitive ATSQ): the same with the matches required to
+//     follow the order of the query locations (Dmom).
+//
+// The primary engine is GAT, a hybrid hierarchical grid index that prunes
+// by spatial proximity and activity containment simultaneously; the paper's
+// three baselines (inverted lists, R-tree, IR-tree) are included for
+// comparison and share the exact same evaluation pipeline.
+//
+// # Quick start
+//
+//	ds, _ := activitytraj.GenerateDataset(activitytraj.PresetNY(0.02))
+//	store, _ := activitytraj.NewStore(ds)
+//	engine, _ := activitytraj.NewGAT(store, activitytraj.GATConfig{})
+//
+//	q := activitytraj.Query{Pts: []activitytraj.QueryPoint{
+//	    {Loc: activitytraj.Point{X: 12.5, Y: 30.1},
+//	     Acts: ds.Vocab.SetFromNames("act000001", "act000007")},
+//	}}
+//	results, _ := engine.SearchATSQ(q, 10)
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package activitytraj

@@ -1,0 +1,125 @@
+// Package baseline implements the paper's three comparison methods
+// (Section III): IL (inverted lists over activities only), RT (an R-tree
+// over all trajectory points, pruning spatially only), and IRT (an IR-tree,
+// pruning spatially and skipping nodes without query activities). All three
+// share the evaluate package's candidate pipeline, so measured differences
+// isolate candidate retrieval — the paper's experimental contract.
+package baseline
+
+import (
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/invindex"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// IL is the inverted-list baseline: one posting list of trajectory IDs per
+// activity; a query intersects the lists of all its activities and scores
+// every surviving trajectory.
+type IL struct {
+	ev    *evaluate.Evaluator
+	inv   *invindex.Index
+	stats query.SearchStats
+}
+
+// BuildIL aggregates each trajectory's activities and builds the lists.
+func BuildIL(ts *evaluate.TrajStore) *IL {
+	inv := invindex.NewIndex()
+	ds := ts.Dataset()
+	for ti := range ds.Trajs {
+		tr := &ds.Trajs[ti]
+		for _, a := range tr.ActivityUnion() {
+			inv.Add(a, uint32(tr.ID))
+		}
+	}
+	inv.Freeze()
+	ev := evaluate.NewEvaluator(ts)
+	// IL candidates contain every query activity by construction; the
+	// sketch filter would only burn cycles.
+	ev.UseSketch = false
+	return &IL{ev: ev, inv: inv}
+}
+
+// Name implements query.Engine.
+func (e *IL) Name() string { return "IL" }
+
+// MemBytes implements query.Engine.
+func (e *IL) MemBytes() int64 { return e.inv.MemBytes() }
+
+// LastStats implements query.Engine.
+func (e *IL) LastStats() query.SearchStats { return e.stats }
+
+// candidates intersects the per-activity lists for every activity in Q.Φ.
+func (e *IL) candidates(q query.Query) []trajectory.TrajID {
+	all := q.AllActs()
+	lists := make([]invindex.PostingList, 0, len(all))
+	for _, a := range all {
+		l := e.inv.Get(a)
+		if len(l) == 0 {
+			return nil
+		}
+		lists = append(lists, l)
+	}
+	ids := invindex.IntersectMany(lists)
+	out := make([]trajectory.TrajID, len(ids))
+	for i, id := range ids {
+		out[i] = trajectory.TrajID(id)
+	}
+	return out
+}
+
+// SearchATSQ implements query.Engine. Per Section III-A the minimum match
+// distance is computed in full for every candidate (no threshold pruning),
+// which is why IL's cost is flat in k.
+func (e *IL) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e.stats = query.SearchStats{}
+	base := e.ev.Store().PoolStats()
+	topk := query.NewTopK(k)
+	for _, tid := range e.candidates(q) {
+		e.stats.Candidates++
+		d, out, err := e.ev.ScoreATSQ(q, tid, matcherInf, &e.stats)
+		if err != nil {
+			return nil, err
+		}
+		if out == evaluate.Scored {
+			topk.Offer(query.Result{ID: tid, Dist: d})
+		}
+	}
+	e.stats.PageReads = int(e.ev.Store().PoolStats().Sub(base).Touched)
+	return topk.Results(), nil
+}
+
+// SearchOATSQ implements query.Engine. Algorithm 4 takes the k-th smallest
+// Dmom found so far as its early-termination input, so the threshold is
+// threaded through here for every method alike.
+func (e *IL) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e.stats = query.SearchStats{}
+	base := e.ev.Store().PoolStats()
+	topk := query.NewTopK(k)
+	for _, tid := range e.candidates(q) {
+		e.stats.Candidates++
+		d, out, err := e.ev.ScoreOATSQ(q, tid, topk.Threshold(), &e.stats)
+		if err != nil {
+			return nil, err
+		}
+		if out == evaluate.Scored {
+			topk.Offer(query.Result{ID: tid, Dist: d})
+		}
+	}
+	e.stats.PageReads = int(e.ev.Store().PoolStats().Sub(base).Touched)
+	return topk.Results(), nil
+}
+
+// Clone returns an independent engine sharing the (immutable) inverted
+// lists, for concurrent query execution.
+func (e *IL) Clone() query.Engine {
+	ev := evaluate.NewEvaluator(e.ev.Store())
+	ev.UseSketch = false
+	return &IL{ev: ev, inv: e.inv}
+}

@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/irtree"
+	"activitytraj/internal/query"
+)
+
+// IRT is the IR-tree baseline (Section III-C): the point R-tree augmented
+// with per-node inverted files, so subtrees containing none of a query
+// point's activities are pruned during the nearest-point scans. Everything
+// downstream of retrieval is shared with the other methods.
+type IRT struct {
+	tree   *irtree.Tree
+	ev     *evaluate.Evaluator
+	lambda int
+	stats  query.SearchStats
+}
+
+// BuildIRT bulk-loads the IR-tree over every trajectory point.
+func BuildIRT(ts *evaluate.TrajStore, fanout, lambda int) *IRT {
+	if fanout <= 0 {
+		fanout = irtree.DefaultMaxEntries
+	}
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	ds := ts.Dataset()
+	var entries []irtree.Entry
+	for ti := range ds.Trajs {
+		tr := &ds.Trajs[ti]
+		for pi, p := range tr.Pts {
+			entries = append(entries, irtree.Entry{
+				Loc:  p.Loc,
+				ID:   encodePayload(tr.ID, pi),
+				Acts: p.Acts,
+			})
+		}
+	}
+	return &IRT{
+		tree:   irtree.Build(entries, fanout),
+		ev:     evaluate.NewEvaluator(ts),
+		lambda: lambda,
+	}
+}
+
+// Name implements query.Engine.
+func (e *IRT) Name() string { return "IRT" }
+
+// MemBytes implements query.Engine.
+func (e *IRT) MemBytes() int64 { return e.tree.MemBytes() }
+
+// LastStats implements query.Engine.
+func (e *IRT) LastStats() query.SearchStats { return e.stats }
+
+type irtIter struct{ it *irtree.NearestIter }
+
+func (r irtIter) next() (int64, float64, bool) {
+	e, d, ok := r.it.Next()
+	return e.ID, d, ok
+}
+func (r irtIter) peek() (float64, bool) { return r.it.PeekDist() }
+func (r irtIter) nodesVisited() int     { return r.it.NodesVisited() }
+
+// iters builds one activity-filtered nearest-point iterator per query
+// location: points (and subtrees) carrying none of q_i's activities are
+// invisible to iterator i, so the frontier distance r_i bounds the
+// minimum point match distance of unseen trajectories — a per-query-point
+// sharpening of the plain R-tree bound that remains sound because point
+// matches only ever use activity-carrying points.
+func (e *IRT) iters(q query.Query) []pointIter {
+	out := make([]pointIter, len(q.Pts))
+	for i, qp := range q.Pts {
+		out[i] = irtIter{it: e.tree.NewNearestIter(qp.Loc, qp.Acts)}
+	}
+	return out
+}
+
+// SearchATSQ implements query.Engine.
+func (e *IRT) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
+	e.stats = query.SearchStats{}
+	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, false, &e.stats)
+}
+
+// SearchOATSQ implements query.Engine.
+func (e *IRT) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	e.stats = query.SearchStats{}
+	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, true, &e.stats)
+}
+
+// Clone returns an independent engine sharing the (immutable) IR-tree.
+func (e *IRT) Clone() query.Engine {
+	return &IRT{tree: e.tree, ev: evaluate.NewEvaluator(e.ev.Store()), lambda: e.lambda}
+}

@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/rtree"
+)
+
+// RT is the R-tree baseline (Section III-B): every trajectory point is
+// indexed; the search retrieves trajectories in best-match-distance order
+// using purely spatial pruning and validates/scores them like every other
+// method. Activity information plays no part in retrieval, which is the
+// baseline's weakness the paper demonstrates.
+type RT struct {
+	tree   *rtree.Tree
+	ev     *evaluate.Evaluator
+	lambda int
+	stats  query.SearchStats
+}
+
+// BuildRT bulk-loads the point R-tree.
+func BuildRT(ts *evaluate.TrajStore, fanout, lambda int) *RT {
+	if fanout <= 0 {
+		fanout = rtree.DefaultMaxEntries
+	}
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	ds := ts.Dataset()
+	var entries []rtree.Entry
+	for ti := range ds.Trajs {
+		tr := &ds.Trajs[ti]
+		for pi, p := range tr.Pts {
+			entries = append(entries, rtree.Entry{
+				Rect: geo.RectFromPoint(p.Loc),
+				ID:   encodePayload(tr.ID, pi),
+			})
+		}
+	}
+	return &RT{
+		tree:   rtree.BulkLoad(entries, fanout),
+		ev:     evaluate.NewEvaluator(ts),
+		lambda: lambda,
+	}
+}
+
+// Name implements query.Engine.
+func (e *RT) Name() string { return "RT" }
+
+// MemBytes implements query.Engine.
+func (e *RT) MemBytes() int64 { return e.tree.MemBytes() }
+
+// LastStats implements query.Engine.
+func (e *RT) LastStats() query.SearchStats { return e.stats }
+
+type rtIter struct{ it *rtree.NearestIter }
+
+func (r rtIter) next() (int64, float64, bool) {
+	e, d, ok := r.it.Next()
+	return e.ID, d, ok
+}
+func (r rtIter) peek() (float64, bool) { return r.it.PeekDist() }
+func (r rtIter) nodesVisited() int     { return r.it.NodesVisited() }
+
+func (e *RT) iters(q query.Query) []pointIter {
+	out := make([]pointIter, len(q.Pts))
+	for i, qp := range q.Pts {
+		out[i] = rtIter{it: e.tree.NewNearestIter(qp.Loc)}
+	}
+	return out
+}
+
+// SearchATSQ implements query.Engine.
+func (e *RT) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
+	e.stats = query.SearchStats{}
+	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, false, &e.stats)
+}
+
+// SearchOATSQ implements query.Engine.
+func (e *RT) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	e.stats = query.SearchStats{}
+	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, true, &e.stats)
+}
+
+// Clone returns an independent engine sharing the (immutable) R-tree.
+func (e *RT) Clone() query.Engine {
+	return &RT{tree: e.tree, ev: evaluate.NewEvaluator(e.ev.Store()), lambda: e.lambda}
+}

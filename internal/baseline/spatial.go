@@ -1,0 +1,130 @@
+package baseline
+
+import (
+	"math"
+
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+var matcherInf = math.Inf(1)
+
+// DefaultLambda is the candidate batch size used by the spatial baselines
+// between termination tests, mirroring GAT's λ so batching is comparable.
+const DefaultLambda = 32
+
+// pointIter is the incremental nearest-point stream one query location
+// consumes; the R-tree and IR-tree iterators both satisfy it (see rt.go and
+// irt.go adapters).
+type pointIter interface {
+	// next returns the payload of the next nearest point and its distance.
+	next() (int64, float64, bool)
+	// peek returns a lower bound on every unreturned point's distance.
+	peek() (float64, bool)
+	// nodesVisited reports expanded index nodes.
+	nodesVisited() int
+}
+
+// encodePayload packs (trajectory, point index) into an int64 payload.
+func encodePayload(tid trajectory.TrajID, pi int) int64 {
+	return int64(tid)<<32 | int64(uint32(pi))
+}
+
+func decodeTraj(payload int64) trajectory.TrajID {
+	return trajectory.TrajID(payload >> 32)
+}
+
+// spatialSearch is the shared k-BCT style loop of the RT and IRT baselines
+// (Section III-B/C, adapting Chen et al.): each query point runs an
+// incremental nearest-point iterator; every trajectory surfacing becomes a
+// candidate; the sum of the iterators' frontier distances lower-bounds the
+// best match distance — and hence, by Lemma 2, the minimum match distance —
+// of every unseen trajectory, giving the termination test.
+func spatialSearch(
+	ev *evaluate.Evaluator,
+	iters []pointIter,
+	q query.Query,
+	k int,
+	lambda int,
+	ordered bool,
+	stats *query.SearchStats,
+) ([]query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	base := ev.Store().PoolStats()
+	topk := query.NewTopK(k)
+	seen := make(map[trajectory.TrajID]struct{})
+
+	for {
+		// Collect the next batch of candidate trajectories, always popping
+		// from the iterator with the nearest frontier (global best-first).
+		var cands []trajectory.TrajID
+		exhausted := false
+		for len(cands) < lambda {
+			bestI, bestD := -1, math.Inf(1)
+			for i, it := range iters {
+				if d, ok := it.peek(); ok && d < bestD {
+					bestI, bestD = i, d
+				}
+			}
+			if bestI < 0 {
+				exhausted = true
+				break
+			}
+			payload, _, ok := iters[bestI].next()
+			if !ok {
+				continue
+			}
+			tid := decodeTraj(payload)
+			if _, dup := seen[tid]; !dup {
+				seen[tid] = struct{}{}
+				cands = append(cands, tid)
+			}
+		}
+		stats.Batches++
+
+		// Lower bound for unseen trajectories: Σ_i r_i. An exhausted
+		// iterator means every trajectory with a point (matching, for IRT)
+		// near q_i has been seen, so the bound is +Inf.
+		dlb := 0.0
+		for _, it := range iters {
+			d, ok := it.peek()
+			if !ok {
+				dlb = math.Inf(1)
+				break
+			}
+			dlb += d
+		}
+
+		for _, tid := range cands {
+			stats.Candidates++
+			var d float64
+			var out evaluate.Outcome
+			var err error
+			if ordered {
+				d, out, err = ev.ScoreOATSQ(q, tid, topk.Threshold(), stats)
+			} else {
+				d, out, err = ev.ScoreATSQ(q, tid, topk.Threshold(), stats)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if out == evaluate.Scored {
+				topk.Offer(query.Result{ID: tid, Dist: d})
+			}
+		}
+		if topk.Threshold() < dlb {
+			break
+		}
+		if exhausted && len(cands) == 0 {
+			break
+		}
+	}
+	for _, it := range iters {
+		stats.NodesVisited += it.nodesVisited()
+	}
+	stats.PageReads = int(ev.Store().PoolStats().Sub(base).Touched)
+	return topk.Results(), nil
+}

@@ -1,0 +1,70 @@
+package checkin
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"activitytraj/internal/geo"
+)
+
+// CSV layout: user,timestamp,lat,lon,venue,tip — timestamp in RFC 3339 or
+// "2006-01-02 15:04:05". A header row is detected and skipped when its
+// first field is "user".
+//
+// ParseCSV streams the file and returns every record; malformed rows abort
+// with a line-numbered error so data problems surface instead of silently
+// skewing datasets.
+func ParseCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	var out []Record
+	line := 0
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("checkin: csv line %d: %w", line, err)
+		}
+		if line == 1 && row[0] == "user" {
+			continue
+		}
+		ts, err := parseTime(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("checkin: csv line %d: time %q: %w", line, row[1], err)
+		}
+		lat, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("checkin: csv line %d: lat %q: %w", line, row[2], err)
+		}
+		lon, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("checkin: csv line %d: lon %q: %w", line, row[3], err)
+		}
+		if lat < -90 || lat > 90 || lon < -180 || lon > 180 {
+			return nil, fmt.Errorf("checkin: csv line %d: coordinates out of range (%v, %v)", line, lat, lon)
+		}
+		out = append(out, Record{
+			User:  row[0],
+			Time:  ts,
+			Loc:   geo.LatLon{Lat: lat, Lon: lon},
+			Venue: row[4],
+			Tip:   row[5],
+		})
+	}
+	return out, nil
+}
+
+func parseTime(s string) (time.Time, error) {
+	for _, layout := range []string{time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("unrecognized layout")
+}

@@ -1,0 +1,36 @@
+// Package core re-exports the GAT index and engine — the paper's primary
+// contribution — under the repository's canonical layout. See package gat
+// for the implementation.
+package core
+
+import (
+	"io"
+
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/gat"
+)
+
+// Config is the GAT configuration (see gat.Config).
+type Config = gat.Config
+
+// Index is a built GAT index.
+type Index = gat.Index
+
+// Engine is the GAT search engine; it implements query.Engine.
+type Engine = gat.Engine
+
+// Build constructs a GAT index over a trajectory store.
+func Build(ts *evaluate.TrajStore, cfg Config) (*Index, error) {
+	return gat.Build(ts, cfg)
+}
+
+// NewEngine wraps a built index for searching.
+func NewEngine(idx *Index) *Engine { return gat.NewEngine(idx) }
+
+// Load reconstructs a persisted index (see Index.WriteTo).
+func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) { return gat.Load(r, ts) }
+
+// MemLevelsForBudget applies the paper's HICL memory-budget rule.
+func MemLevelsForBudget(budgetBytes int64, vocabSize, depth int) int {
+	return gat.MemLevelsForBudget(budgetBytes, vocabSize, depth)
+}

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"activitytraj/internal/core"
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/evaluate"
+)
+
+// TestFacade exercises the core package's re-exported surface: build,
+// search, persist, reload, and the memory-budget rule.
+func TestFacade(t *testing.T) {
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "core", Seed: 6, NumTrajectories: 150, NumVenues: 400,
+		VocabSize: 200, RegionW: 20, RegionH: 20, Clusters: 4, TrajLenMean: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := evaluate.BuildTrajStore(ds, evaluate.TrajStoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := core.Build(ts, core.Config{Depth: 6, MemLevels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(&buf, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(loaded)
+	if e.Name() != "GAT" {
+		t.Fatalf("name = %s", e.Name())
+	}
+	if h := core.MemLevelsForBudget(1<<20, 200, 8); h < 1 || h > 8 {
+		t.Fatalf("budget levels = %d", h)
+	}
+}

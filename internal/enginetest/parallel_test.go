@@ -1,0 +1,92 @@
+package enginetest
+
+import (
+	"testing"
+
+	"activitytraj/internal/harness"
+	"activitytraj/internal/query"
+)
+
+// TestParallelWorkloadMatchesSequential: running a workload across four
+// goroutines with cloned engines must produce the same aggregate work
+// statistics (candidates, scored) as the sequential run — clones share
+// only immutable structures, so results cannot depend on scheduling.
+func TestParallelWorkloadMatchesSequential(t *testing.T) {
+	ds := testDataset(t)
+	st, err := harness.BuildSetup(ds, gatCfgDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload(t, ds, 12)
+	for _, e := range st.Engines {
+		ce, ok := e.(harness.CloneableEngine)
+		if !ok {
+			t.Fatalf("%s does not support cloning", e.Name())
+		}
+		seq, err := harness.RunWorkload(st.TS, e, qs, 5, false)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", e.Name(), err)
+		}
+		par, err := harness.RunWorkloadParallel(st.TS, ce, qs, 5, false, 4)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.Name(), err)
+		}
+		if par.Stats.Candidates != seq.Stats.Candidates || par.Stats.Scored != seq.Stats.Scored {
+			t.Fatalf("%s: parallel stats %+v != sequential %+v", e.Name(), par.Stats, seq.Stats)
+		}
+	}
+}
+
+// TestParallelResultsIdentical: per-query results from a cloned engine
+// running concurrently must equal the originals exactly.
+func TestParallelResultsIdentical(t *testing.T) {
+	ds := testDataset(t)
+	st, err := harness.BuildSetup(ds, gatCfgDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload(t, ds, 10)
+	gat := st.Engine("GAT").(harness.CloneableEngine)
+
+	want := make([][]query.Result, len(qs))
+	for i, q := range qs {
+		rs, err := gat.SearchATSQ(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rs
+	}
+	type res struct {
+		i  int
+		rs []query.Result
+	}
+	ch := make(chan res, len(qs))
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			eng := gat.Clone()
+			for i := w; i < len(qs); i += 4 {
+				rs, err := eng.SearchATSQ(qs[i], 5)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					ch <- res{i, nil}
+					continue
+				}
+				ch <- res{i, rs}
+			}
+		}(w)
+	}
+	for range qs {
+		r := <-ch
+		if r.rs == nil {
+			continue
+		}
+		if len(r.rs) != len(want[r.i]) {
+			t.Fatalf("query %d: %d results vs %d", r.i, len(r.rs), len(want[r.i]))
+		}
+		for j := range r.rs {
+			if r.rs[j] != want[r.i][j] {
+				t.Fatalf("query %d result %d: %+v vs %+v", r.i, j, r.rs[j], want[r.i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package evaluate
+
+import (
+	"strings"
+	"testing"
+)
+
+// Decoder robustness: corrupt or truncated on-disk segments must surface
+// as errors, never panics or silently wrong data.
+
+func TestDecodeCoordsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad header":      {0x80}, // unterminated varint
+		"truncated body":  {0x05, 1, 2, 3},
+		"huge count":      {0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"half coordinate": append([]byte{0x01}, make([]byte, 7)...),
+	}
+	for name, blob := range cases {
+		if _, err := decodeCoords(blob); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDecodeAPLCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad header":     {0x80},
+		"missing act":    {0x02},
+		"missing counts": {0x01, 0x05},
+	}
+	for name, blob := range cases {
+		if _, err := decodeAPL(blob); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestRoundTripAfterCorruptionChecks: valid segments still decode after
+// the negative cases above (no shared state poisoning).
+func TestRoundTripAfterCorruptionChecks(t *testing.T) {
+	ds := smallDataset(t)
+	tr := &ds.Trajs[0]
+	coords, err := decodeCoords(encodeCoords(nil, tr))
+	if err != nil || len(coords) != len(tr.Pts) {
+		t.Fatalf("coords round trip: %v (%d)", err, len(coords))
+	}
+	apl, err := decodeAPL(encodeAPL(nil, tr))
+	if err != nil {
+		t.Fatalf("apl round trip: %v", err)
+	}
+	for _, p := range tr.Pts {
+		for _, a := range p.Acts {
+			if !apl.Has(a) {
+				t.Fatalf("apl lost activity %d", a)
+			}
+		}
+	}
+	if !strings.Contains(ds.Name, "eval") {
+		t.Fatal("unexpected fixture")
+	}
+}

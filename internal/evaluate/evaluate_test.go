@@ -1,0 +1,203 @@
+package evaluate
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/matcher"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+func smallDataset(t testing.TB) *trajectory.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate(dataset.Config{
+		Name: "eval", Seed: 5, NumTrajectories: 120, NumVenues: 300,
+		VocabSize: 200, RegionW: 20, RegionH: 20, Clusters: 4, TrajLenMean: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestTrajStoreRoundTrip: coordinates and APLs fetched from disk must
+// exactly reflect the dataset.
+func TestTrajStoreRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	if ts.NumTrajs() != len(ds.Trajs) {
+		t.Fatalf("NumTrajs = %d", ts.NumTrajs())
+	}
+	for ti := range ds.Trajs {
+		tr := &ds.Trajs[ti]
+		coords, err := ts.FetchCoords(tr.ID)
+		if err != nil {
+			t.Fatalf("coords %d: %v", ti, err)
+		}
+		if len(coords) != len(tr.Pts) {
+			t.Fatalf("traj %d: %d coords, want %d", ti, len(coords), len(tr.Pts))
+		}
+		for pi := range coords {
+			if coords[pi] != tr.Pts[pi].Loc {
+				t.Fatalf("traj %d point %d: %v vs %v", ti, pi, coords[pi], tr.Pts[pi].Loc)
+			}
+		}
+		apl, err := ts.FetchAPL(tr.ID)
+		if err != nil {
+			t.Fatalf("apl %d: %v", ti, err)
+		}
+		// Reconstruct postings from the raw trajectory.
+		want := map[trajectory.ActivityID][]uint32{}
+		for pi, p := range tr.Pts {
+			for _, a := range p.Acts {
+				want[a] = append(want[a], uint32(pi))
+			}
+		}
+		for a, idxs := range want {
+			got := apl.Postings(a)
+			if len(got) != len(idxs) {
+				t.Fatalf("traj %d act %d: postings %v, want %v", ti, a, got, idxs)
+			}
+			for i := range idxs {
+				if got[i] != idxs[i] {
+					t.Fatalf("traj %d act %d: postings %v, want %v", ti, a, got, idxs)
+				}
+			}
+		}
+		if apl.Has(trajectory.ActivityID(9999)) {
+			t.Fatalf("traj %d: phantom activity", ti)
+		}
+	}
+}
+
+// TestTASNoFalseDismissal: the sketch must cover every activity the
+// trajectory actually contains.
+func TestTASNoFalseDismissal(t *testing.T) {
+	ds := smallDataset(t)
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{SketchIntervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	for ti := range ds.Trajs {
+		union := ds.Trajs[ti].ActivityUnion()
+		if !ts.TAS(ds.Trajs[ti].ID).CoversAll(union) {
+			t.Fatalf("traj %d: TAS dismissed its own activities", ti)
+		}
+	}
+}
+
+// TestEvaluatorAgainstDirectComputation: ScoreATSQ/ScoreOATSQ must equal
+// the matcher run on rows built straight from the in-memory points.
+func TestEvaluatorAgainstDirectComputation(t *testing.T) {
+	ds := smallDataset(t)
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ev := NewEvaluator(ts)
+	var m matcher.Matcher
+
+	// A query whose activities are taken from trajectory 0.
+	tr := &ds.Trajs[0]
+	q := query.Query{Pts: []query.Point{
+		{Loc: tr.Pts[0].Loc, Acts: trajectory.NewActivitySet(tr.Pts[0].Acts...)},
+		{Loc: tr.Pts[len(tr.Pts)-1].Loc, Acts: trajectory.NewActivitySet(tr.Pts[len(tr.Pts)-1].Acts...)},
+	}}
+	var stats query.SearchStats
+	for ti := range ds.Trajs {
+		id := ds.Trajs[ti].ID
+		got, out, err := ev.ScoreATSQ(q, id, math.Inf(1), &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := matcher.BuildRowsFromPoints(q.Pts, ds.Trajs[ti].Pts)
+		want := m.MinMatch(rows, math.Inf(1))
+		switch out {
+		case Scored:
+			if !eqInf(got, want) {
+				t.Fatalf("traj %d: scored %v, direct %v", ti, got, want)
+			}
+		case RejectedSketch, RejectedAPL:
+			if want != matcher.Inf {
+				t.Fatalf("traj %d: rejected but direct Dmm = %v", ti, want)
+			}
+		}
+
+		gotO, outO, err := ev.ScoreOATSQ(q, id, math.Inf(1), &stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowsO := matcher.BuildRowsFromPoints(q.Pts, ds.Trajs[ti].Pts)
+		wantO := m.MinOrderMatch(len(ds.Trajs[ti].Pts), rowsO, math.Inf(1))
+		if outO == Scored && !eqInf(gotO, wantO) {
+			t.Fatalf("traj %d: OATSQ scored %v, direct %v", ti, gotO, wantO)
+		}
+		if outO != Scored && wantO != matcher.Inf {
+			t.Fatalf("traj %d: OATSQ rejected but direct Dmom = %v", ti, wantO)
+		}
+	}
+	if stats.Scored == 0 || stats.PageReads != 0 {
+		// PageReads is filled by engines, not the evaluator.
+		if stats.Scored == 0 {
+			t.Fatal("nothing scored")
+		}
+	}
+}
+
+// TestFileBackedStore: the file pager path must behave identically.
+func TestFileBackedStore(t *testing.T) {
+	ds := smallDataset(t)
+	path := filepath.Join(t.TempDir(), "trajs.db")
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{FilePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	coords, err := ts.FetchCoords(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != len(ds.Trajs[3].Pts) {
+		t.Fatalf("file-backed coords len %d", len(coords))
+	}
+	if ts.DiskBytes() <= 0 || ts.MemBytes() <= 0 {
+		t.Fatal("accounting broken")
+	}
+}
+
+// TestPoolAccounting: fetches touch pages; ResetPool clears counters.
+func TestPoolAccounting(t *testing.T) {
+	ds := smallDataset(t)
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{PoolPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	base := ts.PoolStats()
+	if _, err := ts.FetchCoords(0); err != nil {
+		t.Fatal(err)
+	}
+	if diff := ts.PoolStats().Sub(base); diff.Touched == 0 {
+		t.Fatal("fetch must touch pages")
+	}
+	ts.ResetPool()
+	if ts.PoolStats().Touched != 0 {
+		t.Fatal("ResetPool must zero counters")
+	}
+}
+
+func eqInf(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) < 1e-9
+}

@@ -1,0 +1,106 @@
+package evaluate
+
+import (
+	"activitytraj/internal/matcher"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// Outcome classifies what happened to a candidate during evaluation.
+type Outcome int
+
+const (
+	// Scored: the candidate passed validation and its distance was computed
+	// (the distance may still be +Inf if it exceeded the pruning threshold
+	// or, for OATSQ, no order-compliant match exists).
+	Scored Outcome = iota
+	// RejectedSketch: the TAS did not cover the query activities.
+	RejectedSketch
+	// RejectedAPL: the fetched APL is missing a query activity.
+	RejectedAPL
+	// RejectedOrder: the MIB filter proved no order-sensitive match exists.
+	RejectedOrder
+)
+
+// Evaluator validates candidate trajectories and computes their match
+// distances, charging disk reads to the shared TrajStore. It owns matcher
+// scratch space and is not safe for concurrent use.
+type Evaluator struct {
+	ts *TrajStore
+	m  matcher.Matcher
+	// UseSketch enables the TAS pre-filter (GAT and the tree baselines use
+	// it; IL's candidates come pre-validated by construction).
+	UseSketch bool
+}
+
+// NewEvaluator returns an evaluator over ts with the sketch filter enabled.
+func NewEvaluator(ts *TrajStore) *Evaluator {
+	return &Evaluator{ts: ts, UseSketch: true}
+}
+
+// Store returns the underlying TrajStore.
+func (e *Evaluator) Store() *TrajStore { return e.ts }
+
+// ScoreATSQ validates candidate id against q and, if valid, returns its
+// minimum match distance Dmm (computations abandoning past threshold return
+// +Inf). The stats argument is updated with the outcome.
+func (e *Evaluator) ScoreATSQ(q query.Query, id trajectory.TrajID, threshold float64, stats *query.SearchStats) (float64, Outcome, error) {
+	rows, n, out, err := e.prepare(q, id, stats)
+	if out != Scored || err != nil {
+		return matcher.Inf, out, err
+	}
+	_ = n
+	stats.Scored++
+	return e.m.MinMatch(rows, threshold), Scored, nil
+}
+
+// ScoreOATSQ is ScoreATSQ for the order-sensitive distance Dmom. Before the
+// dynamic program it applies the MIB order filter of Section VI-B and the
+// Lemma 3 bound: Dmm lower-bounds Dmom, so a candidate whose (much cheaper)
+// minimum match distance already exceeds the pruning threshold cannot enter
+// the top-k and skips Algorithm 4 entirely.
+func (e *Evaluator) ScoreOATSQ(q query.Query, id trajectory.TrajID, threshold float64, stats *query.SearchStats) (float64, Outcome, error) {
+	rows, n, out, err := e.prepare(q, id, stats)
+	if out != Scored || err != nil {
+		return matcher.Inf, out, err
+	}
+	if !matcher.CheckMIB(rows) {
+		stats.OrderRejected++
+		return matcher.Inf, RejectedOrder, nil
+	}
+	if e.m.MinMatch(rows, threshold) == matcher.Inf {
+		stats.Scored++
+		return matcher.Inf, Scored, nil
+	}
+	stats.Scored++
+	return e.m.MinOrderMatch(n, rows, threshold), Scored, nil
+}
+
+// prepare runs the shared validation pipeline: TAS check (memory), APL
+// fetch + containment check (disk), coordinate fetch (disk), row build.
+// It returns the candidate rows and the trajectory length.
+func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.SearchStats) ([]matcher.QueryRow, int, Outcome, error) {
+	all := q.AllActs()
+	if e.UseSketch {
+		if !e.ts.TAS(id).CoversAll(all) {
+			stats.SketchRejected++
+			return nil, 0, RejectedSketch, nil
+		}
+	}
+	apl, err := e.ts.FetchAPL(id)
+	if err != nil {
+		return nil, 0, Scored, err
+	}
+	for _, a := range all {
+		if !apl.Has(a) {
+			stats.APLRejected++
+			return nil, 0, RejectedAPL, nil
+		}
+	}
+	coords, err := e.ts.FetchCoords(id)
+	if err != nil {
+		return nil, 0, Scored, err
+	}
+	rows := matcher.BuildRowsFromPostings(q.Pts, apl.Postings, coords)
+	return rows, len(coords), Scored, nil
+}

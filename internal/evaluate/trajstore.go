@@ -1,0 +1,260 @@
+// Package evaluate provides the candidate-evaluation machinery shared by
+// every engine: a disk-resident trajectory store (point coordinates and
+// Activity Posting Lists, fetched through a counting buffer pool), the
+// in-memory Trajectory Activity Sketches, and an Evaluator that validates
+// candidates and computes their (order-sensitive) minimum match distance.
+//
+// The paper's experimental design holds everything but candidate retrieval
+// constant across methods ("they will use the same algorithms to compute
+// the minimum match distance"); centralizing evaluation here enforces that.
+package evaluate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/invindex"
+	"activitytraj/internal/sketch"
+	"activitytraj/internal/storage"
+	"activitytraj/internal/trajectory"
+)
+
+// TrajStore keeps every trajectory's coordinates and Activity Posting List
+// (APL, GAT component iv) on simulated disk, with small in-memory
+// directories and the Trajectory Activity Sketches (TAS, component iii).
+type TrajStore struct {
+	ds        *trajectory.Dataset
+	store     *storage.Store
+	coordRefs []storage.SegRef
+	aplRefs   []storage.SegRef
+	tas       []sketch.Sketch
+	sketchM   int
+}
+
+// TrajStoreConfig controls construction.
+type TrajStoreConfig struct {
+	// SketchIntervals is the paper's M: intervals per trajectory sketch.
+	SketchIntervals int
+	// PoolPages is the buffer pool capacity in 4 KiB pages.
+	PoolPages int
+	// FilePath, when non-empty, backs the store with a file instead of the
+	// deterministic in-memory pager.
+	FilePath string
+}
+
+// DefaultSketchIntervals is the default TAS interval count M.
+const DefaultSketchIntervals = 4
+
+// DefaultPoolPages is the default buffer pool capacity (4 MiB).
+const DefaultPoolPages = 1024
+
+// BuildTrajStore lays the dataset out on disk and builds the sketches.
+func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, error) {
+	if cfg.SketchIntervals <= 0 {
+		cfg.SketchIntervals = DefaultSketchIntervals
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = DefaultPoolPages
+	}
+	var store *storage.Store
+	if cfg.FilePath != "" {
+		var err error
+		store, err = storage.NewFileStore(cfg.FilePath, cfg.PoolPages)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = storage.NewMemStore(cfg.PoolPages)
+	}
+	ts := &TrajStore{
+		ds:        ds,
+		store:     store,
+		coordRefs: make([]storage.SegRef, len(ds.Trajs)),
+		aplRefs:   make([]storage.SegRef, len(ds.Trajs)),
+		tas:       make([]sketch.Sketch, len(ds.Trajs)),
+		sketchM:   cfg.SketchIntervals,
+	}
+	var buf []byte
+	for i := range ds.Trajs {
+		tr := &ds.Trajs[i]
+		buf = encodeCoords(buf[:0], tr)
+		ref, err := store.Append(buf)
+		if err != nil {
+			return nil, fmt.Errorf("evaluate: write coords of %d: %w", tr.ID, err)
+		}
+		ts.coordRefs[i] = ref
+
+		buf = encodeAPL(buf[:0], tr)
+		if ref, err = store.Append(buf); err != nil {
+			return nil, fmt.Errorf("evaluate: write APL of %d: %w", tr.ID, err)
+		}
+		ts.aplRefs[i] = ref
+
+		ts.tas[i] = sketch.Build(tr.ActivityUnion(), cfg.SketchIntervals)
+	}
+	if err := store.Seal(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// Dataset returns the dataset the store was built from.
+func (ts *TrajStore) Dataset() *trajectory.Dataset { return ts.ds }
+
+// NumTrajs returns the number of stored trajectories.
+func (ts *TrajStore) NumTrajs() int { return len(ts.coordRefs) }
+
+// TAS returns the activity sketch of trajectory id.
+func (ts *TrajStore) TAS(id trajectory.TrajID) sketch.Sketch { return ts.tas[id] }
+
+// FetchCoords reads a trajectory's point locations from disk.
+func (ts *TrajStore) FetchCoords(id trajectory.TrajID) ([]geo.Point, error) {
+	blob, err := ts.store.Read(ts.coordRefs[id])
+	if err != nil {
+		return nil, err
+	}
+	return decodeCoords(blob)
+}
+
+// APL is a decoded Activity Posting List: for each activity the trajectory
+// contains, the ascending indexes of the points carrying it.
+type APL struct {
+	acts  []trajectory.ActivityID
+	lists []invindex.PostingList
+}
+
+// Postings returns the point indexes for activity a, nil when absent.
+func (a *APL) Postings(act trajectory.ActivityID) []uint32 {
+	i := sort.Search(len(a.acts), func(i int) bool { return a.acts[i] >= act })
+	if i < len(a.acts) && a.acts[i] == act {
+		return a.lists[i]
+	}
+	return nil
+}
+
+// Has reports whether the trajectory contains activity act anywhere.
+func (a *APL) Has(act trajectory.ActivityID) bool { return a.Postings(act) != nil }
+
+// FetchAPL reads and decodes a trajectory's APL from disk.
+func (ts *TrajStore) FetchAPL(id trajectory.TrajID) (*APL, error) {
+	blob, err := ts.store.Read(ts.aplRefs[id])
+	if err != nil {
+		return nil, err
+	}
+	return decodeAPL(blob)
+}
+
+// PoolStats exposes the buffer-pool counters for per-search accounting.
+func (ts *TrajStore) PoolStats() storage.PoolStats { return ts.store.Stats() }
+
+// ResetPool clears the buffer pool between engine runs so each engine is
+// measured from a cold cache.
+func (ts *TrajStore) ResetPool() { ts.store.ResetPool() }
+
+// DiskBytes returns the on-disk footprint.
+func (ts *TrajStore) DiskBytes() int64 { return ts.store.DiskBytes() }
+
+// MemBytes returns the in-memory footprint of the store: directories plus
+// sketches (8 bytes per interval, as the paper counts).
+func (ts *TrajStore) MemBytes() int64 {
+	n := int64(len(ts.coordRefs)+len(ts.aplRefs)) * 12
+	for _, s := range ts.tas {
+		n += s.MemBytes()
+	}
+	return n
+}
+
+// Close releases the underlying pager.
+func (ts *TrajStore) Close() error { return ts.store.Close() }
+
+// --- segment codecs ---
+
+func encodeCoords(dst []byte, tr *trajectory.Trajectory) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(tr.Pts)))
+	for _, p := range tr.Pts {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Loc.X))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Loc.Y))
+	}
+	return dst
+}
+
+func decodeCoords(blob []byte) ([]geo.Point, error) {
+	n, used := binary.Uvarint(blob)
+	if used <= 0 {
+		return nil, fmt.Errorf("evaluate: corrupt coords header")
+	}
+	off := used
+	if len(blob) < off+int(n)*16 {
+		return nil, fmt.Errorf("evaluate: coords segment truncated")
+	}
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
+		pts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(blob[off+8:]))
+		off += 16
+	}
+	return pts, nil
+}
+
+func encodeAPL(dst []byte, tr *trajectory.Trajectory) []byte {
+	postings := make(map[trajectory.ActivityID][]uint32)
+	for pi, p := range tr.Pts {
+		for _, a := range p.Acts {
+			postings[a] = append(postings[a], uint32(pi))
+		}
+	}
+	acts := make([]trajectory.ActivityID, 0, len(postings))
+	for a := range postings {
+		acts = append(acts, a)
+	}
+	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+
+	dst = binary.AppendUvarint(dst, uint64(len(acts)))
+	prev := uint64(0)
+	for i, a := range acts {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(a))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(a)-prev)
+		}
+		prev = uint64(a)
+		dst = invindex.PostingList(postings[a]).AppendEncoded(dst)
+	}
+	return dst
+}
+
+func decodeAPL(blob []byte) (*APL, error) {
+	n, used := binary.Uvarint(blob)
+	if used <= 0 {
+		return nil, fmt.Errorf("evaluate: corrupt APL header")
+	}
+	off := used
+	a := &APL{
+		acts:  make([]trajectory.ActivityID, n),
+		lists: make([]invindex.PostingList, n),
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, used := binary.Uvarint(blob[off:])
+		if used <= 0 {
+			return nil, fmt.Errorf("evaluate: corrupt APL activity %d", i)
+		}
+		off += used
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		a.acts[i] = trajectory.ActivityID(prev)
+		list, used2, err := invindex.DecodePostings(blob[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += used2
+		a.lists[i] = list
+	}
+	return a, nil
+}

@@ -1,0 +1,34 @@
+package gat
+
+// MemLevelsForBudget implements the paper's memory-budget rule for the
+// HICL (Section IV): given a main-memory budget of budgetBytes for the
+// in-memory levels and an activity vocabulary of cardinality vocabSize,
+// keep in memory the largest number of levels h such that the worst-case
+// cell count of levels 1..h fits:
+//
+//	Σ_{i=1..h} 4^i · C ≤ B   ⇒   h = ⌊log₄(3B/(4C) + 1)⌋
+//
+// where each (cell, activity) pair is charged one posting-list slot. The
+// result is clamped to [1, depth]. Pass the returned value as
+// Config.MemLevels.
+func MemLevelsForBudget(budgetBytes int64, vocabSize, depth int) int {
+	if vocabSize < 1 {
+		vocabSize = 1
+	}
+	// Charge 4 bytes per worst-case (cell, activity) posting entry.
+	slots := budgetBytes / 4
+	h := 0
+	var cum int64
+	for l := 1; l <= depth; l++ {
+		cells := int64(1) << (2 * uint(l)) // 4^l
+		cum += cells * int64(vocabSize)
+		if cum > slots {
+			break
+		}
+		h = l
+	}
+	if h < 1 {
+		h = 1
+	}
+	return h
+}

@@ -1,0 +1,181 @@
+package gat
+
+import (
+	"fmt"
+
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/grid"
+	"activitytraj/internal/invindex"
+	"activitytraj/internal/storage"
+	"activitytraj/internal/trajectory"
+)
+
+// hiclKey addresses one on-disk HICL posting list.
+type hiclKey struct {
+	level uint8
+	act   trajectory.ActivityID
+}
+
+// cellITL is the Inverted Trajectory List of one leaf cell: per activity,
+// the trajectories having a point with that activity inside the cell, plus
+// the cell's activity union (used for virtual points in the lower bound).
+type cellITL struct {
+	lists map[trajectory.ActivityID]invindex.PostingList
+	acts  trajectory.ActivitySet
+}
+
+// Index is a built GAT index over a TrajStore.
+type Index struct {
+	cfg Config
+	ts  *evaluate.TrajStore
+	g   *grid.Grid
+
+	// hiclMem[l] is the level-l inverted cell list for 1 <= l <= MemLevels.
+	hiclMem []map[trajectory.ActivityID]invindex.PostingList
+	// hiclDir locates the on-disk lists for levels > MemLevels.
+	hiclDir   map[hiclKey]storage.SegRef
+	hiclStore *storage.Store
+	itl       map[uint32]*cellITL
+}
+
+// Build constructs the GAT index for the trajectories in ts.
+func Build(ts *evaluate.TrajStore, cfg Config) (*Index, error) {
+	cfg = cfg.withDefaults()
+	ds := ts.Dataset()
+	origin, side := grid.FitRegion(ds.Bounds(), 0.01)
+	g, err := grid.New(origin, side, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		cfg:       cfg,
+		ts:        ts,
+		g:         g,
+		hiclDir:   make(map[hiclKey]storage.SegRef),
+		hiclStore: storage.NewMemStore(cfg.PoolPages),
+		itl:       make(map[uint32]*cellITL),
+	}
+
+	// ITL: trajectory IDs arrive in ascending order, so PostingList.Append
+	// keeps each per-cell list sorted and deduplicated for free.
+	for ti := range ds.Trajs {
+		tr := &ds.Trajs[ti]
+		for _, p := range tr.Pts {
+			if len(p.Acts) == 0 {
+				continue
+			}
+			z := g.LeafAt(p.Loc).Z
+			cell := idx.itl[z]
+			if cell == nil {
+				cell = &cellITL{lists: make(map[trajectory.ActivityID]invindex.PostingList)}
+				idx.itl[z] = cell
+			}
+			for _, a := range p.Acts {
+				cell.lists[a] = cell.lists[a].Append(uint32(tr.ID))
+			}
+			cell.acts = cell.acts.Union(p.Acts)
+		}
+	}
+
+	// HICL: the leaf level is derived from the ITL cells; each coarser
+	// level aggregates children into parents.
+	levels := make([]map[trajectory.ActivityID][]uint32, cfg.Depth+1)
+	leaf := make(map[trajectory.ActivityID][]uint32)
+	for z, cell := range idx.itl {
+		for a := range cell.lists {
+			leaf[a] = append(leaf[a], z)
+		}
+	}
+	levels[cfg.Depth] = leaf
+	for l := cfg.Depth - 1; l >= 1; l-- {
+		cur := make(map[trajectory.ActivityID][]uint32, len(levels[l+1]))
+		for a, zs := range levels[l+1] {
+			parents := make([]uint32, len(zs))
+			for i, z := range zs {
+				parents[i] = z >> 2
+			}
+			cur[a] = parents
+		}
+		levels[l] = cur
+	}
+
+	memTop := min(cfg.MemLevels, cfg.Depth)
+	idx.hiclMem = make([]map[trajectory.ActivityID]invindex.PostingList, memTop+1)
+	var buf []byte
+	for l := 1; l <= cfg.Depth; l++ {
+		if l <= memTop {
+			m := make(map[trajectory.ActivityID]invindex.PostingList, len(levels[l]))
+			for a, zs := range levels[l] {
+				m[a] = invindex.FromUnsorted(zs)
+			}
+			idx.hiclMem[l] = m
+			continue
+		}
+		for a, zs := range levels[l] {
+			list := invindex.FromUnsorted(zs)
+			buf = list.AppendEncoded(buf[:0])
+			ref, err := idx.hiclStore.Append(buf)
+			if err != nil {
+				return nil, fmt.Errorf("gat: write HICL level %d: %w", l, err)
+			}
+			idx.hiclDir[hiclKey{level: uint8(l), act: a}] = ref
+		}
+	}
+	if err := idx.hiclStore.Seal(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Grid exposes the index's grid (used by tests and the index report tool).
+func (idx *Index) Grid() *grid.Grid { return idx.g }
+
+// Config returns the effective configuration.
+func (idx *Index) Config() Config { return idx.cfg }
+
+// Store returns the shared trajectory store.
+func (idx *Index) Store() *evaluate.TrajStore { return idx.ts }
+
+// memList returns the in-memory HICL list for (level, act), nil if absent.
+func (idx *Index) memList(level int, a trajectory.ActivityID) invindex.PostingList {
+	if level >= len(idx.hiclMem) {
+		return nil
+	}
+	return idx.hiclMem[level][a]
+}
+
+// MemBreakdown itemizes the index's main-memory footprint.
+type MemBreakdown struct {
+	HICL        int64 // in-memory levels of the hierarchical inverted cell list
+	ITL         int64 // inverted trajectory lists
+	TAS         int64 // trajectory activity sketches (in the TrajStore)
+	Directories int64 // on-disk segment directories (HICL + APL + coords)
+	Total       int64
+}
+
+// MemBytes returns the total in-memory footprint.
+func (idx *Index) MemBytes() int64 { return idx.Breakdown().Total }
+
+// Breakdown computes the per-component memory cost reported in Figure 8.
+func (idx *Index) Breakdown() MemBreakdown {
+	var b MemBreakdown
+	for _, m := range idx.hiclMem {
+		for _, l := range m {
+			b.HICL += 16 + l.MemBytes()
+		}
+	}
+	for _, cell := range idx.itl {
+		b.ITL += 48
+		for _, l := range cell.lists {
+			b.ITL += 16 + l.MemBytes()
+		}
+		b.ITL += int64(len(cell.acts)) * 4
+	}
+	b.Directories = int64(len(idx.hiclDir)) * 24
+	b.TAS = idx.ts.MemBytes()
+	b.Total = b.HICL + b.ITL + b.TAS + b.Directories
+	return b
+}
+
+// DiskBytes returns the on-disk footprint of the HICL low levels.
+func (idx *Index) DiskBytes() int64 { return idx.hiclStore.DiskBytes() }

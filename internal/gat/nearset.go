@@ -1,0 +1,89 @@
+package gat
+
+import (
+	"container/heap"
+
+	"activitytraj/internal/grid"
+)
+
+// nearCell is one unvisited cell tracked for a query point: its minimum
+// distance to the query location and the bitmask of the query point's
+// activities present in the cell (per the HICL), from which the lower
+// bound's virtual points are made.
+type nearCell struct {
+	dist float64
+	cell grid.Cell
+	mask uint32
+}
+
+// nearSet is the cellsn(q_i) structure of Algorithm 2: the unvisited cells
+// relevant to one query point ordered by distance. Unlike the paper's
+// truncated list we retain every unvisited cell (a lazy-deletion heap) and
+// cap the bound with the (m+1)-th cell instead of the m-th — same intent,
+// provably sound under any expansion order (see DESIGN.md §3).
+type nearSet struct {
+	h    nearHeap
+	dead map[grid.Cell]bool
+	live int
+}
+
+type nearHeap []nearCell
+
+func (h nearHeap) Len() int { return len(h) }
+func (h nearHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].cell.Level != h[j].cell.Level {
+		return h[i].cell.Level < h[j].cell.Level
+	}
+	return h[i].cell.Z < h[j].cell.Z
+}
+func (h nearHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nearHeap) Push(x interface{}) { *h = append(*h, x.(nearCell)) }
+func (h *nearHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+func newNearSet() *nearSet {
+	return &nearSet{dead: make(map[grid.Cell]bool)}
+}
+
+// Add tracks an unvisited cell. Each cell is added at most once per query
+// point (it has a single parent in the hierarchy).
+func (s *nearSet) Add(c nearCell) {
+	heap.Push(&s.h, c)
+	s.live++
+}
+
+// Remove marks a cell as visited (it was dequeued from the search queue).
+func (s *nearSet) Remove(c grid.Cell) {
+	s.dead[c] = true
+	s.live--
+}
+
+// Len returns the number of unvisited cells tracked.
+func (s *nearSet) Len() int { return s.live }
+
+// FirstM returns the m nearest unvisited cells in ascending distance order.
+// Dead entries encountered on the way are permanently discarded.
+func (s *nearSet) FirstM(m int) []nearCell {
+	out := make([]nearCell, 0, m)
+	for len(out) < m && s.h.Len() > 0 {
+		c := heap.Pop(&s.h).(nearCell)
+		if s.dead[c.cell] {
+			delete(s.dead, c.cell)
+			continue
+		}
+		out = append(out, c)
+	}
+	// Re-insert the live cells we extracted.
+	for _, c := range out {
+		heap.Push(&s.h, c)
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package gat
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/grid"
+	"activitytraj/internal/invindex"
+	"activitytraj/internal/storage"
+	"activitytraj/internal/trajectory"
+)
+
+// Index persistence: a built GAT index can be written to a stream and
+// reloaded against the same trajectory store, so production deployments
+// pay the build cost once. The format stores the configuration, grid
+// geometry, in-memory HICL levels, ITL, the disk directory and the raw
+// pages of the HICL disk store.
+
+const (
+	persistMagic   = "GATX"
+	persistVersion = 1
+)
+
+// ErrBadIndexFormat is returned when loading a stream that is not a
+// serialized GAT index.
+var ErrBadIndexFormat = errors.New("gat: bad index format")
+
+// WriteTo serializes the index. It returns the number of bytes written.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var n int64
+	put := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) error {
+		m := binary.PutUvarint(scratch[:], v)
+		return put(scratch[:m])
+	}
+	putF := func(f float64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		return put(b[:])
+	}
+
+	if err := put([]byte(persistMagic)); err != nil {
+		return n, err
+	}
+	if err := put([]byte{persistVersion}); err != nil {
+		return n, err
+	}
+	cfg := idx.cfg
+	flags := uint64(0)
+	if cfg.DisableTAS {
+		flags |= 1
+	}
+	if cfg.LooseLowerBound {
+		flags |= 2
+	}
+	for _, v := range []uint64{
+		uint64(cfg.Depth), uint64(cfg.MemLevels), uint64(cfg.Lambda),
+		uint64(cfg.NearCells), uint64(cfg.PoolPages), flags,
+	} {
+		if err := putU(v); err != nil {
+			return n, err
+		}
+	}
+	region := idx.g.Region()
+	for _, f := range []float64{region.MinX, region.MinY, idx.g.Side()} {
+		if err := putF(f); err != nil {
+			return n, err
+		}
+	}
+
+	// In-memory HICL levels.
+	if err := putU(uint64(len(idx.hiclMem))); err != nil {
+		return n, err
+	}
+	var buf []byte
+	for _, level := range idx.hiclMem {
+		if err := putU(uint64(len(level))); err != nil {
+			return n, err
+		}
+		for _, a := range sortedActs(level) {
+			if err := putU(uint64(a)); err != nil {
+				return n, err
+			}
+			buf = level[a].AppendEncoded(buf[:0])
+			if err := put(buf); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	// ITL.
+	if err := putU(uint64(len(idx.itl))); err != nil {
+		return n, err
+	}
+	zs := make([]uint32, 0, len(idx.itl))
+	for z := range idx.itl {
+		zs = append(zs, z)
+	}
+	sort.Slice(zs, func(i, j int) bool { return zs[i] < zs[j] })
+	for _, z := range zs {
+		cell := idx.itl[z]
+		if err := putU(uint64(z)); err != nil {
+			return n, err
+		}
+		if err := putU(uint64(len(cell.lists))); err != nil {
+			return n, err
+		}
+		for _, a := range sortedActs(cell.lists) {
+			if err := putU(uint64(a)); err != nil {
+				return n, err
+			}
+			buf = cell.lists[a].AppendEncoded(buf[:0])
+			if err := put(buf); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	// HICL disk directory + raw store pages.
+	if err := putU(uint64(len(idx.hiclDir))); err != nil {
+		return n, err
+	}
+	keys := make([]hiclKey, 0, len(idx.hiclDir))
+	for k := range idx.hiclDir {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].level != keys[j].level {
+			return keys[i].level < keys[j].level
+		}
+		return keys[i].act < keys[j].act
+	})
+	for _, k := range keys {
+		ref := idx.hiclDir[k]
+		for _, v := range []uint64{uint64(k.level), uint64(k.act), uint64(ref.Page), uint64(ref.Off), uint64(ref.Len)} {
+			if err := putU(v); err != nil {
+				return n, err
+			}
+		}
+	}
+	pages := idx.hiclStore.Pages()
+	if err := putU(uint64(pages)); err != nil {
+		return n, err
+	}
+	for p := uint32(0); p < pages; p++ {
+		blob, err := idx.hiclStore.Read(storage.SegRef{Page: p, Off: 0, Len: storage.PageSize})
+		if err != nil {
+			return n, fmt.Errorf("gat: dump page %d: %w", p, err)
+		}
+		if err := put(blob); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Load reconstructs an index written by WriteTo, binding it to ts (which
+// must hold the same dataset the index was built from).
+func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(persistMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFormat, err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadIndexFormat, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != persistVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadIndexFormat, ver)
+	}
+	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getF := func() (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+	}
+
+	var vals [6]uint64
+	for i := range vals {
+		if vals[i], err = getU(); err != nil {
+			return nil, err
+		}
+	}
+	cfg := Config{
+		Depth:           int(vals[0]),
+		MemLevels:       int(vals[1]),
+		Lambda:          int(vals[2]),
+		NearCells:       int(vals[3]),
+		PoolPages:       int(vals[4]),
+		DisableTAS:      vals[5]&1 != 0,
+		LooseLowerBound: vals[5]&2 != 0,
+	}
+	var ox, oy, side float64
+	if ox, err = getF(); err != nil {
+		return nil, err
+	}
+	if oy, err = getF(); err != nil {
+		return nil, err
+	}
+	if side, err = getF(); err != nil {
+		return nil, err
+	}
+	g, err := grid.New(geo.Point{X: ox, Y: oy}, side, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{
+		cfg:       cfg,
+		ts:        ts,
+		g:         g,
+		hiclDir:   make(map[hiclKey]storage.SegRef),
+		hiclStore: storage.NewMemStore(cfg.PoolPages),
+		itl:       make(map[uint32]*cellITL),
+	}
+
+	readPostings := func() (invindex.PostingList, error) {
+		// Mirror of invindex.AppendEncoded: uvarint count, first element,
+		// then gaps — decoded straight off the buffered reader.
+		count, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		out := make(invindex.PostingList, 0, count)
+		prev := uint64(0)
+		for i := uint64(0); i < count; i++ {
+			d, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				prev = d
+			} else {
+				prev += d
+			}
+			out = append(out, uint32(prev))
+		}
+		return out, nil
+	}
+
+	nLevels, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	idx.hiclMem = make([]map[trajectory.ActivityID]invindex.PostingList, nLevels)
+	for l := range idx.hiclMem {
+		nActs, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if l == 0 && nActs == 0 {
+			continue // level 0 is the unused slot
+		}
+		m := make(map[trajectory.ActivityID]invindex.PostingList, nActs)
+		for i := uint64(0); i < nActs; i++ {
+			a, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			list, err := readPostings()
+			if err != nil {
+				return nil, err
+			}
+			m[trajectory.ActivityID(a)] = list
+		}
+		idx.hiclMem[l] = m
+	}
+
+	nCells, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nCells; i++ {
+		z, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		nActs, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		cell := &cellITL{lists: make(map[trajectory.ActivityID]invindex.PostingList, nActs)}
+		var acts trajectory.ActivitySet
+		for j := uint64(0); j < nActs; j++ {
+			a, err := getU()
+			if err != nil {
+				return nil, err
+			}
+			list, err := readPostings()
+			if err != nil {
+				return nil, err
+			}
+			cell.lists[trajectory.ActivityID(a)] = list
+			acts = append(acts, trajectory.ActivityID(a))
+		}
+		acts.Normalize()
+		cell.acts = acts
+		idx.itl[uint32(z)] = cell
+	}
+
+	nDir, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nDir; i++ {
+		var vs [5]uint64
+		for j := range vs {
+			if vs[j], err = getU(); err != nil {
+				return nil, err
+			}
+		}
+		idx.hiclDir[hiclKey{level: uint8(vs[0]), act: trajectory.ActivityID(vs[1])}] =
+			storage.SegRef{Page: uint32(vs[2]), Off: uint32(vs[3]), Len: uint32(vs[4])}
+	}
+	nPages, err := getU()
+	if err != nil {
+		return nil, err
+	}
+	page := make([]byte, storage.PageSize)
+	for p := uint64(0); p < nPages; p++ {
+		if _, err := io.ReadFull(br, page); err != nil {
+			return nil, fmt.Errorf("gat: load page %d: %w", p, err)
+		}
+		if _, err := idx.hiclStore.Append(page); err != nil {
+			return nil, err
+		}
+	}
+	if err := idx.hiclStore.Seal(); err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+func sortedActs(m map[trajectory.ActivityID]invindex.PostingList) []trajectory.ActivityID {
+	out := make([]trajectory.ActivityID, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,123 @@
+package gat
+
+import (
+	"bytes"
+	"testing"
+
+	"activitytraj/internal/queries"
+)
+
+// TestPersistRoundTrip: a saved and reloaded index must be structurally
+// identical and answer queries identically.
+func TestPersistRoundTrip(t *testing.T) {
+	ds, ts, idx := buildSmall(t, Config{Depth: 7, MemLevels: 4, Lambda: 16, NearCells: 5})
+	var buf bytes.Buffer
+	n, err := idx.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n != int64(buf.Len()) || n == 0 {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := Load(&buf, ts)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if loaded.cfg != idx.cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.cfg, idx.cfg)
+	}
+	if loaded.g.Region() != idx.g.Region() || loaded.g.Depth() != idx.g.Depth() {
+		t.Fatal("grid mismatch")
+	}
+	if len(loaded.itl) != len(idx.itl) || len(loaded.hiclDir) != len(idx.hiclDir) {
+		t.Fatalf("structure counts differ: itl %d/%d dir %d/%d",
+			len(loaded.itl), len(idx.itl), len(loaded.hiclDir), len(idx.hiclDir))
+	}
+	bd1, bd2 := idx.Breakdown(), loaded.Breakdown()
+	if bd1.HICL != bd2.HICL || bd1.ITL != bd2.ITL {
+		t.Fatalf("memory breakdown differs: %+v vs %+v", bd1, bd2)
+	}
+
+	// Behavioural equality on a workload, both query types.
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 8, NumPoints: 3, ActsPerPoint: 2, DiameterKm: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := NewEngine(idx), NewEngine(loaded)
+	for qi, q := range qs {
+		for _, ordered := range []bool{false, true} {
+			var a, b []float64
+			if ordered {
+				ra, err := e1.SearchOATSQ(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := e2.SearchOATSQ(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range ra {
+					a = append(a, r.Dist)
+				}
+				for _, r := range rb {
+					b = append(b, r.Dist)
+				}
+			} else {
+				ra, err := e1.SearchATSQ(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rb, err := e2.SearchATSQ(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, r := range ra {
+					a = append(a, r.Dist)
+				}
+				for _, r := range rb {
+					b = append(b, r.Dist)
+				}
+			}
+			if len(a) != len(b) {
+				t.Fatalf("q%d ordered=%v: %d vs %d results", qi, ordered, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("q%d ordered=%v: dist %v vs %v", qi, ordered, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	_, ts, _ := buildSmall(t, Config{Depth: 5, MemLevels: 5})
+	if _, err := Load(bytes.NewReader([]byte("bogus")), ts); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := Load(bytes.NewReader(nil), ts); err == nil {
+		t.Fatal("empty stream must be rejected")
+	}
+}
+
+func TestMemLevelsForBudget(t *testing.T) {
+	// Σ 4^i·C·4bytes: C=1000 → level1: 16KB, +level2: 80KB, +level3: 336KB.
+	cases := []struct {
+		budget int64
+		vocab  int
+		depth  int
+		want   int
+	}{
+		{16_000, 1000, 8, 1},
+		{90_000, 1000, 8, 2},
+		{400_000, 1000, 8, 3},
+		{1 << 40, 1000, 6, 6}, // huge budget clamps to depth
+		{0, 1000, 8, 1},       // always at least one level
+	}
+	for _, c := range cases {
+		if got := MemLevelsForBudget(c.budget, c.vocab, c.depth); got != c.want {
+			t.Errorf("MemLevelsForBudget(%d, %d, %d) = %d, want %d",
+				c.budget, c.vocab, c.depth, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package gat
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/grid"
+	"activitytraj/internal/invindex"
+	"activitytraj/internal/matcher"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// Engine wraps an Index with the per-query machinery (evaluator, matcher
+// scratch). It implements query.Engine. Not safe for concurrent use.
+type Engine struct {
+	idx   *Index
+	ev    *evaluate.Evaluator
+	m     matcher.Matcher
+	stats query.SearchStats
+}
+
+// NewEngine returns a search engine over a built index.
+func NewEngine(idx *Index) *Engine {
+	ev := evaluate.NewEvaluator(idx.ts)
+	ev.UseSketch = !idx.cfg.DisableTAS
+	return &Engine{idx: idx, ev: ev}
+}
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return "GAT" }
+
+// MemBytes implements query.Engine.
+func (e *Engine) MemBytes() int64 { return e.idx.MemBytes() }
+
+// LastStats implements query.Engine.
+func (e *Engine) LastStats() query.SearchStats { return e.stats }
+
+// SearchATSQ implements query.Engine (Algorithm 1 with Dmm).
+func (e *Engine) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
+	return e.search(q, k, false)
+}
+
+// SearchOATSQ implements query.Engine. Candidate retrieval and the lower
+// bound are unchanged — by Lemma 3 Dmm lower-bounds Dmom, so the same
+// termination test applies; validation adds the MIB order filter and the
+// distance is Algorithm 4's Dmom.
+func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	return e.search(q, k, true)
+}
+
+// cellEntry is one priority-queue element: a cell to visit on behalf of
+// query point qi, keyed by the minimum distance from the cell to q_i.
+type cellEntry struct {
+	dist float64
+	cell grid.Cell
+	qi   int32
+	mask uint32 // query activities of q_i present in the cell
+}
+
+type cellHeap []cellEntry
+
+func (h cellHeap) Len() int { return len(h) }
+func (h cellHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].cell.Level != h[j].cell.Level {
+		return h[i].cell.Level < h[j].cell.Level
+	}
+	if h[i].cell.Z != h[j].cell.Z {
+		return h[i].cell.Z < h[j].cell.Z
+	}
+	return h[i].qi < h[j].qi
+}
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellEntry)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// searcher holds the per-query state of Algorithm 1.
+type searcher struct {
+	idx       *Engine
+	q         query.Query
+	pq        cellHeap
+	near      []*nearSet
+	seen      map[trajectory.TrajID]struct{}
+	hiclCache map[hiclKey]invindex.PostingList
+	exhausted bool
+}
+
+func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e.stats = query.SearchStats{}
+	poolBase := e.idx.ts.PoolStats()
+	hiclBase := e.idx.hiclStore.Stats()
+
+	s := &searcher{
+		idx:       e,
+		q:         q,
+		near:      make([]*nearSet, len(q.Pts)),
+		seen:      make(map[trajectory.TrajID]struct{}),
+		hiclCache: make(map[hiclKey]invindex.PostingList),
+	}
+	for i := range s.near {
+		s.near[i] = newNearSet()
+	}
+	s.initQueue()
+
+	topk := query.NewTopK(k)
+	for {
+		cands := s.retrieveBatch(e.idx.cfg.Lambda)
+		e.stats.Batches++
+		dlb := s.lowerBound()
+		for _, tid := range cands {
+			e.stats.Candidates++
+			var d float64
+			var out evaluate.Outcome
+			var err error
+			if ordered {
+				d, out, err = e.ev.ScoreOATSQ(q, tid, topk.Threshold(), &e.stats)
+			} else {
+				d, out, err = e.ev.ScoreATSQ(q, tid, topk.Threshold(), &e.stats)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if out == evaluate.Scored {
+				topk.Offer(query.Result{ID: tid, Dist: d})
+			}
+		}
+		if topk.Threshold() < dlb {
+			break
+		}
+		if s.exhausted && len(cands) == 0 {
+			break
+		}
+	}
+	pool := e.idx.ts.PoolStats().Sub(poolBase)
+	hicl := e.idx.hiclStore.Stats().Sub(hiclBase)
+	e.stats.PageReads = int(pool.Touched + hicl.Touched)
+	return topk.Results(), nil
+}
+
+// initQueue seeds the priority queue with every level-1 cell containing any
+// of each query point's activities (the "highest level of HICL").
+func (s *searcher) initQueue() {
+	g := s.idx.idx.g
+	for qi, qp := range s.q.Pts {
+		for _, cell := range g.TopCells() {
+			mask := s.cellMask(cell, qp.Acts)
+			if mask == 0 {
+				continue
+			}
+			ce := cellEntry{dist: g.MinDist(qp.Loc, cell), cell: cell, qi: int32(qi), mask: mask}
+			heap.Push(&s.pq, ce)
+			s.near[qi].Add(nearCell{dist: ce.dist, cell: cell, mask: mask})
+		}
+	}
+}
+
+// hiclList fetches the HICL posting list for (level, act), consulting the
+// in-memory levels directly and caching disk-level fetches per search.
+func (s *searcher) hiclList(level int, a trajectory.ActivityID) invindex.PostingList {
+	idx := s.idx.idx
+	if level <= len(idx.hiclMem)-1 {
+		return idx.hiclMem[level][a]
+	}
+	key := hiclKey{level: uint8(level), act: a}
+	if l, ok := s.hiclCache[key]; ok {
+		return l
+	}
+	ref, ok := idx.hiclDir[key]
+	if !ok {
+		s.hiclCache[key] = nil
+		return nil
+	}
+	blob, err := idx.hiclStore.Read(ref)
+	if err != nil {
+		// The store is sealed and append-only; a read failure indicates
+		// corruption, which Build would have surfaced. Treat as absent.
+		s.hiclCache[key] = nil
+		return nil
+	}
+	list, _, err := invindex.DecodePostings(blob)
+	if err != nil {
+		s.hiclCache[key] = nil
+		return nil
+	}
+	s.hiclCache[key] = list
+	return list
+}
+
+// cellMask returns which of acts are present in cell, per the HICL.
+func (s *searcher) cellMask(cell grid.Cell, acts trajectory.ActivitySet) uint32 {
+	var mask uint32
+	for b, a := range acts {
+		if s.hiclList(int(cell.Level), a).Contains(cell.Z) {
+			mask |= 1 << uint(b)
+		}
+	}
+	return mask
+}
+
+// childMasks returns, for each of the four children of cell, the bitmask of
+// query activities present (0 when the child can be pruned).
+func (s *searcher) childMasks(cell grid.Cell, acts trajectory.ActivitySet) [4]uint32 {
+	var masks [4]uint32
+	base := cell.Z << 2
+	childLevel := int(cell.Level) + 1
+	for b, a := range acts {
+		list := s.hiclList(childLevel, a)
+		if len(list) == 0 {
+			continue
+		}
+		i := sort.Search(len(list), func(i int) bool { return list[i] >= base })
+		for ; i < len(list) && list[i] <= base+3; i++ {
+			masks[list[i]-base] |= 1 << uint(b)
+		}
+	}
+	return masks
+}
+
+// retrieveBatch runs the best-first expansion until at least lambda new
+// candidate trajectories are collected (Section V-A) or the queue empties.
+func (s *searcher) retrieveBatch(lambda int) []trajectory.TrajID {
+	g := s.idx.idx.g
+	depth := s.idx.idx.cfg.Depth
+	var out []trajectory.TrajID
+	for len(out) < lambda {
+		if s.pq.Len() == 0 {
+			s.exhausted = true
+			break
+		}
+		e := heap.Pop(&s.pq).(cellEntry)
+		s.idx.stats.PQPops++
+		s.near[e.qi].Remove(e.cell)
+		qp := s.q.Pts[e.qi]
+		if int(e.cell.Level) < depth {
+			masks := s.childMasks(e.cell, qp.Acts)
+			children := e.cell.Children()
+			for ci, mask := range masks {
+				if mask == 0 {
+					continue
+				}
+				child := children[ci]
+				ce := cellEntry{dist: g.MinDist(qp.Loc, child), cell: child, qi: e.qi, mask: mask}
+				heap.Push(&s.pq, ce)
+				s.near[e.qi].Add(nearCell{dist: ce.dist, cell: child, mask: mask})
+			}
+			continue
+		}
+		// Leaf cell: pull matching trajectories from its ITL.
+		itl := s.idx.idx.itl[e.cell.Z]
+		if itl == nil {
+			continue
+		}
+		for _, a := range qp.Acts {
+			for _, tid := range itl.lists[a] {
+				id := trajectory.TrajID(tid)
+				if _, ok := s.seen[id]; !ok {
+					s.seen[id] = struct{}{}
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// lowerBound computes Dlb for all unseen trajectories. With the loose
+// option it is the priority queue's head distance; otherwise Algorithm 2:
+// per query point, the better of (a) the minimum point match distance over
+// virtual points standing in for the m nearest unvisited cells and (b) the
+// distance of the (m+1)-th unvisited cell, summed over query points. An
+// exhausted query point contributes +Inf — every trajectory containing its
+// activities has been seen.
+func (s *searcher) lowerBound() float64 {
+	if s.idx.idx.cfg.LooseLowerBound {
+		if s.pq.Len() == 0 {
+			return math.Inf(1)
+		}
+		return s.pq[0].dist
+	}
+	m := s.idx.idx.cfg.NearCells
+	var sum float64
+	virtual := make([]matcher.WeightedPoint, 0, m)
+	for qi, qp := range s.q.Pts {
+		cells := s.near[qi].FirstM(m + 1)
+		if len(cells) == 0 {
+			return math.Inf(1)
+		}
+		virtual = virtual[:0]
+		for _, c := range cells[:min(m, len(cells))] {
+			virtual = append(virtual, matcher.WeightedPoint{Dist: c.dist, Mask: c.mask})
+		}
+		dvirt := s.idx.m.MinPointMatchSorted(len(qp.Acts), virtual)
+		bound := dvirt
+		if len(cells) > m && cells[m].dist < bound {
+			bound = cells[m].dist
+		}
+		if math.IsInf(bound, 1) {
+			return math.Inf(1)
+		}
+		sum += bound
+	}
+	return sum
+}
+
+// Clone returns an independent engine over the same (immutable) index, for
+// concurrent query execution: each goroutine owns one engine.
+func (e *Engine) Clone() query.Engine { return NewEngine(e.idx) }

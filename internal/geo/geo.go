@@ -1,0 +1,165 @@
+// Package geo provides the planar geometry primitives used throughout the
+// activity-trajectory library: points, axis-aligned rectangles and the
+// distance functions the paper's match distances are built on.
+//
+// All coordinates are in kilometres on a local planar projection. The paper
+// evaluates on city-scale regions (Los Angeles, New York) where an
+// equirectangular projection is accurate to well under 1%; LatLon helpers are
+// provided to project real check-in coordinates into this plane.
+package geo
+
+import "math"
+
+// Point is a location on the local plane, in kilometres.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q in kilometres.
+func Dist(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// DistSq returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparisons where only the ordering matters.
+func DistSq(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return dx*dx + dy*dy
+}
+
+// Rect is a closed axis-aligned rectangle. A Rect is valid when
+// MinX <= MaxX and MinY <= MaxY. The zero Rect is the degenerate rectangle
+// containing only the origin.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle with the given corners, swapping coordinates
+// as needed so the result is valid.
+func NewRect(x1, y1, x2, y2 float64) Rect {
+	if x1 > x2 {
+		x1, x2 = x2, x1
+	}
+	if y1 > y2 {
+		y1, y2 = y2, y1
+	}
+	return Rect{MinX: x1, MinY: y1, MaxX: x2, MaxY: y2}
+}
+
+// RectFromPoint returns the degenerate rectangle containing only p.
+func RectFromPoint(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Width returns the extent of r along the x axis.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the extent of r along the y axis.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Margin returns half the perimeter of r (the R*-tree "margin" measure).
+func (r Rect) Margin() float64 { return r.Width() + r.Height() }
+
+// ContainsPoint reports whether p lies inside or on the boundary of r.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendPoint returns the smallest rectangle containing both r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, p.X),
+		MinY: math.Min(r.MinY, p.Y),
+		MaxX: math.Max(r.MaxX, p.X),
+		MaxY: math.Max(r.MaxY, p.Y),
+	}
+}
+
+// Enlargement returns the increase in area of r required to include s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// MinDist returns the minimum Euclidean distance from p to any point of r.
+// It is zero when p lies inside r. This is the standard MINDIST bound used
+// for best-first search over spatial indexes.
+func (r Rect) MinDist(p Point) float64 {
+	return math.Sqrt(r.MinDistSq(p))
+}
+
+// MinDistSq returns the squared minimum distance from p to r.
+func (r Rect) MinDistSq(p Point) float64 {
+	var dx, dy float64
+	switch {
+	case p.X < r.MinX:
+		dx = r.MinX - p.X
+	case p.X > r.MaxX:
+		dx = p.X - r.MaxX
+	}
+	switch {
+	case p.Y < r.MinY:
+		dy = r.MinY - p.Y
+	case p.Y > r.MaxY:
+		dy = p.Y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
+// MaxDist returns the maximum Euclidean distance from p to any point of r
+// (attained at one of the four corners).
+func (r Rect) MaxDist(p Point) float64 {
+	dx := math.Max(math.Abs(p.X-r.MinX), math.Abs(p.X-r.MaxX))
+	dy := math.Max(math.Abs(p.Y-r.MinY), math.Abs(p.Y-r.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Valid reports whether r is a well-formed rectangle.
+func (r Rect) Valid() bool {
+	return r.MinX <= r.MaxX && r.MinY <= r.MaxY &&
+		!math.IsNaN(r.MinX) && !math.IsNaN(r.MinY) &&
+		!math.IsNaN(r.MaxX) && !math.IsNaN(r.MaxY)
+}
+
+// BoundingRect returns the smallest rectangle containing all pts.
+// It returns the zero Rect when pts is empty.
+func BoundingRect(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := RectFromPoint(pts[0])
+	for _, p := range pts[1:] {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}

@@ -1,0 +1,153 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := DistSq(c.a, c.b); math.Abs(got-c.want*c.want) > 1e-9 {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", c.a, c.b, got, c.want*c.want)
+		}
+	}
+}
+
+func TestNewRectSwaps(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	want := Rect{MinX: 1, MinY: 2, MaxX: 5, MaxY: 7}
+	if r != want {
+		t.Fatalf("NewRect = %+v, want %+v", r, want)
+	}
+	if !r.Valid() {
+		t.Fatal("rect should be valid")
+	}
+}
+
+func TestRectPredicates(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if !r.ContainsPoint(Point{5, 5}) || !r.ContainsPoint(Point{0, 0}) || !r.ContainsPoint(Point{10, 10}) {
+		t.Fatal("boundary and interior points must be contained")
+	}
+	if r.ContainsPoint(Point{10.001, 5}) {
+		t.Fatal("outside point must not be contained")
+	}
+	if !r.Intersects(NewRect(9, 9, 20, 20)) || r.Intersects(NewRect(11, 11, 12, 12)) {
+		t.Fatal("intersection misclassified")
+	}
+	if !r.ContainsRect(NewRect(1, 1, 9, 9)) || r.ContainsRect(NewRect(1, 1, 11, 9)) {
+		t.Fatal("containment misclassified")
+	}
+}
+
+func TestMinDistMaxDist(t *testing.T) {
+	r := NewRect(0, 0, 2, 2)
+	if d := r.MinDist(Point{1, 1}); d != 0 {
+		t.Fatalf("inside MinDist = %v, want 0", d)
+	}
+	if d := r.MinDist(Point{5, 1}); d != 3 {
+		t.Fatalf("side MinDist = %v, want 3", d)
+	}
+	if d := r.MinDist(Point{5, 6}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("corner MinDist = %v, want 5", d)
+	}
+	if d := r.MaxDist(Point{0, 0}); math.Abs(d-2*math.Sqrt2) > 1e-12 {
+		t.Fatalf("MaxDist = %v, want %v", d, 2*math.Sqrt2)
+	}
+}
+
+// TestMinDistLowerBoundsContained: MINDIST must lower-bound the distance to
+// every point inside the rectangle — the property best-first search needs.
+func TestMinDistLowerBoundsContained(t *testing.T) {
+	f := func(px, py, x1, y1, x2, y2, fx, fy float64) bool {
+		q := Point{X: mod(px, 100), Y: mod(py, 100)}
+		r := NewRect(mod(x1, 100), mod(y1, 100), mod(x2, 100), mod(y2, 100))
+		// A point inside r via fractions fx, fy in [0,1).
+		in := Point{
+			X: r.MinX + fracOf(fx)*r.Width(),
+			Y: r.MinY + fracOf(fy)*r.Height(),
+		}
+		return r.MinDist(q) <= Dist(q, in)+1e-9 && r.MaxDist(q) >= Dist(q, in)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnionContains: the union of two rects contains both.
+func TestUnionContains(t *testing.T) {
+	f := func(x1, y1, x2, y2, x3, y3, x4, y4 float64) bool {
+		a := NewRect(mod(x1, 50), mod(y1, 50), mod(x2, 50), mod(y2, 50))
+		b := NewRect(mod(x3, 50), mod(y3, 50), mod(x4, 50), mod(y4, 50))
+		u := a.Union(b)
+		return u.ContainsRect(a) && u.ContainsRect(b) && u.Enlargement(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundingRect(t *testing.T) {
+	if r := BoundingRect(nil); r != (Rect{}) {
+		t.Fatalf("empty bounding rect = %+v", r)
+	}
+	pts := []Point{{1, 5}, {-2, 3}, {4, 0}}
+	r := BoundingRect(pts)
+	want := Rect{MinX: -2, MinY: 0, MaxX: 4, MaxY: 5}
+	if r != want {
+		t.Fatalf("BoundingRect = %+v, want %+v", r, want)
+	}
+}
+
+func TestProjectionRoundTripAndAccuracy(t *testing.T) {
+	origin := LatLon{Lat: 40.7, Lon: -74.0} // New York
+	pr := NewProjection(origin)
+	pts := []LatLon{
+		{40.7, -74.0}, {40.8, -73.9}, {40.55, -74.15}, {40.9, -73.7},
+	}
+	for _, ll := range pts {
+		p := pr.ToPlane(ll)
+		back := pr.FromPlane(p)
+		if math.Abs(back.Lat-ll.Lat) > 1e-9 || math.Abs(back.Lon-ll.Lon) > 1e-9 {
+			t.Fatalf("round trip %v -> %v -> %v", ll, p, back)
+		}
+	}
+	// Planar distances must agree with haversine to well under 1% at city
+	// scale — the property that makes kilometre-valued query diameters
+	// meaningful.
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			planar := Dist(pr.ToPlane(pts[i]), pr.ToPlane(pts[j]))
+			hav := Haversine(pts[i], pts[j])
+			if hav > 0 && math.Abs(planar-hav)/hav > 0.01 {
+				t.Fatalf("projection error %v vs %v for %v-%v", planar, hav, pts[i], pts[j])
+			}
+		}
+	}
+}
+
+func mod(v, m float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), m)
+}
+
+func fracOf(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Abs(v) - math.Floor(math.Abs(v))
+}

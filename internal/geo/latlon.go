@@ -1,0 +1,55 @@
+package geo
+
+import "math"
+
+// earthRadiusKm is the mean Earth radius used by the projection helpers.
+const earthRadiusKm = 6371.0088
+
+// LatLon is a geodetic coordinate in degrees.
+type LatLon struct {
+	Lat, Lon float64
+}
+
+// Projection converts geodetic coordinates to local planar kilometre
+// coordinates using an equirectangular projection anchored at an origin.
+// At city scale (tens of kilometres) the distortion is negligible, which is
+// why the paper's kilometre-valued query diameters are meaningful.
+type Projection struct {
+	origin LatLon
+	cosLat float64
+}
+
+// NewProjection returns a projection anchored at origin.
+func NewProjection(origin LatLon) *Projection {
+	return &Projection{origin: origin, cosLat: math.Cos(origin.Lat * math.Pi / 180)}
+}
+
+// ToPlane projects ll to planar kilometre coordinates.
+func (pr *Projection) ToPlane(ll LatLon) Point {
+	const degKm = earthRadiusKm * math.Pi / 180
+	return Point{
+		X: (ll.Lon - pr.origin.Lon) * degKm * pr.cosLat,
+		Y: (ll.Lat - pr.origin.Lat) * degKm,
+	}
+}
+
+// FromPlane is the inverse of ToPlane.
+func (pr *Projection) FromPlane(p Point) LatLon {
+	const degKm = earthRadiusKm * math.Pi / 180
+	return LatLon{
+		Lat: pr.origin.Lat + p.Y/degKm,
+		Lon: pr.origin.Lon + p.X/(degKm*pr.cosLat),
+	}
+}
+
+// Haversine returns the great-circle distance between a and b in kilometres.
+// It is used by tests to bound the projection error.
+func Haversine(a, b LatLon) float64 {
+	const rad = math.Pi / 180
+	la1, lo1 := a.Lat*rad, a.Lon*rad
+	la2, lo2 := b.Lat*rad, b.Lon*rad
+	sdLat := math.Sin((la2 - la1) / 2)
+	sdLon := math.Sin((lo2 - lo1) / 2)
+	h := sdLat*sdLat + math.Cos(la1)*math.Cos(la2)*sdLon*sdLon
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}

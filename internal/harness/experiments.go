@@ -1,0 +1,498 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/gat"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// Options configures a run of the experiment suite.
+type Options struct {
+	// Scale shrinks the LA/NY presets (1.0 = the full Table IV
+	// cardinalities). Experiments default to 0.2 — small enough to keep
+	// the whole suite in the minutes range, large enough that workloads
+	// have well over k matches (below ~0.1 the spatial methods degrade to
+	// exhaustive scans because the k-th match distance explodes).
+	Scale float64
+	// Queries is the workload size per configuration (the paper uses 50).
+	Queries int
+	// K is the default result count (Table V: 9).
+	K int
+	// Datasets selects "LA", "NY" or both.
+	Datasets []string
+	// Seed offsets workload generation.
+	Seed int64
+}
+
+// WithDefaults fills unset options with the suite defaults.
+func (o Options) WithDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.2
+	}
+	if o.Queries <= 0 {
+		o.Queries = 15
+	}
+	if o.K <= 0 {
+		o.K = queries.DefaultK
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = []string{"LA", "NY"}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Suite caches datasets and engine setups across experiments.
+type Suite struct {
+	opts   Options
+	setups map[string]*Setup
+	data   map[string]*trajectory.Dataset
+}
+
+// NewSuite returns an empty suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{
+		opts:   opts.WithDefaults(),
+		setups: make(map[string]*Setup),
+		data:   make(map[string]*trajectory.Dataset),
+	}
+}
+
+// Options returns the effective options.
+func (s *Suite) Options() Options { return s.opts }
+
+// Dataset returns (building and caching) the named preset dataset.
+func (s *Suite) Dataset(name string) (*trajectory.Dataset, error) {
+	if ds, ok := s.data[name]; ok {
+		return ds, nil
+	}
+	var cfg dataset.Config
+	switch name {
+	case "LA":
+		cfg = dataset.LA(s.opts.Scale)
+	case "NY":
+		cfg = dataset.NY(s.opts.Scale)
+	default:
+		return nil, fmt.Errorf("harness: unknown dataset %q", name)
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.data[name] = ds
+	return ds, nil
+}
+
+// Setup returns (building and caching) the four-engine setup for a dataset.
+func (s *Suite) Setup(name string) (*Setup, error) {
+	if st, ok := s.setups[name]; ok {
+		return st, nil
+	}
+	ds, err := s.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	st, err := BuildSetup(ds, gat.Config{})
+	if err != nil {
+		return nil, err
+	}
+	s.setups[name] = st
+	return st, nil
+}
+
+func (s *Suite) workload(ds *trajectory.Dataset, cfg queries.Config) ([]query.Query, error) {
+	cfg.NumQueries = s.opts.Queries
+	if cfg.Seed == 0 {
+		cfg.Seed = s.opts.Seed
+	}
+	return queries.Generate(ds, cfg)
+}
+
+// sweep runs one parameter sweep for one dataset and query type, writing a
+// latency table and a work table (candidates / page reads).
+func (s *Suite) sweep(
+	w io.Writer,
+	title string,
+	dsName string,
+	ordered bool,
+	paramName string,
+	paramValues []string,
+	makeWorkload func(value string) ([]query.Query, int, error),
+) error {
+	st, err := s.Setup(dsName)
+	if err != nil {
+		return err
+	}
+	qt := "ATSQ"
+	if ordered {
+		qt = "OATSQ"
+	}
+	lat := NewTable(
+		fmt.Sprintf("%s — %s on %s (avg ms/query, %d queries)", title, qt, dsName, s.opts.Queries),
+		append([]string{paramName}, MethodNames...)...)
+	work := NewTable(
+		fmt.Sprintf("%s — %s on %s (avg candidates | pages read)", title, qt, dsName),
+		append([]string{paramName}, MethodNames...)...)
+	for _, v := range paramValues {
+		qs, k, err := makeWorkload(v)
+		if err != nil {
+			return err
+		}
+		latRow := []string{v}
+		workRow := []string{v}
+		for _, e := range st.Engines {
+			res, err := RunWorkload(st.TS, e, qs, k, ordered)
+			if err != nil {
+				return err
+			}
+			latRow = append(latRow, ms(res.AvgMs()))
+			workRow = append(workRow, fmt.Sprintf("%s | %s", cnt(res.AvgCandidates()), cnt(res.AvgPageReads())))
+		}
+		lat.AddRow(latRow...)
+		work.AddRow(workRow...)
+	}
+	lat.Write(w)
+	work.Write(w)
+	return nil
+}
+
+// EffectOfK reproduces Figure 3: k ∈ {5,10,15,20,25}.
+func (s *Suite) EffectOfK(w io.Writer) error {
+	ks := []int{5, 10, 15, 20, 25}
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		base, err := s.workload(ds, queries.Config{})
+		if err != nil {
+			return err
+		}
+		for _, ordered := range []bool{false, true} {
+			values := make([]string, len(ks))
+			for i, k := range ks {
+				values[i] = fmt.Sprint(k)
+			}
+			kmap := map[string]int{}
+			for i, k := range ks {
+				kmap[values[i]] = k
+			}
+			err := s.sweep(w, "Fig.3 effect of k", dsName, ordered, "k", values,
+				func(v string) ([]query.Query, int, error) { return base, kmap[v], nil })
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EffectOfQ reproduces Figure 4: |Q| ∈ {2..6}.
+func (s *Suite) EffectOfQ(w io.Writer) error {
+	sizes := []int{2, 3, 4, 5, 6}
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		for _, ordered := range []bool{false, true} {
+			values := make([]string, len(sizes))
+			for i, n := range sizes {
+				values[i] = fmt.Sprint(n)
+			}
+			smap := map[string]int{}
+			for i, n := range sizes {
+				smap[values[i]] = n
+			}
+			err := s.sweep(w, "Fig.4 effect of |Q|", dsName, ordered, "|Q|", values,
+				func(v string) ([]query.Query, int, error) {
+					qs, err := s.workload(ds, queries.Config{NumPoints: smap[v]})
+					return qs, s.opts.K, err
+				})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EffectOfPhi reproduces Figure 5: |q.Φ| ∈ {1..5}.
+func (s *Suite) EffectOfPhi(w io.Writer) error {
+	sizes := []int{1, 2, 3, 4, 5}
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		for _, ordered := range []bool{false, true} {
+			values := make([]string, len(sizes))
+			for i, n := range sizes {
+				values[i] = fmt.Sprint(n)
+			}
+			smap := map[string]int{}
+			for i, n := range sizes {
+				smap[values[i]] = n
+			}
+			err := s.sweep(w, "Fig.5 effect of |q.Φ|", dsName, ordered, "|q.Φ|", values,
+				func(v string) ([]query.Query, int, error) {
+					qs, err := s.workload(ds, queries.Config{ActsPerPoint: smap[v]})
+					return qs, s.opts.K, err
+				})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EffectOfDiameter reproduces Figure 6: δ(Q) ∈ {5,10,20,30,50} km.
+// Diameters are capped to the dataset region at small scales.
+func (s *Suite) EffectOfDiameter(w io.Writer) error {
+	diams := []float64{5, 10, 20, 30, 50}
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		for _, ordered := range []bool{false, true} {
+			values := make([]string, len(diams))
+			dmap := map[string]float64{}
+			for i, d := range diams {
+				values[i] = fmt.Sprintf("%.0fkm", d)
+				dmap[values[i]] = d
+			}
+			err := s.sweep(w, "Fig.6 effect of δ(Q)", dsName, ordered, "diam", values,
+				func(v string) ([]query.Query, int, error) {
+					qs, err := s.workload(ds, queries.Config{DiameterKm: dmap[v]})
+					return qs, s.opts.K, err
+				})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Scalability reproduces Figure 7: prefixes of the NY dataset at 20%, 40%,
+// 60%, 80% and 100% of its trajectories (the paper's 10K..50K).
+func (s *Suite) Scalability(w io.Writer) error {
+	ny, err := s.Dataset("NY")
+	if err != nil {
+		return err
+	}
+	fracs := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	for _, ordered := range []bool{false, true} {
+		qt := "ATSQ"
+		if ordered {
+			qt = "OATSQ"
+		}
+		lat := NewTable(
+			fmt.Sprintf("Fig.7 effect of |D| — %s on NY samples (avg ms/query)", qt),
+			append([]string{"|D|"}, MethodNames...)...)
+		for _, f := range fracs {
+			n := int(float64(len(ny.Trajs)) * f)
+			sub := ny.Sample(n)
+			st, err := BuildSetup(sub, gat.Config{})
+			if err != nil {
+				return err
+			}
+			qs, err := s.workload(sub, queries.Config{Seed: s.opts.Seed + 31})
+			if err != nil {
+				return err
+			}
+			row := []string{fmt.Sprint(n)}
+			for _, e := range st.Engines {
+				res, err := RunWorkload(st.TS, e, qs, s.opts.K, ordered)
+				if err != nil {
+					return err
+				}
+				row = append(row, ms(res.AvgMs()))
+			}
+			lat.AddRow(row...)
+		}
+		lat.Write(w)
+	}
+	return nil
+}
+
+// Granularity reproduces Figure 8: GAT grid depth d ∈ {5,6,7,8}
+// (32..256 partitions per axis), reporting ATSQ/OATSQ latency and the
+// index memory cost.
+func (s *Suite) Granularity(w io.Writer) error {
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		ts, err := s.Setup(dsName)
+		if err != nil {
+			return err
+		}
+		qs, err := s.workload(ds, queries.Config{Seed: s.opts.Seed + 97})
+		if err != nil {
+			return err
+		}
+		tab := NewTable(
+			fmt.Sprintf("Fig.8 partition granularity — GAT on %s", dsName),
+			"#partition", "ATSQ ms", "OATSQ ms", "mem MB", "HICL MB", "ITL MB")
+		for _, d := range []int{5, 6, 7, 8} {
+			idx, err := gat.Build(ts.TS, gat.Config{Depth: d, MemLevels: 6})
+			if err != nil {
+				return err
+			}
+			e := gat.NewEngine(idx)
+			a, err := RunWorkload(ts.TS, e, qs, s.opts.K, false)
+			if err != nil {
+				return err
+			}
+			o, err := RunWorkload(ts.TS, e, qs, s.opts.K, true)
+			if err != nil {
+				return err
+			}
+			bd := idx.Breakdown()
+			tab.AddRow(fmt.Sprint(1<<d), ms(a.AvgMs()), ms(o.AvgMs()),
+				mb(bd.Total), mb(bd.HICL), mb(bd.ITL))
+		}
+		tab.Write(w)
+	}
+	return nil
+}
+
+// DatasetStats reproduces Table IV for the generated datasets, alongside
+// the paper's published cardinalities scaled by Options.Scale.
+func (s *Suite) DatasetStats(w io.Writer) error {
+	tab := NewTable(
+		fmt.Sprintf("Table IV dataset statistics (scale %.3g; paper targets scaled alongside)", s.opts.Scale),
+		"dataset", "#trajectory", "target", "#points", "#activity", "target", "#distinct", "target")
+	targets := map[string][4]int{
+		"LA": {dataset.LATrajectories, dataset.LAVenues, dataset.LAActivities, dataset.LADistinctActs},
+		"NY": {dataset.NYTrajectories, dataset.NYVenues, dataset.NYActivities, dataset.NYDistinctActs},
+	}
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		st := ds.Stats()
+		tg := targets[dsName]
+		scale := s.opts.Scale
+		tab.AddRow(dsName,
+			fmt.Sprint(st.Trajectories), fmt.Sprint(int(float64(tg[0])*scale)),
+			fmt.Sprint(st.Points),
+			fmt.Sprint(st.ActivityTokens), fmt.Sprint(int(float64(tg[2])*scale)),
+			fmt.Sprint(st.DistinctActs), fmt.Sprint(int(float64(tg[3])*scale)),
+		)
+	}
+	tab.Write(w)
+	return nil
+}
+
+// Ablations measures the design choices GAT layers together: the tight
+// lower bound of Algorithm 2 vs the naive queue-head bound (A1) and the
+// TAS pre-filter (A2), reporting candidates, page reads and latency.
+func (s *Suite) Ablations(w io.Writer) error {
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		st, err := s.Setup(dsName)
+		if err != nil {
+			return err
+		}
+		qs, err := s.workload(ds, queries.Config{Seed: s.opts.Seed + 13})
+		if err != nil {
+			return err
+		}
+		variants := []struct {
+			name string
+			cfg  gat.Config
+		}{
+			{"GAT (full)", gat.Config{}},
+			{"loose LB (A1)", gat.Config{LooseLowerBound: true}},
+			{"no TAS (A2)", gat.Config{DisableTAS: true}},
+		}
+		tab := NewTable(
+			fmt.Sprintf("Ablations — GAT variants on %s (ATSQ, avg per query)", dsName),
+			"variant", "ms", "candidates", "sketch-rej", "pages")
+		for _, v := range variants {
+			idx, err := gat.Build(st.TS, v.cfg)
+			if err != nil {
+				return err
+			}
+			e := gat.NewEngine(idx)
+			res, err := RunWorkload(st.TS, e, qs, s.opts.K, false)
+			if err != nil {
+				return err
+			}
+			tab.AddRow(v.name, ms(res.AvgMs()), cnt(res.AvgCandidates()),
+				cnt(float64(res.Stats.SketchRejected)/float64(res.Queries)),
+				cnt(res.AvgPageReads()))
+		}
+		tab.Write(w)
+	}
+	return nil
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All(w io.Writer) error {
+	steps := []struct {
+		name string
+		fn   func(io.Writer) error
+	}{
+		{"stats", s.DatasetStats},
+		{"k", s.EffectOfK},
+		{"q", s.EffectOfQ},
+		{"phi", s.EffectOfPhi},
+		{"diameter", s.EffectOfDiameter},
+		{"scale", s.Scalability},
+		{"granularity", s.Granularity},
+		{"ablations", s.Ablations},
+		{"throughput", s.Throughput},
+	}
+	for _, st := range steps {
+		fmt.Fprintf(w, "==== experiment: %s ====\n\n", st.name)
+		if err := st.fn(w); err != nil {
+			return fmt.Errorf("experiment %s: %w", st.name, err)
+		}
+	}
+	return nil
+}
+
+// Run dispatches one named experiment ("all" runs the suite).
+func (s *Suite) Run(name string, w io.Writer) error {
+	switch name {
+	case "all":
+		return s.All(w)
+	case "stats":
+		return s.DatasetStats(w)
+	case "k":
+		return s.EffectOfK(w)
+	case "q":
+		return s.EffectOfQ(w)
+	case "phi":
+		return s.EffectOfPhi(w)
+	case "diameter":
+		return s.EffectOfDiameter(w)
+	case "scale":
+		return s.Scalability(w)
+	case "granularity":
+		return s.Granularity(w)
+	case "ablations":
+		return s.Ablations(w)
+	case "throughput":
+		return s.Throughput(w)
+	default:
+		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput)", name)
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders aligned text tables for experiment output: one row per
+// swept parameter value, one column per method — the textual equivalent of
+// the paper's figure panels.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", max(total, len(t.Title))))
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s", widths[i]+3, c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s", widths[i]+3, cell)
+			} else {
+				fmt.Fprint(w, cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func ms(v float64) string    { return fmt.Sprintf("%.2f", v) }
+func cnt(v float64) string   { return fmt.Sprintf("%.0f", v) }
+func mb(v int64) string      { return fmt.Sprintf("%.1f", float64(v)/(1<<20)) }
+func ratio(v float64) string { return fmt.Sprintf("%.1fx", v) }

@@ -1,0 +1,61 @@
+package invindex
+
+import (
+	"sort"
+
+	"activitytraj/internal/trajectory"
+)
+
+// Index is an in-memory inverted index from activity ID to a posting list.
+// It backs the IL baseline (activity → trajectory IDs) and the in-memory
+// levels of the GAT HICL (activity → cell codes).
+type Index struct {
+	lists map[trajectory.ActivityID]PostingList
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{lists: make(map[trajectory.ActivityID]PostingList)}
+}
+
+// Add records id under activity a. IDs may be added in any order; Freeze
+// must be called before queries if out-of-order additions were made.
+func (ix *Index) Add(a trajectory.ActivityID, id uint32) {
+	ix.lists[a] = append(ix.lists[a], id)
+}
+
+// Freeze normalizes every posting list (sort + dedup). It is idempotent.
+func (ix *Index) Freeze() {
+	for a, l := range ix.lists {
+		ix.lists[a] = FromUnsorted(l)
+	}
+}
+
+// Get returns the posting list for a (nil when absent). The returned list
+// is shared; callers must not modify it.
+func (ix *Index) Get(a trajectory.ActivityID) PostingList { return ix.lists[a] }
+
+// Has reports whether the index has any postings for a.
+func (ix *Index) Has(a trajectory.ActivityID) bool { return len(ix.lists[a]) > 0 }
+
+// Activities returns the sorted list of activities present in the index.
+func (ix *Index) Activities() []trajectory.ActivityID {
+	out := make([]trajectory.ActivityID, 0, len(ix.lists))
+	for a := range ix.lists {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of distinct activities indexed.
+func (ix *Index) Len() int { return len(ix.lists) }
+
+// MemBytes approximates the heap footprint of the index.
+func (ix *Index) MemBytes() int64 {
+	var n int64
+	for _, l := range ix.lists {
+		n += 16 + l.MemBytes() // map entry overhead approximation + list
+	}
+	return n
+}

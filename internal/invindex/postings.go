@@ -1,0 +1,168 @@
+// Package invindex provides sorted posting lists with set operations and a
+// delta+varint wire codec. Posting lists are the common currency of the GAT
+// components (HICL cell lists, ITL trajectory lists, APL point lists) and of
+// the IL baseline's per-activity trajectory lists.
+package invindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PostingList is a strictly increasing list of 32-bit IDs (cell codes,
+// trajectory IDs or point indexes depending on context).
+type PostingList []uint32
+
+// FromUnsorted builds a normalized posting list from arbitrary input.
+func FromUnsorted(ids []uint32) PostingList {
+	out := make(PostingList, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// Contains reports whether id is present.
+func (p PostingList) Contains(id uint32) bool {
+	i := sort.Search(len(p), func(i int) bool { return p[i] >= id })
+	return i < len(p) && p[i] == id
+}
+
+// Append adds id, which must be >= every existing element; duplicates are
+// ignored. It returns the updated list (append semantics).
+func (p PostingList) Append(id uint32) PostingList {
+	if n := len(p); n > 0 {
+		if p[n-1] == id {
+			return p
+		}
+		if p[n-1] > id {
+			panic(fmt.Sprintf("invindex: out-of-order append %d after %d", id, p[n-1]))
+		}
+	}
+	return append(p, id)
+}
+
+// Intersect returns the elements common to p and q.
+func (p PostingList) Intersect(q PostingList) PostingList {
+	if len(p) > len(q) {
+		p, q = q, p
+	}
+	var out PostingList
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i] < q[j]:
+			i++
+		case p[i] > q[j]:
+			j++
+		default:
+			out = append(out, p[i])
+			i, j = i+1, j+1
+		}
+	}
+	return out
+}
+
+// Union returns the elements present in either list.
+func (p PostingList) Union(q PostingList) PostingList {
+	out := make(PostingList, 0, len(p)+len(q))
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i] < q[j]:
+			out = append(out, p[i])
+			i++
+		case p[i] > q[j]:
+			out = append(out, q[j])
+			j++
+		default:
+			out = append(out, p[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, p[i:]...)
+	out = append(out, q[j:]...)
+	return out
+}
+
+// IntersectMany intersects all lists, shortest first for efficiency.
+// It returns nil when lists is empty.
+func IntersectMany(lists []PostingList) PostingList {
+	if len(lists) == 0 {
+		return nil
+	}
+	ordered := make([]PostingList, len(lists))
+	copy(ordered, lists)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	out := ordered[0]
+	for _, l := range ordered[1:] {
+		if len(out) == 0 {
+			return out
+		}
+		out = out.Intersect(l)
+	}
+	return out
+}
+
+// UnionMany unions all lists.
+func UnionMany(lists []PostingList) PostingList {
+	var out PostingList
+	for _, l := range lists {
+		out = out.Union(l)
+	}
+	return out
+}
+
+// MemBytes approximates the heap footprint of the list (4 bytes per entry;
+// length rather than capacity, so the measure is deterministic across
+// build paths).
+func (p PostingList) MemBytes() int64 { return int64(len(p)) * 4 }
+
+// AppendEncoded appends the delta+varint encoding of p to dst and returns
+// the extended buffer. Layout: uvarint count, then uvarint first element and
+// uvarint gaps.
+func (p PostingList) AppendEncoded(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	prev := uint32(0)
+	for i, v := range p {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(v))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(v-prev))
+		}
+		prev = v
+	}
+	return dst
+}
+
+// DecodePostings decodes one posting list from buf, returning the list and
+// the number of bytes consumed.
+func DecodePostings(buf []byte) (PostingList, int, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("invindex: truncated posting count")
+	}
+	off := used
+	out := make(PostingList, 0, n)
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		d, used := binary.Uvarint(buf[off:])
+		if used <= 0 {
+			return nil, 0, fmt.Errorf("invindex: truncated posting %d/%d", i, n)
+		}
+		off += used
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		out = append(out, uint32(prev))
+	}
+	return out, off, nil
+}

@@ -1,0 +1,292 @@
+// Package irtree implements the IR-tree of Cong, Jensen & Wu (VLDB 2009) as
+// used by the paper's IRT baseline: an R-tree whose every node carries an
+// inverted file over the activities (keywords) of the objects below it.
+// During best-first search, a node none of whose activities intersect the
+// query can be pruned before its children are ever touched — the only
+// difference from the plain R-tree baseline.
+//
+// The tree is built once over the full point set (STR packing); the paper's
+// baselines never mutate their indexes after construction.
+package irtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/trajectory"
+)
+
+// Entry is one indexed trajectory point: location, opaque payload ID and
+// the activity set attached to the point.
+type Entry struct {
+	Loc  geo.Point
+	ID   int64
+	Acts trajectory.ActivitySet
+}
+
+// DefaultMaxEntries is the default node fan-out.
+const DefaultMaxEntries = 64
+
+type node struct {
+	leaf     bool
+	bounds   geo.Rect
+	rects    []geo.Rect // child bounds (internal) or entry points (leaf)
+	children []*node
+	entries  []Entry
+	// inv is the node's inverted file: for each activity present in the
+	// subtree, the ascending slot numbers of children (internal nodes) or
+	// entries (leaves) whose subtree/point contains it.
+	inv map[trajectory.ActivityID][]int32
+}
+
+func (n *node) count() int {
+	if n.leaf {
+		return len(n.entries)
+	}
+	return len(n.children)
+}
+
+// Tree is an immutable IR-tree.
+type Tree struct {
+	root   *node
+	size   int
+	height int
+	nodes  int
+}
+
+// Build constructs an IR-tree over entries with the given fan-out using STR
+// packing, then assembles the per-node inverted files bottom-up.
+func Build(entries []Entry, maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	t := &Tree{size: len(entries)}
+	if len(entries) == 0 {
+		t.root = &node{leaf: true, inv: map[trajectory.ActivityID][]int32{}}
+		t.height, t.nodes = 1, 1
+		return t
+	}
+	level := packLeaves(entries, maxEntries)
+	t.nodes = len(level)
+	t.height = 1
+	for len(level) > 1 {
+		level = packInternal(level, maxEntries)
+		t.nodes += len(level)
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+func packLeaves(entries []Entry, maxEntries int) []*node {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	n := len(es)
+	leafCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * maxEntries
+	sort.Slice(es, func(i, j int) bool { return es[i].Loc.X < es[j].Loc.X })
+	var leaves []*node
+	for start := 0; start < n; start += sliceSize {
+		end := min(start+sliceSize, n)
+		slice := es[start:end]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].Loc.Y < slice[j].Loc.Y })
+		for ls := 0; ls < len(slice); ls += maxEntries {
+			le := min(ls+maxEntries, len(slice))
+			nd := &node{leaf: true, inv: map[trajectory.ActivityID][]int32{}}
+			for slot, e := range slice[ls:le] {
+				nd.entries = append(nd.entries, e)
+				nd.rects = append(nd.rects, geo.RectFromPoint(e.Loc))
+				for _, a := range e.Acts {
+					nd.inv[a] = append(nd.inv[a], int32(slot))
+				}
+			}
+			nd.bounds = boundsOf(nd.rects)
+			leaves = append(leaves, nd)
+		}
+	}
+	return leaves
+}
+
+func packInternal(level []*node, maxEntries int) []*node {
+	items := make([]*node, len(level))
+	copy(items, level)
+	n := len(items)
+	parentCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sliceSize := sliceCount * maxEntries
+	sort.Slice(items, func(i, j int) bool { return items[i].bounds.Center().X < items[j].bounds.Center().X })
+	var parents []*node
+	for start := 0; start < n; start += sliceSize {
+		end := min(start+sliceSize, n)
+		slice := items[start:end]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].bounds.Center().Y < slice[j].bounds.Center().Y })
+		for ls := 0; ls < len(slice); ls += maxEntries {
+			le := min(ls+maxEntries, len(slice))
+			p := &node{leaf: false, inv: map[trajectory.ActivityID][]int32{}}
+			for slot, c := range slice[ls:le] {
+				p.children = append(p.children, c)
+				p.rects = append(p.rects, c.bounds)
+				for a := range c.inv {
+					p.inv[a] = append(p.inv[a], int32(slot))
+				}
+			}
+			for a := range p.inv {
+				s := p.inv[a]
+				sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			}
+			p.bounds = boundsOf(p.rects)
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func boundsOf(rs []geo.Rect) geo.Rect {
+	b := rs[0]
+	for _, r := range rs[1:] {
+		b = b.Union(r)
+	}
+	return b
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height.
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the number of nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// MemBytes approximates the heap footprint including the inverted files.
+func (t *Tree) MemBytes() int64 {
+	var total int64
+	var walk func(n *node)
+	walk = func(n *node) {
+		total += 64 + int64(n.count())*48
+		for a, slots := range n.inv {
+			_ = a
+			total += 24 + int64(len(slots))*4
+		}
+		for _, e := range n.entries {
+			total += int64(len(e.Acts)) * 4
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return total
+}
+
+// NearestIter enumerates entries that carry at least one activity of the
+// filter set, in ascending distance from q. An empty filter disables
+// activity pruning (plain NN).
+type NearestIter struct {
+	q       geo.Point
+	filter  trajectory.ActivitySet
+	pq      nnHeap
+	visited int
+}
+
+type nnItem struct {
+	dist  float64
+	node  *node
+	entry Entry
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewNearestIter returns an activity-filtered nearest iterator.
+func (t *Tree) NewNearestIter(q geo.Point, filter trajectory.ActivitySet) *NearestIter {
+	it := &NearestIter{q: q, filter: filter}
+	if t.size > 0 && nodeMatches(t.root, filter) {
+		it.pq = append(it.pq, nnItem{dist: t.root.bounds.MinDist(q), node: t.root})
+	}
+	return it
+}
+
+// nodeMatches consults the node's inverted file: does the subtree contain
+// any activity of the filter?
+func nodeMatches(n *node, filter trajectory.ActivitySet) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, a := range filter {
+		if len(n.inv[a]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// matchingSlots returns the ascending union of the node's inverted-file
+// postings for the filter activities; nil filter selects every slot.
+func matchingSlots(n *node, filter trajectory.ActivitySet) []int32 {
+	if len(filter) == 0 {
+		out := make([]int32, n.count())
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	var out []int32
+	for _, a := range filter {
+		out = append(out, n.inv[a]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+// Next returns the next nearest matching entry.
+func (it *NearestIter) Next() (Entry, float64, bool) {
+	for len(it.pq) > 0 {
+		item := heap.Pop(&it.pq).(nnItem)
+		if item.node == nil {
+			return item.entry, item.dist, true
+		}
+		it.visited++
+		n := item.node
+		for _, slot := range matchingSlots(n, it.filter) {
+			d := n.rects[slot].MinDist(it.q)
+			if n.leaf {
+				heap.Push(&it.pq, nnItem{dist: d, entry: n.entries[slot]})
+			} else {
+				heap.Push(&it.pq, nnItem{dist: d, node: n.children[slot]})
+			}
+		}
+	}
+	return Entry{}, 0, false
+}
+
+// PeekDist returns the lower bound on all unreturned matching entries.
+func (it *NearestIter) PeekDist() (float64, bool) {
+	if len(it.pq) == 0 {
+		return 0, false
+	}
+	return it.pq[0].dist, true
+}
+
+// NodesVisited returns the number of nodes expanded so far.
+func (it *NearestIter) NodesVisited() int { return it.visited }

@@ -1,0 +1,133 @@
+package irtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/trajectory"
+)
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		nActs := 1 + rng.Intn(3)
+		ids := make([]trajectory.ActivityID, nActs)
+		for j := range ids {
+			ids[j] = trajectory.ActivityID(rng.Intn(20))
+		}
+		out[i] = Entry{
+			Loc:  geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+			ID:   int64(i),
+			Acts: trajectory.NewActivitySet(ids...),
+		}
+	}
+	return out
+}
+
+// TestFilteredNearestAgainstBruteForce: the filtered iterator must return
+// exactly the entries carrying at least one filter activity, in ascending
+// distance order.
+func TestFilteredNearestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	entries := randomEntries(rng, 1200)
+	tr := Build(entries, 16)
+	if tr.Len() != len(entries) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		filter := trajectory.NewActivitySet(
+			trajectory.ActivityID(rng.Intn(20)),
+			trajectory.ActivityID(rng.Intn(20)),
+		)
+		type distID struct {
+			d  float64
+			id int64
+		}
+		var want []distID
+		for _, e := range entries {
+			if e.Acts.Intersects(filter) {
+				want = append(want, distID{geo.Dist(q, e.Loc), e.ID})
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i].d < want[j].d })
+
+		it := tr.NewNearestIter(q, filter)
+		for i := 0; ; i++ {
+			e, d, ok := it.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("trial %d: iterator ended after %d of %d", trial, i, len(want))
+				}
+				break
+			}
+			if !e.Acts.Intersects(filter) {
+				t.Fatalf("trial %d: entry %d lacks filter activities", trial, e.ID)
+			}
+			if absF(d-want[i].d) > 1e-9 {
+				t.Fatalf("trial %d pos %d: dist %v, want %v", trial, i, d, want[i].d)
+			}
+		}
+	}
+}
+
+// TestUnfilteredIteratesAll: an empty filter disables pruning.
+func TestUnfilteredIteratesAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	entries := randomEntries(rng, 300)
+	tr := Build(entries, 8)
+	it := tr.NewNearestIter(geo.Point{X: 50, Y: 50}, nil)
+	n := 0
+	prev := -1.0
+	for {
+		_, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d < prev {
+			t.Fatalf("distance regression %v after %v", d, prev)
+		}
+		prev = d
+		n++
+	}
+	if n != len(entries) {
+		t.Fatalf("iterated %d of %d", n, len(entries))
+	}
+	if it.NodesVisited() == 0 {
+		t.Fatal("NodesVisited must be accounted")
+	}
+}
+
+// TestAbsentActivityPrunesRoot: a filter no entry matches must visit
+// nothing at all — the inverted-file pruning the IRT baseline relies on.
+func TestAbsentActivityPrunesRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := Build(randomEntries(rng, 500), 16)
+	it := tr.NewNearestIter(geo.Point{}, trajectory.NewActivitySet(999))
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("absent activity must match nothing")
+	}
+	if it.NodesVisited() != 0 {
+		t.Fatalf("visited %d nodes for an absent activity", it.NodesVisited())
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil, 8)
+	it := tr.NewNearestIter(geo.Point{}, nil)
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree must yield nothing")
+	}
+	if tr.MemBytes() <= 0 || tr.NodeCount() != 1 || tr.Height() != 1 {
+		t.Fatalf("empty-tree accounting: mem=%d nodes=%d height=%d", tr.MemBytes(), tr.NodeCount(), tr.Height())
+	}
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

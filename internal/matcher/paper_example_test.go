@@ -1,0 +1,147 @@
+package matcher
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAlgorithm3PaperExample reproduces Table II of the paper: the query
+// point has activities {a,b,c,d} and the candidate points below; the
+// minimum point match distance is 30, reached after processing p5 and
+// confirmed by the early stop at p7 (d=31 > 30).
+func TestAlgorithm3PaperExample(t *testing.T) {
+	// Bits: a=0, b=1, c=2, d=3.
+	pts := []WeightedPoint{
+		{Dist: 10, Mask: 0b0001}, // p1 {a}
+		{Dist: 11, Mask: 0b0110}, // p2 {b,c}
+		{Dist: 13, Mask: 0b0011}, // p3 {a,b}
+		{Dist: 15, Mask: 0b1000}, // p4 {d}
+		{Dist: 17, Mask: 0b1100}, // p5 {c,d}
+		{Dist: 26, Mask: 0b0111}, // p6 {a,b,c}
+		{Dist: 31, Mask: 0b1111}, // p7 {a,b,c,d}
+	}
+	var m Matcher
+	got := m.MinPointMatchSorted(4, pts)
+	if got != 30 {
+		t.Fatalf("Dmpm = %v, want 30 (Table II)", got)
+	}
+	// Cross-checks with the reference implementations.
+	if dp := m.MinPointMatchDP(4, pts); dp != 30 {
+		t.Fatalf("DP Dmpm = %v, want 30", dp)
+	}
+	if bf := BruteMinPointMatch(4, pts); bf != 30 {
+		t.Fatalf("brute Dmpm = %v, want 30", bf)
+	}
+}
+
+// Figure 1's running example: trajectory Tr1 has 5 points with the listed
+// activities and per-query-point distances from the distance matrix.
+func fig1Tr1Rows() []QueryRow {
+	// Query activities: q1 {a,b}, q2 {c,d}, q3 {e}.
+	// Tr1 points: p11 {d}, p12 {a,c}, p13 {b}, p14 {c}, p15 {d,e}.
+	// Distance matrix rows (q1;q2;q3) × (p11..p15):
+	//   q1: 2  8 16 24 32
+	//   q2: 14  6  3 11 20
+	//   q3: 33 25 17  8  1
+	return []QueryRow{
+		{ // q1 = {a,b}: relevant p12 (a → bit0), p13 (b → bit1)
+			NumActs: 2,
+			Idx:     []int32{1, 2},
+			Dist:    []float64{8, 16},
+			Mask:    []uint32{0b01, 0b10},
+		},
+		{ // q2 = {c,d}: p11 {d}→bit1, p12 {c}→bit0, p14 {c}→bit0, p15 {d}→bit1
+			NumActs: 2,
+			Idx:     []int32{0, 1, 3, 4},
+			Dist:    []float64{14, 6, 11, 20},
+			Mask:    []uint32{0b10, 0b01, 0b01, 0b10},
+		},
+		{ // q3 = {e}: p15 only
+			NumActs: 1,
+			Idx:     []int32{4},
+			Dist:    []float64{1},
+			Mask:    []uint32{0b1},
+		},
+	}
+}
+
+func fig1Tr2Rows() []QueryRow {
+	// Tr2 points: p21 {a}, p22 {b,c}, p23 {c,d}, p24 {e}, p25 {f}.
+	// Distance matrix rows (q1;q2;q3) × (p21..p25):
+	//   q1: 6  8 17 26 31
+	//   q2: 14 13  4 13 20
+	//   q3: 32 28 16  7  3
+	return []QueryRow{
+		{NumActs: 2, Idx: []int32{0, 1}, Dist: []float64{6, 8}, Mask: []uint32{0b01, 0b10}},
+		{NumActs: 2, Idx: []int32{1, 2}, Dist: []float64{13, 4}, Mask: []uint32{0b01, 0b11}},
+		{NumActs: 1, Idx: []int32{3}, Dist: []float64{7}, Mask: []uint32{0b1}},
+	}
+}
+
+// TestMinMatchFigure1 verifies the paper's claim that Dmm(Q,Tr1)=45 (24 for
+// q1 via {p12,p13}, 20 for q2 via {p11,p12}, 1 for q3 via {p15}) and
+// Dmm(Q,Tr2)=25, making Tr2 the better match.
+func TestMinMatchFigure1(t *testing.T) {
+	var m Matcher
+	d1 := m.MinMatch(fig1Tr1Rows(), Inf)
+	if d1 != 45 {
+		t.Fatalf("Dmm(Q,Tr1) = %v, want 45", d1)
+	}
+	d2 := m.MinMatch(fig1Tr2Rows(), Inf)
+	if d2 != 25 {
+		t.Fatalf("Dmm(Q,Tr2) = %v, want 25", d2)
+	}
+	if d2 >= d1 {
+		t.Fatalf("expected Tr2 more similar than Tr1 (got %v vs %v)", d2, d1)
+	}
+}
+
+// TestAlgorithm4PaperExample reproduces Table III: the order-sensitive
+// match distance between Q and Tr1 is G(3,5) = 56, with intermediate
+// G(1,3)=24 and G(2,5)=55.
+func TestAlgorithm4PaperExample(t *testing.T) {
+	var m Matcher
+	rows := fig1Tr1Rows()
+	got := m.MinOrderMatch(5, rows, Inf)
+	if got != 56 {
+		t.Fatalf("Dmom(Q,Tr1) = %v, want 56 (Table III)", got)
+	}
+	if naive := m.MinOrderMatchNaive(5, fig1Tr1Rows(), Inf); naive != 56 {
+		t.Fatalf("naive Dmom = %v, want 56", naive)
+	}
+	if bf := BruteMinOrderMatch(5, fig1Tr1Rows()); bf != 56 {
+		t.Fatalf("brute Dmom = %v, want 56", bf)
+	}
+
+	// Tr2's minimum order-sensitive match equals its minimum match
+	// (the paper notes Tr2.MOM(Q) = Tr2.MM(Q) = 25).
+	if got := m.MinOrderMatch(5, fig1Tr2Rows(), Inf); got != 25 {
+		t.Fatalf("Dmom(Q,Tr2) = %v, want 25", got)
+	}
+}
+
+// TestLemma3 checks Dmm ≤ Dmom on the running example (the bound the
+// order-sensitive search relies on for candidate retrieval).
+func TestLemma3(t *testing.T) {
+	var m Matcher
+	for name, rows := range map[string][]QueryRow{"Tr1": fig1Tr1Rows(), "Tr2": fig1Tr2Rows()} {
+		mm := m.MinMatch(rows, Inf)
+		mom := m.MinOrderMatch(5, rows, Inf)
+		if mm > mom {
+			t.Errorf("%s: Dmm %v > Dmom %v violates Lemma 3", name, mm, mom)
+		}
+	}
+}
+
+// TestAlgorithm4Threshold verifies the early-abort path: with a threshold
+// below the first row's best value the computation reports Inf.
+func TestAlgorithm4Threshold(t *testing.T) {
+	var m Matcher
+	if got := m.MinOrderMatch(5, fig1Tr1Rows(), 10); !math.IsInf(got, 1) {
+		t.Fatalf("thresholded Dmom = %v, want +Inf", got)
+	}
+	// A threshold just above the true value must not cut off the result.
+	if got := m.MinOrderMatch(5, fig1Tr1Rows(), 56); got != 56 {
+		t.Fatalf("Dmom with threshold 56 = %v, want 56", got)
+	}
+}

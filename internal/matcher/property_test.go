@@ -1,0 +1,226 @@
+package matcher
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomPoints builds a small random candidate set over nq activities.
+func randomPoints(rng *rand.Rand, nq, n int) []WeightedPoint {
+	full := uint32(1)<<uint(nq) - 1
+	pts := make([]WeightedPoint, n)
+	for i := range pts {
+		pts[i] = WeightedPoint{
+			Dist: float64(rng.Intn(100)) + rng.Float64(),
+			Mask: rng.Uint32() & full,
+		}
+	}
+	return pts
+}
+
+// TestAlgorithm3AgainstReferences: Algorithm 3, the incremental DP, and
+// brute-force enumeration must agree on random inputs.
+func TestAlgorithm3AgainstReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	var m Matcher
+	for trial := 0; trial < 3000; trial++ {
+		nq := 1 + rng.Intn(4)
+		n := rng.Intn(10)
+		pts := randomPoints(rng, nq, n)
+		want := BruteMinPointMatch(nq, pts)
+		if got := m.MinPointMatchDP(nq, pts); !eqInf(got, want) {
+			t.Fatalf("trial %d: DP %v, brute %v (nq=%d pts=%v)", trial, got, want, nq, pts)
+		}
+		if got := m.MinPointMatch(nq, pts); !eqInf(got, want) {
+			t.Fatalf("trial %d: Alg3 %v, brute %v (nq=%d pts=%v)", trial, got, want, nq, pts)
+		}
+	}
+}
+
+// TestAlgorithm3WideQuery exercises the map-backed fallback (nq > 16).
+func TestAlgorithm3WideQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var m Matcher
+	nq := 18
+	full := uint32(1)<<uint(nq) - 1
+	// A point covering everything far away plus partial cheap points.
+	pts := []WeightedPoint{
+		{Dist: 100, Mask: full},
+		{Dist: 1, Mask: 0x2AAAA & full},
+		{Dist: 2, Mask: 0x15555 & full},
+	}
+	got := m.MinPointMatch(nq, pts)
+	if got != 3 {
+		t.Fatalf("wide Dmpm = %v, want 3", got)
+	}
+	for trial := 0; trial < 50; trial++ {
+		pts := randomPoints(rng, nq, 6)
+		want := BruteMinPointMatch(nq, pts)
+		if got := m.MinPointMatch(nq, pts); !eqInf(got, want) {
+			t.Fatalf("trial %d: wide Alg3 %v, brute %v", trial, got, want)
+		}
+	}
+}
+
+func randomRows(rng *rand.Rand, m, n int) []QueryRow {
+	rows := make([]QueryRow, m)
+	for i := range rows {
+		nq := 1 + rng.Intn(3)
+		full := uint32(1)<<uint(nq) - 1
+		row := QueryRow{NumActs: nq}
+		for j := 0; j < n; j++ {
+			mask := rng.Uint32() & full
+			if mask == 0 || rng.Intn(3) == 0 {
+				continue
+			}
+			row.Idx = append(row.Idx, int32(j))
+			row.Dist = append(row.Dist, float64(rng.Intn(50))+rng.Float64())
+			row.Mask = append(row.Mask, mask)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// TestAlgorithm4AgainstReferences: the production DP, the literal
+// Algorithm 4, and brute-force enumeration must agree on random inputs.
+func TestAlgorithm4AgainstReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var m Matcher
+	for trial := 0; trial < 1500; trial++ {
+		nQ := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(7)
+		rows := randomRows(rng, nQ, n)
+		want := BruteMinOrderMatch(n, cloneRows(rows))
+		naive := m.MinOrderMatchNaive(n, cloneRows(rows), Inf)
+		got := m.MinOrderMatch(n, cloneRows(rows), Inf)
+		if !eqInf(naive, want) {
+			t.Fatalf("trial %d: naive %v, brute %v (n=%d rows=%+v)", trial, naive, want, n, rows)
+		}
+		if !eqInf(got, want) {
+			t.Fatalf("trial %d: fast %v, brute %v (n=%d rows=%+v)", trial, got, want, n, rows)
+		}
+	}
+}
+
+// TestLemmaOneAndThree: Dmm = Σ Dmpm (Lemma 1 by construction) and
+// Dmm ≤ Dmom (Lemma 3) on random inputs.
+func TestLemmaOneAndThree(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	var m Matcher
+	for trial := 0; trial < 1000; trial++ {
+		nQ := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(8)
+		rows := randomRows(rng, nQ, n)
+		mm := m.MinMatch(cloneRows(rows), Inf)
+		var manual float64
+		for _, row := range rows {
+			pts := make([]WeightedPoint, len(row.Idx))
+			for i := range row.Idx {
+				pts[i] = WeightedPoint{Dist: row.Dist[i], Mask: row.Mask[i]}
+			}
+			d := m.MinPointMatch(row.NumActs, pts)
+			manual += d
+		}
+		if !eqInf(mm, manual) {
+			t.Fatalf("trial %d: Dmm %v != Σ Dmpm %v", trial, mm, manual)
+		}
+		mom := m.MinOrderMatch(n, cloneRows(rows), Inf)
+		if mm > mom+1e-9 {
+			t.Fatalf("trial %d: Dmm %v > Dmom %v (Lemma 3)", trial, mm, mom)
+		}
+	}
+}
+
+// TestMIBNeverFalseRejects: whenever a finite order-sensitive match exists,
+// the MIB filter must pass the candidate (no false dismissals).
+func TestMIBNeverFalseRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2000; trial++ {
+		nQ := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(7)
+		rows := randomRows(rng, nQ, n)
+		if BruteMinOrderMatch(n, cloneRows(rows)) < Inf && !CheckMIB(rows) {
+			t.Fatalf("trial %d: MIB rejected a matchable candidate %+v", trial, rows)
+		}
+	}
+}
+
+// TestLemma4Monotonicity: the DP matrix G is non-increasing along columns
+// and non-decreasing along rows, which the early-termination rules rely on.
+func TestLemma4Monotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var m Matcher
+	for trial := 0; trial < 300; trial++ {
+		nQ := 1 + rng.Intn(3)
+		n := 2 + rng.Intn(6)
+		rows := randomRows(rng, nQ, n)
+		// Recompute G row by row via the naive method on prefixes.
+		prevRow := make([]float64, n)
+		for j := range prevRow {
+			prevRow[j] = m.MinOrderMatchNaive(j+1, cloneRows(rows[:1]), Inf)
+		}
+		for j := 1; j < n; j++ {
+			if prevRow[j] > prevRow[j-1]+1e-9 {
+				t.Fatalf("trial %d: G(1,·) increased along columns: %v", trial, prevRow)
+			}
+		}
+		for i := 2; i <= nQ; i++ {
+			cur := make([]float64, n)
+			for j := range cur {
+				cur[j] = m.MinOrderMatchNaive(j+1, cloneRows(rows[:i]), Inf)
+			}
+			for j := 0; j < n; j++ {
+				if cur[j] < prevRow[j]-1e-9 {
+					t.Fatalf("trial %d: G(%d,%d) < G(%d,%d)", trial, i, j, i-1, j)
+				}
+			}
+			prevRow = cur
+		}
+	}
+}
+
+// TestThresholdNeverChangesFiniteResults: a threshold above the true value
+// must not alter it; a threshold below must force +Inf.
+func TestThresholdNeverChangesFiniteResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	var m Matcher
+	for trial := 0; trial < 800; trial++ {
+		nQ := 1 + rng.Intn(3)
+		n := 1 + rng.Intn(6)
+		rows := randomRows(rng, nQ, n)
+		want := m.MinOrderMatch(n, cloneRows(rows), Inf)
+		if want == Inf {
+			continue
+		}
+		if got := m.MinOrderMatch(n, cloneRows(rows), want+1); got != want {
+			t.Fatalf("trial %d: threshold %v changed result %v -> %v", trial, want+1, want, got)
+		}
+		if got := m.MinOrderMatch(n, cloneRows(rows), want/2-1); got != Inf && got != want {
+			// A low threshold may still return the exact value when no row
+			// exceeds it mid-way; it must never return anything else.
+			t.Fatalf("trial %d: low threshold produced %v (true %v)", trial, got, want)
+		}
+	}
+}
+
+func cloneRows(rows []QueryRow) []QueryRow {
+	out := make([]QueryRow, len(rows))
+	for i, r := range rows {
+		out[i] = QueryRow{
+			NumActs: r.NumActs,
+			Idx:     append([]int32(nil), r.Idx...),
+			Dist:    append([]float64(nil), r.Dist...),
+			Mask:    append([]uint32(nil), r.Mask...),
+		}
+	}
+	return out
+}
+
+func eqInf(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	return math.Abs(a-b) < 1e-9
+}

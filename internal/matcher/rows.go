@@ -1,0 +1,68 @@
+package matcher
+
+import (
+	"sort"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// BuildRowsFromPoints builds the per-query-point candidate rows for a
+// trajectory whose points are fully in memory — the path used by the R-tree
+// and IR-tree baselines, which fetch whole trajectories.
+func BuildRowsFromPoints(qpts []query.Point, pts []trajectory.Point) []QueryRow {
+	rows := make([]QueryRow, len(qpts))
+	for qi, qp := range qpts {
+		row := QueryRow{NumActs: len(qp.Acts)}
+		for pi, p := range pts {
+			mask := p.Acts.MaskAgainst(qp.Acts)
+			if mask == 0 {
+				continue
+			}
+			row.Idx = append(row.Idx, int32(pi))
+			row.Dist = append(row.Dist, geo.Dist(qp.Loc, p.Loc))
+			row.Mask = append(row.Mask, mask)
+		}
+		rows[qi] = row
+	}
+	return rows
+}
+
+// BuildRowsFromPostings builds candidate rows from Activity Posting Lists —
+// the path used by GAT and IL, which read only the relevant point indexes
+// from disk. postings returns the ascending point indexes of the trajectory
+// that carry activity a (nil when absent); coords are the trajectory's point
+// locations.
+func BuildRowsFromPostings(
+	qpts []query.Point,
+	postings func(a trajectory.ActivityID) []uint32,
+	coords []geo.Point,
+) []QueryRow {
+	rows := make([]QueryRow, len(qpts))
+	for qi, qp := range qpts {
+		row := QueryRow{NumActs: len(qp.Acts)}
+		masks := make(map[int32]uint32)
+		for b, a := range qp.Acts {
+			for _, idx := range postings(a) {
+				masks[int32(idx)] |= 1 << uint(b)
+			}
+		}
+		if len(masks) > 0 {
+			idxs := make([]int32, 0, len(masks))
+			for idx := range masks {
+				idxs = append(idxs, idx)
+			}
+			sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+			row.Idx = idxs
+			row.Dist = make([]float64, len(idxs))
+			row.Mask = make([]uint32, len(idxs))
+			for i, idx := range idxs {
+				row.Dist[i] = geo.Dist(qp.Loc, coords[idx])
+				row.Mask[i] = masks[idx]
+			}
+		}
+		rows[qi] = row
+	}
+	return rows
+}

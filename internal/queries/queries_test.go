@@ -1,0 +1,132 @@
+package queries
+
+import (
+	"testing"
+
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/trajectory"
+)
+
+func ds(t testing.TB) *trajectory.Dataset {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Config{
+		Name: "q", Seed: 2, NumTrajectories: 400, NumVenues: 800,
+		VocabSize: 300, RegionW: 40, RegionH: 40, Clusters: 8, TrajLenMean: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestGenerateShapeAndValidity(t *testing.T) {
+	d := ds(t)
+	qs, err := Generate(d, Config{NumQueries: 30, NumPoints: 4, ActsPerPoint: 3, DiameterKm: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 30 {
+		t.Fatalf("generated %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("query %d invalid: %v", i, err)
+		}
+		if q.Len() != 4 {
+			t.Fatalf("query %d has %d points", i, q.Len())
+		}
+		for _, p := range q.Pts {
+			if len(p.Acts) != 3 {
+				t.Fatalf("query %d point has %d acts", i, len(p.Acts))
+			}
+		}
+		if d := q.Diameter(); d > 8.0001 {
+			t.Fatalf("query %d diameter %v exceeds budget", i, d)
+		}
+	}
+}
+
+func TestDiameterSteering(t *testing.T) {
+	d := ds(t)
+	small, err := Generate(d, Config{NumQueries: 20, NumPoints: 3, ActsPerPoint: 2, DiameterKm: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Generate(d, Config{NumQueries: 20, NumPoints: 3, ActsPerPoint: 2, DiameterKm: 25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumS, sumL float64
+	for _, q := range small {
+		sumS += q.Diameter()
+	}
+	for _, q := range large {
+		sumL += q.Diameter()
+	}
+	if sumL <= sumS {
+		t.Fatalf("diameter steering failed: avg %v (δ=4) vs %v (δ=25)", sumS/20, sumL/20)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := ds(t)
+	a, err := Generate(d, Config{NumQueries: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(d, Config{NumQueries: 10, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if len(a[i].Pts) != len(b[i].Pts) {
+			t.Fatalf("query %d shape differs", i)
+		}
+		for j := range a[i].Pts {
+			if a[i].Pts[j].Loc != b[i].Pts[j].Loc || !a[i].Pts[j].Acts.Equal(b[i].Pts[j].Acts) {
+				t.Fatalf("query %d point %d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+// TestSourceTrajectoryMatches: by construction the source trajectory
+// contains every selected activity, so at least one ATSQ match exists.
+func TestSourceTrajectoryMatches(t *testing.T) {
+	d := ds(t)
+	qs, err := Generate(d, Config{NumQueries: 25, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		all := q.AllActs()
+		found := false
+		for _, tr := range d.Trajs {
+			if tr.ActivityUnion().ContainsAll(all) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("query %d has no match in the dataset", i)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.NumPoints != DefaultNumPoints || c.ActsPerPoint != DefaultActsPerPoint ||
+		c.DiameterKm != DefaultDiameterKm || c.NumQueries <= 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	un := Config{DiameterKm: -1}.WithDefaults()
+	if un.DiameterKm >= 0 {
+		t.Fatal("negative diameter must remain unconstrained")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	if _, err := Generate(&trajectory.Dataset{}, Config{NumQueries: 1}); err == nil {
+		t.Fatal("empty dataset must be rejected")
+	}
+}

@@ -1,0 +1,108 @@
+// Package query defines the query and result types shared by the GAT engine
+// and the three baselines, plus the per-search statistics every engine
+// reports so experiments can attribute costs (candidates retrieved, sketch
+// rejections, disk page reads, ...).
+package query
+
+import (
+	"fmt"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/trajectory"
+)
+
+// Point is one query location q with its desired activity set q.Φ.
+type Point struct {
+	Loc  geo.Point
+	Acts trajectory.ActivitySet
+}
+
+// Query is a sequence of query locations. For ATSQ the order is irrelevant;
+// for OATSQ the order is the one matches must comply with.
+type Query struct {
+	Pts []Point
+}
+
+// New builds a query from alternating locations and activity sets.
+func New(pts ...Point) Query { return Query{Pts: pts} }
+
+// Len returns the number of query locations |Q|.
+func (q Query) Len() int { return len(q.Pts) }
+
+// AllActs returns the union Q.Φ of all query activity sets — the set a
+// trajectory must fully contain to be a match.
+func (q Query) AllActs() trajectory.ActivitySet {
+	var u trajectory.ActivitySet
+	for _, p := range q.Pts {
+		u = u.Union(p.Acts)
+	}
+	return u
+}
+
+// Diameter returns δ(Q), the maximum pairwise distance between query
+// locations (Section VII).
+func (q Query) Diameter() float64 {
+	var d float64
+	for i := 0; i < len(q.Pts); i++ {
+		for j := i + 1; j < len(q.Pts); j++ {
+			if v := geo.Dist(q.Pts[i].Loc, q.Pts[j].Loc); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// Validate reports structural problems: no points, empty activity sets, or
+// oversized activity sets (Algorithm 3's subset DP uses 32-bit masks).
+func (q Query) Validate() error {
+	if len(q.Pts) == 0 {
+		return fmt.Errorf("query: no query points")
+	}
+	for i, p := range q.Pts {
+		if len(p.Acts) == 0 {
+			return fmt.Errorf("query: point %d has no activities", i)
+		}
+		if len(p.Acts) > 32 {
+			return fmt.Errorf("query: point %d has %d activities (max 32)", i, len(p.Acts))
+		}
+		for k := 1; k < len(p.Acts); k++ {
+			if p.Acts[k-1] >= p.Acts[k] {
+				return fmt.Errorf("query: point %d activity set not normalized", i)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is one entry of a top-k answer.
+type Result struct {
+	ID   trajectory.TrajID
+	Dist float64
+}
+
+// SearchStats records where a query's work went. Engines reset it per search.
+type SearchStats struct {
+	Candidates     int // distinct trajectories retrieved as candidates
+	SketchRejected int // candidates rejected by the TAS check
+	APLRejected    int // candidates rejected after fetching the APL
+	OrderRejected  int // candidates rejected by the MIB order filter (OATSQ)
+	Scored         int // candidates whose match distance was computed
+	PQPops         int // priority-queue pops during candidate retrieval
+	Batches        int // λ-batches of Algorithm 1
+	PageReads      int // simulated disk pages read
+	NodesVisited   int // R-tree / IR-tree nodes visited (baselines)
+}
+
+// Add accumulates other into s (used when averaging over a workload).
+func (s *SearchStats) Add(other SearchStats) {
+	s.Candidates += other.Candidates
+	s.SketchRejected += other.SketchRejected
+	s.APLRejected += other.APLRejected
+	s.OrderRejected += other.OrderRejected
+	s.Scored += other.Scored
+	s.PQPops += other.PQPops
+	s.Batches += other.Batches
+	s.PageReads += other.PageReads
+	s.NodesVisited += other.NodesVisited
+}

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/trajectory"
+)
+
+func TestQueryValidate(t *testing.T) {
+	ok := Query{Pts: []Point{{Loc: geo.Point{}, Acts: trajectory.NewActivitySet(1, 2)}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	if err := (Query{}).Validate(); err == nil {
+		t.Fatal("empty query must be rejected")
+	}
+	noActs := Query{Pts: []Point{{Loc: geo.Point{}}}}
+	if err := noActs.Validate(); err == nil {
+		t.Fatal("empty activity set must be rejected")
+	}
+	unsorted := Query{Pts: []Point{{Loc: geo.Point{}, Acts: trajectory.ActivitySet{3, 1}}}}
+	if err := unsorted.Validate(); err == nil {
+		t.Fatal("unnormalized activity set must be rejected")
+	}
+	wide := make(trajectory.ActivitySet, 33)
+	for i := range wide {
+		wide[i] = trajectory.ActivityID(i)
+	}
+	tooWide := Query{Pts: []Point{{Loc: geo.Point{}, Acts: wide}}}
+	if err := tooWide.Validate(); err == nil {
+		t.Fatal("33 activities must be rejected")
+	}
+}
+
+func TestAllActsAndDiameter(t *testing.T) {
+	q := Query{Pts: []Point{
+		{Loc: geo.Point{X: 0, Y: 0}, Acts: trajectory.NewActivitySet(3, 1)},
+		{Loc: geo.Point{X: 3, Y: 4}, Acts: trajectory.NewActivitySet(1, 7)},
+	}}
+	if !q.AllActs().Equal(trajectory.NewActivitySet(1, 3, 7)) {
+		t.Fatalf("AllActs = %v", q.AllActs())
+	}
+	if q.Diameter() != 5 {
+		t.Fatalf("Diameter = %v", q.Diameter())
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+// TestTopKAgainstSort: TopK must return exactly the k smallest results
+// under (Dist, ID) order, for random inputs.
+func TestTopKAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(10)
+		n := rng.Intn(40)
+		tk := NewTopK(k)
+		var all []Result
+		for i := 0; i < n; i++ {
+			r := Result{ID: trajectory.TrajID(rng.Intn(30)), Dist: float64(rng.Intn(10))}
+			all = append(all, r)
+			tk.Offer(r)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Dist != all[j].Dist {
+				return all[i].Dist < all[j].Dist
+			}
+			return all[i].ID < all[j].ID
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := tk.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("trial %d: results %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestTopKThreshold(t *testing.T) {
+	tk := NewTopK(2)
+	if !math.IsInf(tk.Threshold(), 1) || tk.Full() {
+		t.Fatal("empty TopK must have +Inf threshold")
+	}
+	tk.Offer(Result{ID: 1, Dist: 5})
+	if !math.IsInf(tk.Threshold(), 1) {
+		t.Fatal("underfull TopK must keep +Inf threshold")
+	}
+	tk.Offer(Result{ID: 2, Dist: 3})
+	if tk.Threshold() != 5 || !tk.Full() {
+		t.Fatalf("threshold = %v", tk.Threshold())
+	}
+	tk.Offer(Result{ID: 3, Dist: 4})
+	if tk.Threshold() != 4 {
+		t.Fatalf("threshold after improvement = %v", tk.Threshold())
+	}
+	// Infinite results are ignored.
+	tk.Offer(Result{ID: 4, Dist: math.Inf(1)})
+	if tk.Threshold() != 4 {
+		t.Fatal("Inf result must be ignored")
+	}
+}
+
+func TestSearchStatsAdd(t *testing.T) {
+	a := SearchStats{Candidates: 1, Scored: 2, PageReads: 3}
+	a.Add(SearchStats{Candidates: 10, SketchRejected: 5, PageReads: 7})
+	if a.Candidates != 11 || a.SketchRejected != 5 || a.Scored != 2 || a.PageReads != 10 {
+		t.Fatalf("Add = %+v", a)
+	}
+}

@@ -1,0 +1,103 @@
+package query
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// TopK maintains the k best (smallest-distance) results seen so far and the
+// pruning threshold MMD_k — the k-th smallest match distance, +Inf until k
+// results have been collected. Ties are broken by trajectory ID so engine
+// outputs are deterministic.
+type TopK struct {
+	k int
+	h resultMaxHeap
+}
+
+// NewTopK returns an empty collector for the best k results (k >= 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k}
+}
+
+type resultMaxHeap []Result
+
+func (h resultMaxHeap) Len() int { return len(h) }
+func (h resultMaxHeap) Less(i, j int) bool {
+	if h[i].Dist != h[j].Dist {
+		return h[i].Dist > h[j].Dist
+	}
+	return h[i].ID > h[j].ID
+}
+func (h resultMaxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMaxHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultMaxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+// Offer submits a result; it is kept only if it beats the current k-th best
+// under (Dist, ID) order. Infinite distances are ignored.
+func (t *TopK) Offer(r Result) {
+	if math.IsInf(r.Dist, 1) {
+		return
+	}
+	if len(t.h) < t.k {
+		heap.Push(&t.h, r)
+		return
+	}
+	worst := t.h[0]
+	if r.Dist < worst.Dist || (r.Dist == worst.Dist && r.ID < worst.ID) {
+		t.h[0] = r
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Full reports whether k results have been collected.
+func (t *TopK) Full() bool { return len(t.h) >= t.k }
+
+// Threshold returns MMD_k: the current k-th smallest distance, or +Inf when
+// fewer than k results are held.
+func (t *TopK) Threshold() float64 {
+	if len(t.h) < t.k {
+		return math.Inf(1)
+	}
+	return t.h[0].Dist
+}
+
+// Results returns the collected results in ascending (Dist, ID) order.
+func (t *TopK) Results() []Result {
+	out := make([]Result, len(t.h))
+	copy(out, t.h)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Engine is the contract every search method (GAT and the three baselines)
+// implements. Engines are not safe for concurrent use; the harness runs one
+// workload per engine at a time.
+type Engine interface {
+	// Name returns the short method name used in experiment output
+	// ("GAT", "IL", "RT", "IRT").
+	Name() string
+	// SearchATSQ answers an activity trajectory similarity query.
+	SearchATSQ(q Query, k int) ([]Result, error)
+	// SearchOATSQ answers the order-sensitive variant.
+	SearchOATSQ(q Query, k int) ([]Result, error)
+	// LastStats reports where the previous search's work went.
+	LastStats() SearchStats
+	// MemBytes reports the engine's in-memory index footprint (excluding
+	// the shared on-disk trajectory store).
+	MemBytes() int64
+}

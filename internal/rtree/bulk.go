@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+)
+
+// BulkLoad builds a tree from entries using Sort-Tile-Recursive (STR)
+// packing, which yields near-100% node fill and good query clustering for
+// static point sets — exactly the workload of the RT baseline, whose index
+// is built once over the whole check-in dataset.
+func BulkLoad(entries []Entry, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(entries) == 0 {
+		return t
+	}
+	leaves := strPack(entries, maxEntries)
+	t.size = len(entries)
+	t.nodes = 0
+	level := make([]*node, len(leaves))
+	copy(level, leaves)
+	t.nodes += len(leaves)
+	t.height = 1
+	for len(level) > 1 {
+		level = packLevel(level, maxEntries)
+		t.nodes += len(level)
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// strPack tiles entries into leaf nodes.
+func strPack(entries []Entry, maxEntries int) []*node {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	n := len(es)
+	leafCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * maxEntries
+
+	sort.Slice(es, func(i, j int) bool {
+		return es[i].Rect.Center().X < es[j].Rect.Center().X
+	})
+	var leaves []*node
+	for start := 0; start < n; start += sliceSize {
+		end := min(start+sliceSize, n)
+		slice := es[start:end]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].Rect.Center().Y < slice[j].Rect.Center().Y
+		})
+		for ls := 0; ls < len(slice); ls += maxEntries {
+			le := min(ls+maxEntries, len(slice))
+			leaf := &node{leaf: true}
+			for _, e := range slice[ls:le] {
+				leaf.rects = append(leaf.rects, e.Rect)
+				leaf.ids = append(leaf.ids, e.ID)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packLevel groups nodes of one level into parents using the same STR tiling.
+func packLevel(level []*node, maxEntries int) []*node {
+	type nb struct {
+		n *node
+		b [2]float64 // center
+	}
+	items := make([]nb, len(level))
+	for i, nd := range level {
+		c := nd.bounds().Center()
+		items[i] = nb{n: nd, b: [2]float64{c.X, c.Y}}
+	}
+	n := len(items)
+	parentCount := (n + maxEntries - 1) / maxEntries
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sliceSize := sliceCount * maxEntries
+
+	sort.Slice(items, func(i, j int) bool { return items[i].b[0] < items[j].b[0] })
+	var parents []*node
+	for start := 0; start < n; start += sliceSize {
+		end := min(start+sliceSize, n)
+		slice := items[start:end]
+		sort.Slice(slice, func(i, j int) bool { return slice[i].b[1] < slice[j].b[1] })
+		for ls := 0; ls < len(slice); ls += maxEntries {
+			le := min(ls+maxEntries, len(slice))
+			p := &node{leaf: false}
+			for _, it := range slice[ls:le] {
+				p.rects = append(p.rects, it.n.bounds())
+				p.children = append(p.children, it.n)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}

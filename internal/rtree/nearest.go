@@ -1,0 +1,82 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"activitytraj/internal/geo"
+)
+
+// NearestIter enumerates entries in ascending distance from a query point
+// using best-first traversal (Hjaltason & Samet's incremental NN). The RT
+// baseline runs one iterator per query location and interleaves them.
+type NearestIter struct {
+	tree    *Tree
+	q       geo.Point
+	pq      nnHeap
+	visited int // nodes popped, for the NodesVisited statistic
+}
+
+type nnItem struct {
+	dist  float64
+	node  *node // nil for a leaf entry
+	entry Entry
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewNearestIter returns an iterator over t's entries ordered by distance
+// from q. The iterator is invalidated by tree mutation.
+func (t *Tree) NewNearestIter(q geo.Point) *NearestIter {
+	it := &NearestIter{tree: t, q: q}
+	if t.size > 0 {
+		it.pq = append(it.pq, nnItem{dist: t.root.bounds().MinDist(q), node: t.root})
+	}
+	return it
+}
+
+// Next returns the next nearest entry and its distance. ok is false when
+// the tree is exhausted.
+func (it *NearestIter) Next() (e Entry, dist float64, ok bool) {
+	for len(it.pq) > 0 {
+		item := heap.Pop(&it.pq).(nnItem)
+		if item.node == nil {
+			return item.entry, item.dist, true
+		}
+		it.visited++
+		n := item.node
+		for i := 0; i < n.count(); i++ {
+			d := n.rects[i].MinDist(it.q)
+			if n.leaf {
+				heap.Push(&it.pq, nnItem{dist: d, entry: Entry{Rect: n.rects[i], ID: n.ids[i]}})
+			} else {
+				heap.Push(&it.pq, nnItem{dist: d, node: n.children[i]})
+			}
+		}
+	}
+	return Entry{}, 0, false
+}
+
+// PeekDist returns the lower bound on the distance of every entry not yet
+// returned — the search-radius r_i the termination test of the RT baseline
+// needs. ok is false when the iterator is exhausted (no entries remain).
+func (it *NearestIter) PeekDist() (float64, bool) {
+	if len(it.pq) == 0 {
+		return 0, false
+	}
+	return it.pq[0].dist, true
+}
+
+// NodesVisited returns how many internal/leaf nodes the iterator expanded.
+func (it *NearestIter) NodesVisited() int { return it.visited }

@@ -1,0 +1,352 @@
+// Package rtree implements an R-tree (Guttman, SIGMOD 1984) over planar
+// rectangles — the index behind the paper's RT baseline, which "treats the
+// points of all trajectories as a point set and indexes these points using
+// an R-tree". The implementation provides dynamic insertion with quadratic
+// split, deletion with condense-and-reinsert, rectangle search, STR bulk
+// loading, and an incremental best-first nearest-neighbour iterator
+// (Hjaltason & Samet), which the k-BCT style search of Chen et al. needs.
+package rtree
+
+import (
+	"fmt"
+
+	"activitytraj/internal/geo"
+)
+
+// Entry is one indexed item: a rectangle (a degenerate one for points) and
+// an opaque 64-bit payload, typically an encoded (trajectory, point) pair.
+type Entry struct {
+	Rect geo.Rect
+	ID   int64
+}
+
+// DefaultMaxEntries is the default node fan-out.
+const DefaultMaxEntries = 64
+
+type node struct {
+	leaf     bool
+	rects    []geo.Rect
+	children []*node // non-leaf
+	ids      []int64 // leaf
+}
+
+func (n *node) count() int { return len(n.rects) }
+
+func (n *node) bounds() geo.Rect {
+	r := n.rects[0]
+	for _, s := range n.rects[1:] {
+		r = r.Union(s)
+	}
+	return r
+}
+
+// Tree is an R-tree. The zero value is not usable; construct with New.
+// Tree is not safe for concurrent mutation; concurrent reads are safe.
+type Tree struct {
+	root       *node
+	maxEntries int
+	minEntries int
+	size       int
+	height     int
+	nodes      int
+	path       []pathEntry // scratch for Insert
+}
+
+// New returns an empty tree with the given maximum node fan-out
+// (minimum fill is max/2 -, per Guttman's recommendation m = M/2).
+func New(maxEntries int) *Tree {
+	if maxEntries < 4 {
+		maxEntries = 4
+	}
+	return &Tree{
+		root:       &node{leaf: true},
+		maxEntries: maxEntries,
+		minEntries: maxEntries * 2 / 5, // R*-style 40% fill floor
+		height:     1,
+		nodes:      1,
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a lone leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int { return t.nodes }
+
+// MemBytes approximates the heap footprint of the tree structure.
+func (t *Tree) MemBytes() int64 {
+	// Per rect: 32 bytes; per child pointer or id: 8 bytes; node header ~48.
+	var n int64
+	var walk func(nd *node)
+	walk = func(nd *node) {
+		n += 48 + int64(nd.count())*40
+		for _, c := range nd.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return n
+}
+
+// Insert adds e to the tree.
+func (t *Tree) Insert(e Entry) {
+	t.path = t.path[:0]
+	leaf := t.chooseLeaf(e.Rect)
+	leaf.rects = append(leaf.rects, e.Rect)
+	leaf.ids = append(leaf.ids, e.ID)
+	t.size++
+
+	// Split overflowing nodes bottom-up along the recorded insertion path.
+	n := leaf
+	for i := len(t.path) - 1; i >= 0; i-- {
+		parent, ci := t.path[i].n, t.path[i].child
+		if n.count() > t.maxEntries {
+			a, b := t.splitNode(n)
+			parent.children[ci] = a
+			parent.rects[ci] = a.bounds()
+			parent.children = append(parent.children, b)
+			parent.rects = append(parent.rects, b.bounds())
+			t.nodes++
+		} else {
+			parent.rects[ci] = n.bounds()
+		}
+		n = parent
+	}
+	if n.count() > t.maxEntries { // n is the root
+		a, b := t.splitNode(n)
+		t.root = &node{
+			leaf:     false,
+			rects:    []geo.Rect{a.bounds(), b.bounds()},
+			children: []*node{a, b},
+		}
+		t.nodes += 2
+		t.height++
+	}
+}
+
+type pathEntry struct {
+	n     *node
+	child int
+}
+
+// chooseLeaf descends to the leaf whose bounding rectangle needs the least
+// enlargement to include r (ties by smaller area), recording the path.
+func (t *Tree) chooseLeaf(r geo.Rect) *node {
+	n := t.root
+	for !n.leaf {
+		best := 0
+		bestEnl := n.rects[0].Enlargement(r)
+		bestArea := n.rects[0].Area()
+		for i := 1; i < n.count(); i++ {
+			enl := n.rects[i].Enlargement(r)
+			area := n.rects[i].Area()
+			if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		t.path = append(t.path, pathEntry{n, best})
+		n = n.children[best]
+	}
+	return n
+}
+
+// splitNode performs Guttman's quadratic split, returning two nodes.
+func (t *Tree) splitNode(n *node) (*node, *node) {
+	// Pick seeds: the pair wasting the most area if grouped together.
+	seedA, seedB, worst := 0, 1, -1.0
+	for i := 0; i < n.count(); i++ {
+		for j := i + 1; j < n.count(); j++ {
+			d := n.rects[i].Union(n.rects[j]).Area() - n.rects[i].Area() - n.rects[j].Area()
+			if d > worst {
+				worst, seedA, seedB = d, i, j
+			}
+		}
+	}
+	a := &node{leaf: n.leaf}
+	b := &node{leaf: n.leaf}
+	assign := func(dst *node, i int) {
+		dst.rects = append(dst.rects, n.rects[i])
+		if n.leaf {
+			dst.ids = append(dst.ids, n.ids[i])
+		} else {
+			dst.children = append(dst.children, n.children[i])
+		}
+	}
+	assign(a, seedA)
+	assign(b, seedB)
+	ra, rb := n.rects[seedA], n.rects[seedB]
+	remaining := make([]int, 0, n.count()-2)
+	for i := 0; i < n.count(); i++ {
+		if i != seedA && i != seedB {
+			remaining = append(remaining, i)
+		}
+	}
+	for len(remaining) > 0 {
+		// Force-assign when one group must take everything to reach min fill.
+		if a.count()+len(remaining) == t.minEntries {
+			for _, i := range remaining {
+				assign(a, i)
+				ra = ra.Union(n.rects[i])
+			}
+			break
+		}
+		if b.count()+len(remaining) == t.minEntries {
+			for _, i := range remaining {
+				assign(b, i)
+				rb = rb.Union(n.rects[i])
+			}
+			break
+		}
+		// Pick the entry with the greatest preference for one group.
+		bestIdx, bestDiff, bestToA := -1, -1.0, true
+		for k, i := range remaining {
+			da := ra.Enlargement(n.rects[i])
+			db := rb.Enlargement(n.rects[i])
+			diff := da - db
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > bestDiff {
+				bestDiff = diff
+				bestIdx = k
+				bestToA = da < db || (da == db && ra.Area() < rb.Area())
+			}
+		}
+		i := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		if bestToA {
+			assign(a, i)
+			ra = ra.Union(n.rects[i])
+		} else {
+			assign(b, i)
+			rb = rb.Union(n.rects[i])
+		}
+	}
+	return a, b
+}
+
+// Search invokes fn for every entry whose rectangle intersects r; fn
+// returning false stops the search early.
+func (t *Tree) Search(r geo.Rect, fn func(Entry) bool) {
+	t.search(t.root, r, fn)
+}
+
+func (t *Tree) search(n *node, r geo.Rect, fn func(Entry) bool) bool {
+	for i := 0; i < n.count(); i++ {
+		if !n.rects[i].Intersects(r) {
+			continue
+		}
+		if n.leaf {
+			if !fn(Entry{Rect: n.rects[i], ID: n.ids[i]}) {
+				return false
+			}
+		} else if !t.search(n.children[i], r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes one entry equal to e (same rectangle and ID). It returns
+// false when no such entry exists. Underflowing nodes are condensed and
+// their orphaned entries reinserted, per Guttman.
+func (t *Tree) Delete(e Entry) bool {
+	var orphans []Entry
+	ok := t.deleteRec(t.root, e, &orphans)
+	if !ok {
+		return false
+	}
+	t.size--
+	// Shrink the root while it has a single child.
+	for !t.root.leaf && t.root.count() == 1 {
+		t.root = t.root.children[0]
+		t.height--
+		t.nodes--
+	}
+	for _, o := range orphans {
+		t.size-- // Insert will re-increment
+		t.Insert(o)
+	}
+	return true
+}
+
+func (t *Tree) deleteRec(n *node, e Entry, orphans *[]Entry) bool {
+	if n.leaf {
+		for i := 0; i < n.count(); i++ {
+			if n.ids[i] == e.ID && n.rects[i] == e.Rect {
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.ids = append(n.ids[:i], n.ids[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n.count(); i++ {
+		if !n.rects[i].ContainsRect(e.Rect) {
+			continue
+		}
+		if t.deleteRec(n.children[i], e, orphans) {
+			c := n.children[i]
+			if c.count() < t.minEntries && n.count() > 1 {
+				// Condense: orphan the undersized child's entries.
+				t.collectEntries(c, orphans)
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.children = append(n.children[:i], n.children[i+1:]...)
+			} else if c.count() > 0 {
+				n.rects[i] = c.bounds()
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) collectEntries(n *node, out *[]Entry) {
+	t.nodes--
+	if n.leaf {
+		for i := 0; i < n.count(); i++ {
+			*out = append(*out, Entry{Rect: n.rects[i], ID: n.ids[i]})
+		}
+		return
+	}
+	for _, c := range n.children {
+		t.collectEntries(c, out)
+	}
+}
+
+// Validate checks structural invariants (bounding rectangles contain their
+// subtrees, fill factors respected below the root, leaves at equal depth).
+// It is used by tests and returns the first violation.
+func (t *Tree) Validate() error {
+	leafDepth := -1
+	var walk func(n *node, depth int, isRoot bool) error
+	walk = func(n *node, depth int, isRoot bool) error {
+		if !isRoot && n.count() > t.maxEntries {
+			return fmt.Errorf("rtree: node with %d entries exceeds max %d", n.count(), t.maxEntries)
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("rtree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		for i, c := range n.children {
+			if c.count() == 0 {
+				return fmt.Errorf("rtree: empty internal child")
+			}
+			if !n.rects[i].ContainsRect(c.bounds()) {
+				return fmt.Errorf("rtree: parent rect %+v does not contain child bounds %+v", n.rects[i], c.bounds())
+			}
+			if err := walk(c, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t.root, 0, true)
+}

@@ -1,0 +1,208 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"activitytraj/internal/geo"
+)
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		p := geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		out[i] = Entry{Rect: geo.RectFromPoint(p), ID: int64(i)}
+	}
+	return out
+}
+
+func bruteSearch(entries []Entry, r geo.Rect) map[int64]bool {
+	out := map[int64]bool{}
+	for _, e := range entries {
+		if e.Rect.Intersects(r) {
+			out[e.ID] = true
+		}
+	}
+	return out
+}
+
+func TestInsertSearchAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	entries := randomEntries(rng, 2000)
+	tr := New(16)
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	if tr.Len() != len(entries) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree after inserts: %v", err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		r := geo.NewRect(rng.Float64()*100, rng.Float64()*100, rng.Float64()*100, rng.Float64()*100)
+		want := bruteSearch(entries, r)
+		got := map[int64]bool{}
+		tr.Search(r, func(e Entry) bool { got[e.ID] = true; return true })
+		if len(got) != len(want) {
+			t.Fatalf("search %+v: got %d, want %d", r, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("search %+v missing %d", r, id)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := BulkLoad(randomEntries(rng, 500), 16)
+	count := 0
+	tr.Search(geo.NewRect(0, 0, 100, 100), func(Entry) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBulkLoadEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := randomEntries(rng, 3000)
+	tr := BulkLoad(entries, 32)
+	if tr.Len() != len(entries) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid bulk-loaded tree: %v", err)
+	}
+	r := geo.NewRect(20, 20, 40, 45)
+	want := bruteSearch(entries, r)
+	got := 0
+	tr.Search(r, func(e Entry) bool {
+		if !want[e.ID] {
+			t.Fatalf("unexpected entry %d", e.ID)
+		}
+		got++
+		return true
+	})
+	if got != len(want) {
+		t.Fatalf("got %d, want %d", got, len(want))
+	}
+	if tr.Height() < 2 || tr.NodeCount() < 10 {
+		t.Fatalf("suspicious structure: height=%d nodes=%d", tr.Height(), tr.NodeCount())
+	}
+	if tr.MemBytes() <= 0 {
+		t.Fatal("MemBytes must be positive")
+	}
+}
+
+// TestNearestIterOrder: the incremental NN iterator must return every entry
+// exactly once, in non-decreasing distance order, matching brute force.
+func TestNearestIterOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	entries := randomEntries(rng, 1500)
+	tr := BulkLoad(entries, 16)
+	q := geo.Point{X: 50, Y: 50}
+
+	type distID struct {
+		d  float64
+		id int64
+	}
+	want := make([]distID, len(entries))
+	for i, e := range entries {
+		want[i] = distID{e.Rect.MinDist(q), e.ID}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i].d < want[j].d })
+
+	it := tr.NewNearestIter(q)
+	prev := -1.0
+	for i := 0; ; i++ {
+		if pd, ok := it.PeekDist(); ok && pd < prev {
+			t.Fatalf("peek %v below last returned %v", pd, prev)
+		}
+		e, d, ok := it.Next()
+		if !ok {
+			if i != len(entries) {
+				t.Fatalf("iterator ended after %d of %d", i, len(entries))
+			}
+			break
+		}
+		if d < prev {
+			t.Fatalf("distance regression %v after %v", d, prev)
+		}
+		prev = d
+		if absF(d-want[i].d) > 1e-9 {
+			t.Fatalf("entry %d: distance %v, want %v", i, d, want[i].d)
+		}
+		_ = e
+	}
+	if it.NodesVisited() == 0 {
+		t.Fatal("NodesVisited must be accounted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	entries := randomEntries(rng, 800)
+	tr := New(8)
+	for _, e := range entries {
+		tr.Insert(e)
+	}
+	// Delete a random half, verifying presence/absence via search.
+	perm := rng.Perm(len(entries))
+	for _, i := range perm[:400] {
+		if !tr.Delete(entries[i]) {
+			t.Fatalf("delete of %d failed", entries[i].ID)
+		}
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len after deletes = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("invalid tree after deletes: %v", err)
+	}
+	deleted := map[int64]bool{}
+	for _, i := range perm[:400] {
+		deleted[entries[i].ID] = true
+	}
+	found := map[int64]bool{}
+	tr.Search(geo.NewRect(-1, -1, 101, 101), func(e Entry) bool { found[e.ID] = true; return true })
+	for _, e := range entries {
+		if deleted[e.ID] == found[e.ID] {
+			t.Fatalf("entry %d: deleted=%v found=%v", e.ID, deleted[e.ID], found[e.ID])
+		}
+	}
+	// Deleting a non-existent entry returns false.
+	if tr.Delete(Entry{Rect: geo.RectFromPoint(geo.Point{X: -50, Y: -50}), ID: 999999}) {
+		t.Fatal("phantom delete must fail")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(8)
+	it := tr.NewNearestIter(geo.Point{})
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("empty tree must yield nothing")
+	}
+	if _, ok := it.PeekDist(); ok {
+		t.Fatal("empty tree has no frontier")
+	}
+	tr.Search(geo.NewRect(0, 0, 1, 1), func(Entry) bool {
+		t.Fatal("empty tree search must not invoke callback")
+		return true
+	})
+	if BulkLoad(nil, 8).Len() != 0 {
+		t.Fatal("empty bulk load")
+	}
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+// Package sketch implements the Trajectory Activity Sketch (TAS), GAT
+// component (iii). A sketch summarizes the set of activity IDs a trajectory
+// contains as M compact intervals over the frequency-ranked ID space. The
+// partition is optimal for the paper's objective (minimum total interval
+// size): split at the M−1 largest gaps between consecutive IDs. A sketch
+// admits false positives (an ID inside an interval need not be present) but
+// never false dismissals, so it is a safe pre-filter before fetching the
+// Activity Posting List from disk.
+package sketch
+
+import (
+	"sort"
+
+	"activitytraj/internal/trajectory"
+)
+
+// Interval is a closed ID range [Lo, Hi].
+type Interval struct {
+	Lo, Hi trajectory.ActivityID
+}
+
+// Sketch is an ordered, non-overlapping list of intervals. The zero value
+// is the sketch of the empty activity set (it covers nothing).
+type Sketch []Interval
+
+// Build returns the optimal M-interval sketch of the given activity ID set.
+// ids need not be sorted; m must be >= 1. When the trajectory has at most m
+// distinct IDs the sketch is exact (one degenerate interval per ID).
+func Build(ids trajectory.ActivitySet, m int) Sketch {
+	if m < 1 {
+		m = 1
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := ids.Clone()
+	sorted.Normalize()
+	if len(sorted) <= m {
+		out := make(Sketch, len(sorted))
+		for i, id := range sorted {
+			out[i] = Interval{Lo: id, Hi: id}
+		}
+		return out
+	}
+	// Choose the m-1 largest gaps between consecutive IDs as split points.
+	// Relocating any chosen split to a smaller gap increases the summed
+	// interval size, so this greedy choice is the optimal partition.
+	type gap struct {
+		pos  int // split before sorted[pos]
+		size uint32
+	}
+	gaps := make([]gap, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		gaps = append(gaps, gap{pos: i, size: uint32(sorted[i] - sorted[i-1])})
+	}
+	sort.Slice(gaps, func(i, j int) bool {
+		if gaps[i].size != gaps[j].size {
+			return gaps[i].size > gaps[j].size
+		}
+		return gaps[i].pos < gaps[j].pos // deterministic tie-break
+	})
+	splits := make([]int, 0, m-1)
+	for _, g := range gaps[:m-1] {
+		splits = append(splits, g.pos)
+	}
+	sort.Ints(splits)
+
+	out := make(Sketch, 0, m)
+	start := 0
+	for _, s := range splits {
+		out = append(out, Interval{Lo: sorted[start], Hi: sorted[s-1]})
+		start = s
+	}
+	out = append(out, Interval{Lo: sorted[start], Hi: sorted[len(sorted)-1]})
+	return out
+}
+
+// Covers reports whether id falls inside one of the sketch's intervals.
+func (s Sketch) Covers(id trajectory.ActivityID) bool {
+	// Intervals are sorted; binary-search the first interval with Hi >= id.
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid].Hi < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo].Lo <= id
+}
+
+// CoversAll reports whether every id is covered — the candidate-validation
+// check of Section V-C ("∀α ∈ Q.Φ, α.ID ∈ TAS(Tr)").
+func (s Sketch) CoversAll(ids trajectory.ActivitySet) bool {
+	for _, id := range ids {
+		if !s.Covers(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the summed interval size Σ|Ia| (the minimized objective).
+func (s Sketch) Size() uint64 {
+	var n uint64
+	for _, iv := range s {
+		n += uint64(iv.Hi - iv.Lo)
+	}
+	return n
+}
+
+// MemBytes returns the footprint of the sketch: the paper charges 8 bytes
+// per interval (two integers).
+func (s Sketch) MemBytes() int64 { return int64(len(s)) * 8 }

@@ -1,0 +1,135 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"activitytraj/internal/trajectory"
+)
+
+func TestBuildExactWhenSmall(t *testing.T) {
+	s := Build(trajectory.NewActivitySet(4, 9, 30), 4)
+	if len(s) != 3 {
+		t.Fatalf("sketch = %v, want 3 degenerate intervals", s)
+	}
+	for _, iv := range s {
+		if iv.Lo != iv.Hi {
+			t.Fatalf("interval %v not degenerate", iv)
+		}
+	}
+	if !s.Covers(9) || s.Covers(10) {
+		t.Fatal("exact sketch must not admit false positives")
+	}
+}
+
+func TestBuildSplitsLargestGaps(t *testing.T) {
+	// IDs 1,2,3, 100,101, 900 with M=3 → splits at the two largest gaps
+	// (3→100 and 101→900): intervals [1,3][100,101][900,900].
+	s := Build(trajectory.NewActivitySet(1, 2, 3, 100, 101, 900), 3)
+	want := Sketch{{1, 3}, {100, 101}, {900, 900}}
+	if len(s) != len(want) {
+		t.Fatalf("sketch = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("sketch = %v, want %v", s, want)
+		}
+	}
+	if s.Size() != 2+1+0 {
+		t.Fatalf("size = %d, want 3", s.Size())
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if s := Build(nil, 4); s != nil {
+		t.Fatalf("empty set sketch = %v", s)
+	}
+	var empty Sketch
+	if empty.Covers(3) {
+		t.Fatal("empty sketch covers nothing")
+	}
+	if !empty.CoversAll(nil) {
+		t.Fatal("empty requirement is vacuously covered")
+	}
+	if s := Build(trajectory.NewActivitySet(7), 0); len(s) != 1 {
+		t.Fatalf("m<1 must clamp to 1, got %v", s)
+	}
+}
+
+// TestNoFalseDismissals is the sketch's contract: every ID present in the
+// input must be covered (false positives allowed, dismissals never).
+func TestNoFalseDismissals(t *testing.T) {
+	f := func(bs []byte, m8 uint8) bool {
+		ids := make([]trajectory.ActivityID, len(bs))
+		for i, b := range bs {
+			ids[i] = trajectory.ActivityID(b) * 17 % 1024
+		}
+		set := trajectory.NewActivitySet(ids...)
+		m := int(m8%8) + 1
+		s := Build(set, m)
+		if len(set) > 0 && len(s) > m {
+			return false // must respect the interval budget
+		}
+		return s.CoversAll(set)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimalPartition: the greedy largest-gap split minimizes the summed
+// interval size; verify against brute force over all split choices.
+func TestOptimalPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		ids := make([]trajectory.ActivityID, n)
+		for i := range ids {
+			ids[i] = trajectory.ActivityID(rng.Intn(500))
+		}
+		set := trajectory.NewActivitySet(ids...)
+		if len(set) < 2 {
+			continue
+		}
+		m := 1 + rng.Intn(4)
+		got := Build(set, m).Size()
+		best := bruteBestPartition(set, m)
+		if got != best {
+			t.Fatalf("set %v m=%d: greedy %d, brute %d", set, m, got, best)
+		}
+	}
+}
+
+// bruteBestPartition enumerates all ways to cut the sorted IDs into at most
+// m runs and returns the minimal summed interval size.
+func bruteBestPartition(sorted trajectory.ActivitySet, m int) uint64 {
+	n := len(sorted)
+	if n <= m {
+		return 0
+	}
+	// Choose m-1 split positions among n-1 gaps.
+	best := ^uint64(0)
+	var rec func(start, splitsLeft int, acc uint64)
+	rec = func(start, splitsLeft int, acc uint64) {
+		if splitsLeft == 0 {
+			total := acc + uint64(sorted[n-1]-sorted[start])
+			if total < best {
+				best = total
+			}
+			return
+		}
+		for cut := start + 1; cut <= n-splitsLeft; cut++ {
+			rec(cut, splitsLeft-1, acc+uint64(sorted[cut-1]-sorted[start]))
+		}
+	}
+	rec(0, m-1, 0)
+	return best
+}
+
+func TestMemBytes(t *testing.T) {
+	s := Build(trajectory.NewActivitySet(1, 50, 900, 1000), 2)
+	if s.MemBytes() != 16 {
+		t.Fatalf("2 intervals must cost 16 bytes, got %d", s.MemBytes())
+	}
+}

@@ -1,0 +1,123 @@
+package storage
+
+import (
+	"container/list"
+	"sync"
+)
+
+// PoolStats counts page traffic through a BufferPool. Touched counts every
+// logical page access; Misses counts the subset served by the underlying
+// pager (physical reads). Experiments report Touched as the deterministic
+// "page reads" metric and Misses for cache behaviour.
+type PoolStats struct {
+	Touched uint64
+	Hits    uint64
+	Misses  uint64
+	Evicted uint64
+}
+
+// Sub returns s - old, for per-query accounting via snapshots.
+func (s PoolStats) Sub(old PoolStats) PoolStats {
+	return PoolStats{
+		Touched: s.Touched - old.Touched,
+		Hits:    s.Hits - old.Hits,
+		Misses:  s.Misses - old.Misses,
+		Evicted: s.Evicted - old.Evicted,
+	}
+}
+
+// BufferPool is a fixed-capacity LRU page cache in front of a Pager.
+type BufferPool struct {
+	mu       sync.Mutex
+	pager    Pager
+	capacity int
+	lru      *list.List // front = most recent; values are *frame
+	frames   map[uint32]*list.Element
+	stats    PoolStats
+}
+
+type frame struct {
+	id   uint32
+	data [PageSize]byte
+}
+
+// NewBufferPool returns a pool caching up to capacity pages of pager.
+// capacity must be >= 1.
+func NewBufferPool(pager Pager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		pager:    pager,
+		capacity: capacity,
+		lru:      list.New(),
+		frames:   make(map[uint32]*list.Element, capacity),
+	}
+}
+
+// Get returns the content of page id. The returned slice aliases the cached
+// frame and is valid until the next pool operation; callers must copy out
+// anything they keep and must not modify it.
+func (bp *BufferPool) Get(id uint32) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.stats.Touched++
+	if el, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).data[:], nil
+	}
+	bp.stats.Misses++
+	var fr *frame
+	if bp.lru.Len() >= bp.capacity {
+		el := bp.lru.Back()
+		fr = el.Value.(*frame)
+		delete(bp.frames, fr.id)
+		bp.lru.Remove(el)
+		bp.stats.Evicted++
+	} else {
+		fr = &frame{}
+	}
+	if err := bp.pager.ReadPage(id, fr.data[:]); err != nil {
+		return nil, err
+	}
+	fr.id = id
+	bp.frames[id] = bp.lru.PushFront(fr)
+	return fr.data[:], nil
+}
+
+// Invalidate drops page id from the cache (used after rewrites).
+func (bp *BufferPool) Invalidate(id uint32) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if el, ok := bp.frames[id]; ok {
+		delete(bp.frames, id)
+		bp.lru.Remove(el)
+	}
+}
+
+// Reset empties the cache and zeroes statistics.
+func (bp *BufferPool) Reset() {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	bp.lru.Init()
+	bp.frames = make(map[uint32]*list.Element, bp.capacity)
+	bp.stats = PoolStats{}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// Resident returns the number of pages currently cached.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.lru.Len()
+}

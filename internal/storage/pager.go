@@ -1,0 +1,142 @@
+// Package storage simulates the secondary-storage tier of the paper's
+// memory/disk split. The GAT index keeps its Activity Posting Lists, the low
+// levels of the Hierarchical Inverted Cell List, and the raw trajectories on
+// disk; this package provides the page-granular store those components live
+// in: a Pager (in-memory or file-backed), an LRU BufferPool with hit/miss
+// accounting, and a Store that packs variable-length segments across pages.
+//
+// All engines in this repository read trajectory data through the same
+// Store, so the page-read counts reported in experiments isolate how much
+// each index structure touches "disk".
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size in bytes (a common DBMS default).
+const PageSize = 4096
+
+// Pager is random access to fixed-size pages identified by dense IDs.
+type Pager interface {
+	// ReadPage fills buf (len PageSize) with the content of page id.
+	ReadPage(id uint32, buf []byte) error
+	// WritePage stores data (len <= PageSize) as page id, which must be
+	// either an existing page or the next unallocated ID.
+	WritePage(id uint32, data []byte) error
+	// PageCount returns the number of allocated pages.
+	PageCount() uint32
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemPager is an in-memory Pager, useful for tests and for fully
+// deterministic benchmarks (no filesystem variance).
+type MemPager struct {
+	mu    sync.Mutex
+	pages [][]byte
+}
+
+// NewMemPager returns an empty in-memory pager.
+func NewMemPager() *MemPager { return &MemPager{} }
+
+// ReadPage implements Pager.
+func (m *MemPager) ReadPage(id uint32, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, len(m.pages))
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Pager.
+func (m *MemPager) WritePage(id uint32, data []byte) error {
+	if len(data) > PageSize {
+		return fmt.Errorf("storage: page write of %d bytes exceeds page size", len(data))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case int(id) < len(m.pages):
+		copy(m.pages[id], data)
+	case int(id) == len(m.pages):
+		p := make([]byte, PageSize)
+		copy(p, data)
+		m.pages = append(m.pages, p)
+	default:
+		return fmt.Errorf("storage: non-contiguous page write %d (have %d)", id, len(m.pages))
+	}
+	return nil
+}
+
+// PageCount implements Pager.
+func (m *MemPager) PageCount() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return uint32(len(m.pages))
+}
+
+// Close implements Pager.
+func (m *MemPager) Close() error { return nil }
+
+// FilePager is a Pager backed by a regular file.
+type FilePager struct {
+	mu    sync.Mutex
+	f     *os.File
+	count uint32
+}
+
+// NewFilePager creates (truncating) a file-backed pager at path.
+func NewFilePager(path string) (*FilePager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open pager file: %w", err)
+	}
+	return &FilePager{f: f}, nil
+}
+
+// ReadPage implements Pager.
+func (p *FilePager) ReadPage(id uint32, buf []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.count {
+		return fmt.Errorf("storage: read of unallocated page %d (have %d)", id, p.count)
+	}
+	_, err := p.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// WritePage implements Pager.
+func (p *FilePager) WritePage(id uint32, data []byte) error {
+	if len(data) > PageSize {
+		return fmt.Errorf("storage: page write of %d bytes exceeds page size", len(data))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id > p.count {
+		return fmt.Errorf("storage: non-contiguous page write %d (have %d)", id, p.count)
+	}
+	var page [PageSize]byte
+	copy(page[:], data)
+	if _, err := p.f.WriteAt(page[:], int64(id)*PageSize); err != nil {
+		return err
+	}
+	if id == p.count {
+		p.count++
+	}
+	return nil
+}
+
+// PageCount implements Pager.
+func (p *FilePager) PageCount() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Close implements Pager.
+func (p *FilePager) Close() error { return p.f.Close() }

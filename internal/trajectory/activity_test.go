@@ -1,0 +1,141 @@
+package trajectory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewActivitySet(t *testing.T) {
+	s := NewActivitySet(5, 1, 5, 3, 1)
+	want := ActivitySet{1, 3, 5}
+	if !s.Equal(want) {
+		t.Fatalf("NewActivitySet = %v, want %v", s, want)
+	}
+}
+
+func TestSetPredicates(t *testing.T) {
+	s := NewActivitySet(1, 3, 5, 9)
+	if !s.Contains(3) || s.Contains(4) {
+		t.Fatal("Contains misclassified")
+	}
+	if !s.ContainsAll(NewActivitySet(1, 9)) || s.ContainsAll(NewActivitySet(1, 2)) {
+		t.Fatal("ContainsAll misclassified")
+	}
+	if !s.ContainsAll(nil) {
+		t.Fatal("every set contains the empty set")
+	}
+	if !s.Intersects(NewActivitySet(4, 5)) || s.Intersects(NewActivitySet(2, 4)) {
+		t.Fatal("Intersects misclassified")
+	}
+}
+
+// Reference implementations over maps for property testing.
+func refUnion(a, b ActivitySet) map[ActivityID]bool {
+	m := map[ActivityID]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		m[x] = true
+	}
+	return m
+}
+
+func setFromBytes(bs []byte) ActivitySet {
+	ids := make([]ActivityID, len(bs))
+	for i, b := range bs {
+		ids[i] = ActivityID(b % 64)
+	}
+	return NewActivitySet(ids...)
+}
+
+func TestUnionIntersectProperty(t *testing.T) {
+	f := func(ab, bb []byte) bool {
+		a, b := setFromBytes(ab), setFromBytes(bb)
+		u := a.Union(b)
+		ref := refUnion(a, b)
+		if len(u) != len(ref) {
+			return false
+		}
+		for _, x := range u {
+			if !ref[x] {
+				return false
+			}
+		}
+		// Intersection: every member in both; symmetric difference covered
+		// by union length check.
+		in := a.Intersect(b)
+		for _, x := range in {
+			if !a.Contains(x) || !b.Contains(x) {
+				return false
+			}
+		}
+		for _, x := range a {
+			if b.Contains(x) && !in.Contains(x) {
+				return false
+			}
+		}
+		// Normalized output invariants.
+		for i := 1; i < len(u); i++ {
+			if u[i-1] >= u[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskAgainst(t *testing.T) {
+	q := NewActivitySet(2, 5, 9)
+	cases := []struct {
+		set  ActivitySet
+		want uint32
+	}{
+		{NewActivitySet(2), 0b001},
+		{NewActivitySet(5), 0b010},
+		{NewActivitySet(9), 0b100},
+		{NewActivitySet(2, 9), 0b101},
+		{NewActivitySet(1, 3, 8), 0},
+		{NewActivitySet(2, 5, 9, 11), 0b111},
+		{nil, 0},
+	}
+	for _, c := range cases {
+		if got := c.set.MaskAgainst(q); got != c.want {
+			t.Errorf("%v.MaskAgainst(%v) = %b, want %b", c.set, q, got, c.want)
+		}
+	}
+}
+
+// TestMaskAgainstProperty: bit b is set iff query[b] is a member.
+func TestMaskAgainstProperty(t *testing.T) {
+	f := func(sb, qb []byte) bool {
+		s := setFromBytes(sb)
+		q := setFromBytes(qb)
+		if len(q) > 32 {
+			q = q[:32]
+		}
+		mask := s.MaskAgainst(q)
+		for b, id := range q {
+			has := mask&(1<<uint(b)) != 0
+			if has != s.Contains(id) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := NewActivitySet(1, 2, 3)
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone must not share backing storage")
+	}
+}

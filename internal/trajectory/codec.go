@@ -1,0 +1,225 @@
+package trajectory
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary dataset format (all integers varint-encoded unless noted):
+//
+//	magic "ATRJ" | version u8
+//	name: len + bytes
+//	vocab: count, then per activity: name len + bytes, freq
+//	trajectories: count, then per trajectory:
+//	    point count, then per point:
+//	        x float64 (fixed 8 bytes), y float64 (fixed 8 bytes),
+//	        activity count, delta-encoded sorted activity IDs
+//
+// The codec is self-contained (stdlib only) and round-trips exactly.
+
+const (
+	datasetMagic   = "ATRJ"
+	datasetVersion = 1
+)
+
+// ErrBadFormat is returned when decoding input that is not a dataset.
+var ErrBadFormat = errors.New("trajectory: bad dataset format")
+
+// WriteTo serializes the dataset to w and returns the byte count written.
+func (d *Dataset) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	bw := cw.w.(*bufio.Writer)
+
+	if _, err := bw.WriteString(datasetMagic); err != nil {
+		return cw.n, err
+	}
+	cw.n += int64(len(datasetMagic))
+	if err := bw.WriteByte(datasetVersion); err != nil {
+		return cw.n, err
+	}
+	cw.n++
+
+	writeString(cw, d.Name)
+	if d.Vocab == nil {
+		writeUvarint(cw, 0)
+	} else {
+		writeUvarint(cw, uint64(d.Vocab.Size()))
+		for id, name := range d.Vocab.names {
+			writeString(cw, name)
+			writeUvarint(cw, uint64(d.Vocab.freqs[id]))
+		}
+	}
+	writeUvarint(cw, uint64(len(d.Trajs)))
+	for _, tr := range d.Trajs {
+		writeUvarint(cw, uint64(len(tr.Pts)))
+		for _, p := range tr.Pts {
+			writeFloat64(cw, p.Loc.X)
+			writeFloat64(cw, p.Loc.Y)
+			writeUvarint(cw, uint64(len(p.Acts)))
+			prev := uint64(0)
+			for i, a := range p.Acts {
+				if i == 0 {
+					writeUvarint(cw, uint64(a))
+				} else {
+					writeUvarint(cw, uint64(a)-prev)
+				}
+				prev = uint64(a)
+			}
+		}
+	}
+	if cw.err != nil {
+		return cw.n, cw.err
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadDataset decodes a dataset written by WriteTo.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(datasetMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != datasetMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != datasetVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, ver)
+	}
+
+	d := &Dataset{}
+	if d.Name, err = readString(br); err != nil {
+		return nil, err
+	}
+	vcount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if vcount > 0 {
+		v := &Vocabulary{
+			names:  make([]string, vcount),
+			byName: make(map[string]ActivityID, vcount),
+			freqs:  make([]int64, vcount),
+		}
+		for i := uint64(0); i < vcount; i++ {
+			name, err := readString(br)
+			if err != nil {
+				return nil, err
+			}
+			freq, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			v.names[i] = name
+			v.byName[name] = ActivityID(i)
+			v.freqs[i] = int64(freq)
+		}
+		d.Vocab = v
+	}
+	tcount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	d.Trajs = make([]Trajectory, tcount)
+	for ti := uint64(0); ti < tcount; ti++ {
+		pcount, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]Point, pcount)
+		for pi := uint64(0); pi < pcount; pi++ {
+			x, err := readFloat64(br)
+			if err != nil {
+				return nil, err
+			}
+			y, err := readFloat64(br)
+			if err != nil {
+				return nil, err
+			}
+			acount, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			acts := make(ActivitySet, acount)
+			prev := uint64(0)
+			for ai := uint64(0); ai < acount; ai++ {
+				delta, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				if ai == 0 {
+					prev = delta
+				} else {
+					prev += delta
+				}
+				acts[ai] = ActivityID(prev)
+			}
+			pts[pi] = Point{Loc: geoPoint(x, y), Acts: acts}
+		}
+		d.Trajs[ti] = Trajectory{ID: TrajID(ti), Pts: pts}
+	}
+	return d, nil
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countingWriter) write(p []byte) {
+	if cw.err != nil {
+		return
+	}
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func writeUvarint(cw *countingWriter, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	cw.write(buf[:n])
+}
+
+func writeString(cw *countingWriter, s string) {
+	writeUvarint(cw, uint64(len(s)))
+	cw.write([]byte(s))
+}
+
+func writeFloat64(cw *countingWriter, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	cw.write(buf[:])
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("%w: string length %d", ErrBadFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readFloat64(br *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

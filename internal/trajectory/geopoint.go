@@ -1,0 +1,6 @@
+package trajectory
+
+import "activitytraj/internal/geo"
+
+// geoPoint is a tiny constructor kept separate so codec.go reads cleanly.
+func geoPoint(x, y float64) geo.Point { return geo.Point{X: x, Y: y} }

@@ -1,0 +1,178 @@
+package trajectory
+
+import (
+	"bytes"
+	"testing"
+
+	"activitytraj/internal/geo"
+)
+
+func buildVocab(t *testing.T) *Vocabulary {
+	t.Helper()
+	b := NewVocabularyBuilder()
+	b.AddN("food", 100)
+	b.AddN("coffee", 50)
+	b.AddN("museum", 50) // tie with coffee: name order breaks it
+	b.AddN("opera", 1)
+	return b.Build()
+}
+
+func TestVocabularyFrequencyRanking(t *testing.T) {
+	v := buildVocab(t)
+	if v.Size() != 4 {
+		t.Fatalf("size = %d, want 4", v.Size())
+	}
+	if id := v.MustID("food"); id != 0 {
+		t.Fatalf("most frequent activity must get ID 0, got %d", id)
+	}
+	// coffee < museum lexicographically at equal frequency.
+	if v.MustID("coffee") != 1 || v.MustID("museum") != 2 {
+		t.Fatalf("tie-break wrong: coffee=%d museum=%d", v.MustID("coffee"), v.MustID("museum"))
+	}
+	if v.MustID("opera") != 3 {
+		t.Fatalf("least frequent last, got %d", v.MustID("opera"))
+	}
+	if v.Freq(0) != 100 || v.Name(3) != "opera" {
+		t.Fatal("freq/name lookup broken")
+	}
+	if _, ok := v.ID("unknown"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+	s := v.SetFromNames("opera", "food", "nope")
+	if !s.Equal(NewActivitySet(0, 3)) {
+		t.Fatalf("SetFromNames = %v", s)
+	}
+}
+
+func sampleDataset(t *testing.T) *Dataset {
+	t.Helper()
+	v := buildVocab(t)
+	mk := func(x, y float64, names ...string) Point {
+		return Point{Loc: geo.Point{X: x, Y: y}, Acts: v.SetFromNames(names...)}
+	}
+	return &Dataset{
+		Name:  "sample",
+		Vocab: v,
+		Trajs: []Trajectory{
+			{ID: 0, Pts: []Point{mk(0, 0, "food"), mk(1, 1, "coffee", "museum"), mk(2, 2)}},
+			{ID: 1, Pts: []Point{mk(5, 5, "opera", "food"), mk(6, 6, "food")}},
+		},
+	}
+}
+
+func TestDatasetStats(t *testing.T) {
+	ds := sampleDataset(t)
+	st := ds.Stats()
+	if st.Trajectories != 2 || st.Points != 5 || st.ActivityTokens != 6 || st.DistinctActs != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgPointsPerTraj != 2.5 || st.AvgActsPerPoint != 1.2 {
+		t.Fatalf("averages = %+v", st)
+	}
+}
+
+func TestActivityUnionAndBounds(t *testing.T) {
+	ds := sampleDataset(t)
+	u := ds.Trajs[0].ActivityUnion()
+	if !u.Equal(NewActivitySet(0, 1, 2)) {
+		t.Fatalf("union = %v", u)
+	}
+	b := ds.Trajs[1].Bounds()
+	if b != geo.NewRect(5, 5, 6, 6) {
+		t.Fatalf("bounds = %+v", b)
+	}
+	all := ds.Bounds()
+	if all != geo.NewRect(0, 0, 6, 6) {
+		t.Fatalf("dataset bounds = %+v", all)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ds := sampleDataset(t)
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := sampleDataset(t)
+	bad.Trajs[1].ID = 7
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-dense IDs must be rejected")
+	}
+	bad2 := sampleDataset(t)
+	bad2.Trajs[0].Pts[0].Acts = ActivitySet{3, 1} // unsorted
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("unnormalized activity set must be rejected")
+	}
+	bad3 := sampleDataset(t)
+	bad3.Trajs[0].Pts[0].Acts = ActivitySet{99}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("out-of-vocabulary activity must be rejected")
+	}
+}
+
+func TestSample(t *testing.T) {
+	ds := sampleDataset(t)
+	sub := ds.Sample(1)
+	if len(sub.Trajs) != 1 || sub.Trajs[0].ID != 0 {
+		t.Fatalf("sample = %+v", sub.Trajs)
+	}
+	if sub.Vocab != ds.Vocab {
+		t.Fatal("sample must share the vocabulary")
+	}
+	if s := ds.Sample(10); len(s.Trajs) != 2 {
+		t.Fatal("oversized sample must clamp")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ds := sampleDataset(t)
+	var buf bytes.Buffer
+	n, err := ds.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Name != ds.Name {
+		t.Fatalf("name %q != %q", got.Name, ds.Name)
+	}
+	if got.Vocab.Size() != ds.Vocab.Size() {
+		t.Fatalf("vocab size %d != %d", got.Vocab.Size(), ds.Vocab.Size())
+	}
+	for i := range ds.Vocab.Names() {
+		id := ActivityID(i)
+		if got.Vocab.Name(id) != ds.Vocab.Name(id) || got.Vocab.Freq(id) != ds.Vocab.Freq(id) {
+			t.Fatalf("vocab entry %d mismatch", id)
+		}
+	}
+	if len(got.Trajs) != len(ds.Trajs) {
+		t.Fatalf("%d trajectories != %d", len(got.Trajs), len(ds.Trajs))
+	}
+	for ti := range ds.Trajs {
+		a, b := ds.Trajs[ti], got.Trajs[ti]
+		if a.ID != b.ID || len(a.Pts) != len(b.Pts) {
+			t.Fatalf("traj %d shape mismatch", ti)
+		}
+		for pi := range a.Pts {
+			if a.Pts[pi].Loc != b.Pts[pi].Loc || !a.Pts[pi].Acts.Equal(b.Pts[pi].Acts) {
+				t.Fatalf("traj %d point %d mismatch: %+v vs %+v", ti, pi, a.Pts[pi], b.Pts[pi])
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("decoded dataset invalid: %v", err)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+	if _, err := ReadDataset(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}

@@ -1,0 +1,66 @@
+// Package zorder implements the Z-order (Morton) space-filling curve used to
+// assign "a unique numerical ID" to grid cells, as required by the GAT index
+// (Section IV of the paper). The curve maps two-dimensional cell coordinates
+// to a one-dimensional integer domain while preserving locality, and makes
+// parent/child navigation in the cell hierarchy a matter of bit shifts.
+package zorder
+
+// MaxLevel is the deepest supported grid level: a level-l grid has 2^l × 2^l
+// cells, so 16 levels index up to 65536 × 65536 cells with 32-bit codes.
+const MaxLevel = 16
+
+// Interleave spreads the low 16 bits of x into the even bit positions of the
+// result ("part1by1" in the bit-twiddling literature).
+func Interleave(x uint32) uint32 {
+	x &= 0x0000ffff
+	x = (x | x<<8) & 0x00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f
+	x = (x | x<<2) & 0x33333333
+	x = (x | x<<1) & 0x55555555
+	return x
+}
+
+// Deinterleave extracts the even bit positions of z back into a compact
+// 16-bit integer; it is the inverse of Interleave.
+func Deinterleave(z uint32) uint32 {
+	z &= 0x55555555
+	z = (z | z>>1) & 0x33333333
+	z = (z | z>>2) & 0x0f0f0f0f
+	z = (z | z>>4) & 0x00ff00ff
+	z = (z | z>>8) & 0x0000ffff
+	return z
+}
+
+// Encode returns the Z-order code of the cell at column ix, row iy.
+// Codes at a fixed grid level are dense in [0, 4^level).
+func Encode(ix, iy uint32) uint32 {
+	return Interleave(ix) | Interleave(iy)<<1
+}
+
+// Decode returns the column and row of the cell with Z-order code z.
+func Decode(z uint32) (ix, iy uint32) {
+	return Deinterleave(z), Deinterleave(z >> 1)
+}
+
+// Parent returns the code of the enclosing cell one level up: the four
+// children of a cell at level l-1 are exactly codes {4p, 4p+1, 4p+2, 4p+3}
+// at level l.
+func Parent(z uint32) uint32 { return z >> 2 }
+
+// Children returns the four child codes of z one level down, in Z order.
+func Children(z uint32) [4]uint32 {
+	base := z << 2
+	return [4]uint32{base, base + 1, base + 2, base + 3}
+}
+
+// AncestorAt returns the code of z's ancestor that is levels levels above it.
+func AncestorAt(z uint32, levels int) uint32 { return z >> (2 * uint(levels)) }
+
+// IsAncestor reports whether a (at level la) is an ancestor of, or equal to,
+// z (at level lz). It returns false when la > lz.
+func IsAncestor(a uint32, la int, z uint32, lz int) bool {
+	if la > lz {
+		return false
+	}
+	return AncestorAt(z, lz-la) == a
+}

@@ -1,0 +1,96 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeKnown(t *testing.T) {
+	cases := []struct {
+		ix, iy, z uint32
+	}{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3},
+		{2, 0, 4}, {3, 3, 15}, {0xffff, 0xffff, 0xffffffff},
+	}
+	for _, c := range cases {
+		if z := Encode(c.ix, c.iy); z != c.z {
+			t.Errorf("Encode(%d,%d) = %d, want %d", c.ix, c.iy, z, c.z)
+		}
+		ix, iy := Decode(c.z)
+		if ix != c.ix || iy != c.iy {
+			t.Errorf("Decode(%d) = (%d,%d), want (%d,%d)", c.z, ix, iy, c.ix, c.iy)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ix, iy uint16) bool {
+		x, y := Decode(Encode(uint32(ix), uint32(iy)))
+		return x == uint32(ix) && y == uint32(iy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParentChildren: every child's parent is the original; the four
+// children are distinct and contiguous.
+func TestParentChildren(t *testing.T) {
+	f := func(z16 uint16) bool {
+		z := uint32(z16)
+		ch := Children(z)
+		for i, c := range ch {
+			if Parent(c) != z {
+				return false
+			}
+			if c != z<<2+uint32(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChildrenAreQuadrants: decoding the children of a cell yields the
+// 2×2 block of coordinates at the refined level.
+func TestChildrenAreQuadrants(t *testing.T) {
+	f := func(ix8, iy8 uint8) bool {
+		ix, iy := uint32(ix8), uint32(iy8)
+		z := Encode(ix, iy)
+		seen := map[[2]uint32]bool{}
+		for _, c := range Children(z) {
+			cx, cy := Decode(c)
+			if cx>>1 != ix || cy>>1 != iy {
+				return false
+			}
+			seen[[2]uint32{cx, cy}] = true
+		}
+		return len(seen) == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	z := Encode(1234, 567) // a level-11+ code
+	if !IsAncestor(z, 11, z, 11) {
+		t.Fatal("a cell is its own ancestor")
+	}
+	if !IsAncestor(Parent(z), 10, z, 11) {
+		t.Fatal("parent must be an ancestor")
+	}
+	if !IsAncestor(AncestorAt(z, 5), 6, z, 11) {
+		t.Fatal("AncestorAt(5) must be an ancestor at level 6")
+	}
+	if IsAncestor(z, 11, Parent(z), 10) {
+		t.Fatal("child is not an ancestor of its parent")
+	}
+	other := Encode(1235, 567)
+	if IsAncestor(other, 11, z, 11) {
+		t.Fatal("sibling is not an ancestor")
+	}
+}
