@@ -1,6 +1,7 @@
 package activitytraj
 
 import (
+	"fmt"
 	"io"
 
 	"activitytraj/internal/baseline"
@@ -48,6 +49,13 @@ type (
 	SearchStats = query.SearchStats
 	// Engine answers ATSQ and OATSQ queries.
 	Engine = query.Engine
+	// CloneableEngine is an Engine that can spawn independent copies over
+	// its immutable index, for concurrent serving. Every engine in this
+	// library implements it.
+	CloneableEngine = query.CloneableEngine
+	// ParallelEngine serves queries over a pool of engine clones so
+	// throughput scales with cores; see NewParallelEngine.
+	ParallelEngine = query.ParallelEngine
 
 	// TrajStore is the disk-resident trajectory storage every engine
 	// shares (coordinates, activity posting lists, activity sketches).
@@ -112,6 +120,20 @@ func NewGAT(ts *TrajStore, cfg GATConfig) (Engine, error) {
 
 // NewEngineForIndex wraps an already-built GAT index.
 func NewEngineForIndex(idx *GATIndex) Engine { return gat.NewEngine(idx) }
+
+// NewParallelEngine wraps e in a pool of workers clones (workers <= 0
+// selects GOMAXPROCS) for concurrent serving: single searches borrow one
+// clone, and SearchBatch fans a whole batch out across the pool. The
+// wrapped engine is owned by the pool afterwards and must not be used
+// directly. It returns an error if e cannot be cloned; every engine
+// constructed by this package can be.
+func NewParallelEngine(e Engine, workers int) (*ParallelEngine, error) {
+	ce, ok := e.(CloneableEngine)
+	if !ok {
+		return nil, fmt.Errorf("activitytraj: engine %s is not cloneable", e.Name())
+	}
+	return query.NewParallelEngine(ce, workers), nil
+}
 
 // NewIL builds the inverted-list baseline (activity-only pruning).
 func NewIL(ts *TrajStore) Engine { return baseline.BuildIL(ts) }

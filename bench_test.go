@@ -23,6 +23,14 @@ import (
 const (
 	benchScale   = 0.04
 	benchQueries = 4
+
+	// gatAllocCeiling is the allocs-per-search budget BenchmarkGATSearchAllocs
+	// enforces on a warm engine. The pre-optimization hot path allocated
+	// ~88k per search on this workload; the rewritten one stays in the low
+	// hundreds (top-k result slices plus residual evaluator growth). The
+	// ceiling leaves headroom for noise while still catching any boxed-heap
+	// or per-candidate-map regression, which costs tens of thousands.
+	gatAllocCeiling = 2000
 )
 
 var (
@@ -97,6 +105,66 @@ func runEngines(b *testing.B, st *harness.Setup, qs []query.Query, k int, ordere
 				cands = res.Stats.Candidates
 			}
 			b.ReportMetric(float64(cands)/float64(len(qs)), "cands/query")
+		})
+	}
+}
+
+// BenchmarkGATSearchAllocs measures steady-state heap allocations of one
+// GAT ATSQ search on the LA preset. The hot path is designed to allocate
+// (almost) nothing once the engine's scratch and the shared caches are warm;
+// the ceiling assertion keeps it that way.
+func BenchmarkGATSearchAllocs(b *testing.B) {
+	st := benchSetup(b, "LA")
+	qs := benchWorkload(b, st.DS, queries.Config{Seed: 19})
+	e := st.Engine("GAT")
+	// Warm the engine scratch and caches before measuring.
+	for _, q := range qs {
+		if _, err := e.SearchATSQ(q, queries.DefaultK); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range qs {
+			if _, err := e.SearchATSQ(q, queries.DefaultK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	perSearch := float64(testing.AllocsPerRun(1, func() {
+		for _, q := range qs {
+			if _, err := e.SearchATSQ(q, queries.DefaultK); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})) / float64(len(qs))
+	b.ReportMetric(perSearch, "allocs/search")
+	if perSearch > gatAllocCeiling {
+		b.Fatalf("GAT search allocates %.0f allocs/op, ceiling is %d", perSearch, gatAllocCeiling)
+	}
+}
+
+// BenchmarkParallelThroughput compares 1-worker and multi-worker serving of
+// the same ATSQ workload through ParallelEngine.SearchBatch.
+func BenchmarkParallelThroughput(b *testing.B) {
+	st := benchSetup(b, "LA")
+	qs := benchWorkload(b, st.DS, queries.Config{Seed: 23})
+	// Repeat the workload so every worker has enough queries.
+	for len(qs) < 32 {
+		qs = append(qs, qs...)
+	}
+	gatEng := st.Engine("GAT").(harness.CloneableEngine)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pe := query.NewParallelEngine(gatEng, workers)
+			for i := 0; i < b.N; i++ {
+				if _, err := pe.SearchBatch(qs, queries.DefaultK, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(qs)), "queries/op")
 		})
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ func main() {
 	k := flag.Int("k", 9, "default result count (Table V)")
 	datasets := flag.String("datasets", "LA,NY", "comma-separated: LA,NY")
 	seed := flag.Int64("seed", 1, "workload seed")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts for the throughput experiment (default 1,2,4,8)")
 	out := flag.String("o", "", "also write output to this file")
 	flag.Parse()
 
@@ -57,12 +59,26 @@ func main() {
 		}
 	}
 
+	var workers []int
+	for _, part := range strings.Split(*workersFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			log.Fatalf("bad -workers entry %q", part)
+		}
+		workers = append(workers, n)
+	}
+
 	suite := harness.NewSuite(harness.Options{
 		Scale:    *scale,
 		Queries:  *queriesN,
 		K:        *k,
 		Datasets: names,
 		Seed:     *seed,
+		Workers:  workers,
 	})
 
 	fmt.Fprintf(w, "activity trajectory search benchmark — %s\n", time.Now().Format(time.RFC3339))

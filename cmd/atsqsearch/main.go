@@ -37,6 +37,7 @@ func main() {
 	ordered := flag.Bool("ordered", false, "run OATSQ instead of ATSQ")
 	queryStr := flag.String("query", "", `query: "x,y:act1,act2;x,y:act3"`)
 	random := flag.Int("random", 0, "generate this many random workload queries instead")
+	workers := flag.Int("workers", 1, "serve -random queries concurrently on this many engine clones (0 = GOMAXPROCS)")
 	verbose := flag.Bool("v", false, "print per-result trajectory details")
 	flag.Parse()
 
@@ -71,6 +72,30 @@ func main() {
 		log.Fatal("provide -query or -random N")
 	}
 
+	if *workers != 1 && len(qs) > 1 {
+		// Concurrent serving: fan the whole batch out over engine clones.
+		pe, err := activitytraj.NewParallelEngine(engine, *workers)
+		if err != nil {
+			log.Fatalf("parallel: %v", err)
+		}
+		start := time.Now()
+		batches, err := pe.SearchBatch(qs, *k, *ordered)
+		if err != nil {
+			log.Fatalf("search: %v", err)
+		}
+		elapsed := time.Since(start)
+		for qi, q := range qs {
+			describeQuery(qi, q, ds.Vocab)
+			printResults(batches[qi], ds, *verbose)
+		}
+		stats := pe.LastStats()
+		fmt.Printf("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d pages=%d cache hit/miss=%d/%d)\n",
+			len(qs), pe.Workers(), elapsed.Round(time.Microsecond),
+			float64(len(qs))/elapsed.Seconds(),
+			stats.Candidates, stats.Scored, stats.PageReads, stats.CacheHits, stats.CacheMisses)
+		return
+	}
+
 	for qi, q := range qs {
 		describeQuery(qi, q, ds.Vocab)
 		start := time.Now()
@@ -85,16 +110,21 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		stats := engine.LastStats()
-		fmt.Printf("  %d results in %s (candidates=%d scored=%d pages=%d)\n",
-			len(results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored, stats.PageReads)
-		for ri, r := range results {
-			fmt.Printf("  %2d. trajectory %-6d distance %8.3f km\n", ri+1, r.ID, r.Dist)
-			if *verbose {
-				describeTrajectory(&ds.Trajs[r.ID], ds.Vocab)
-			}
-		}
-		fmt.Println()
+		fmt.Printf("  %d results in %s (candidates=%d scored=%d pages=%d cache hit/miss=%d/%d)\n",
+			len(results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored,
+			stats.PageReads, stats.CacheHits, stats.CacheMisses)
+		printResults(results, ds, *verbose)
 	}
+}
+
+func printResults(results []activitytraj.Result, ds *activitytraj.Dataset, verbose bool) {
+	for ri, r := range results {
+		fmt.Printf("  %2d. trajectory %-6d distance %8.3f km\n", ri+1, r.ID, r.Dist)
+		if verbose {
+			describeTrajectory(&ds.Trajs[r.ID], ds.Vocab)
+		}
+	}
+	fmt.Println()
 }
 
 func loadDataset(path, preset string, scale float64) *activitytraj.Dataset {

@@ -34,4 +34,44 @@
 //
 // See the examples directory for complete programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology.
+//
+// # Concurrency model
+//
+// Every index structure is immutable once built, and the shared storage
+// layer underneath — the page buffer pool and the decoded-structure caches —
+// is safe for concurrent use (both are sharded so concurrent readers do not
+// serialize on a single lock). An individual Engine, however, is NOT safe
+// for concurrent use: it owns reusable scratch (heaps, generation-stamped
+// visited sets, decode buffers) precisely so a warm search allocates almost
+// nothing.
+//
+// To serve queries concurrently, either:
+//
+//   - give each goroutine its own engine over the shared index — every
+//     engine implements CloneableEngine, and clones share the index, the
+//     trajectory store and all caches; or
+//
+//   - use ParallelEngine, which owns a fixed pool of clones: single
+//     searches borrow a clone, and SearchBatch fans a whole batch out
+//     across the pool with an order-preserving result slice.
+//
+//     pe, _ := activitytraj.NewParallelEngine(engine, runtime.GOMAXPROCS(0))
+//     results, _ := pe.SearchBatch(queries, 10, false)
+//
+// # Cache tuning
+//
+// Two sharded LRU caches sit in front of the simulated disk and are shared
+// by all engine clones:
+//
+//   - StoreConfig.APLCacheEntries caps the decoded Activity Posting List
+//     cache in the trajectory store (default 8192 entries; negative
+//     disables it). Candidates re-examined by later queries skip both the
+//     page reads and the varint decode.
+//   - GATConfig.HICLCacheEntries caps the decoded disk-level HICL
+//     posting-list cache in the GAT index (default 4096 entries).
+//
+// Cache traffic is reported per search in SearchStats.CacheHits and
+// SearchStats.CacheMisses; simulated page reads in SearchStats.PageReads
+// drop as the caches warm. Engines measured by the experiment harness reset
+// the caches between workloads so cold-cache comparisons stay fair.
 package activitytraj

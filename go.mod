@@ -1,0 +1,3 @@
+module activitytraj
+
+go 1.24

@@ -76,7 +76,6 @@ func (e *IL) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
 		return nil, err
 	}
 	e.stats = query.SearchStats{}
-	base := e.ev.Store().PoolStats()
 	topk := query.NewTopK(k)
 	for _, tid := range e.candidates(q) {
 		e.stats.Candidates++
@@ -88,7 +87,6 @@ func (e *IL) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
 			topk.Offer(query.Result{ID: tid, Dist: d})
 		}
 	}
-	e.stats.PageReads = int(e.ev.Store().PoolStats().Sub(base).Touched)
 	return topk.Results(), nil
 }
 
@@ -100,7 +98,6 @@ func (e *IL) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
 		return nil, err
 	}
 	e.stats = query.SearchStats{}
-	base := e.ev.Store().PoolStats()
 	topk := query.NewTopK(k)
 	for _, tid := range e.candidates(q) {
 		e.stats.Candidates++
@@ -112,7 +109,6 @@ func (e *IL) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
 			topk.Offer(query.Result{ID: tid, Dist: d})
 		}
 	}
-	e.stats.PageReads = int(e.ev.Store().PoolStats().Sub(base).Touched)
 	return topk.Results(), nil
 }
 

@@ -53,7 +53,6 @@ func spatialSearch(
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	base := ev.Store().PoolStats()
 	topk := query.NewTopK(k)
 	seen := make(map[trajectory.TrajID]struct{})
 
@@ -125,6 +124,5 @@ func spatialSearch(
 	for _, it := range iters {
 		stats.NodesVisited += it.nodesVisited()
 	}
-	stats.PageReads = int(ev.Store().PoolStats().Sub(base).Touched)
 	return topk.Results(), nil
 }

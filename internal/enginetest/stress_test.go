@@ -1,0 +1,97 @@
+package enginetest
+
+import (
+	"sync"
+	"testing"
+
+	"activitytraj/internal/harness"
+	"activitytraj/internal/query"
+)
+
+// TestParallelEngineStress hammers one ParallelEngine — and through it the
+// sharded buffer pool, the shared HICL cache and the shared APL cache —
+// from many client goroutines at once, mixing single searches and batches,
+// ATSQ and OATSQ. Run with -race this is the concurrency-safety gate for
+// the whole serving stack; the result checks catch cross-clone state leaks.
+func TestParallelEngineStress(t *testing.T) {
+	ds := testDataset(t)
+	st, err := harness.BuildSetup(ds, gatCfgDefault())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := workload(t, ds, 16)
+	gat := st.Engine("GAT").(harness.CloneableEngine)
+
+	// Reference answers from a private sequential engine.
+	ref := gat.Clone()
+	want := make([][]query.Result, len(qs))
+	for i, q := range qs {
+		rs, err := ref.SearchATSQ(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rs
+	}
+
+	pe := query.NewParallelEngine(gat, 4)
+	const clients = 6
+	const rounds = 8
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				switch (c + r) % 3 {
+				case 0: // whole batch
+					got, err := pe.SearchBatch(qs, 5, false)
+					if err != nil {
+						t.Errorf("client %d round %d: %v", c, r, err)
+						return
+					}
+					for i := range qs {
+						if !sameResults(got[i], want[i]) {
+							t.Errorf("client %d round %d query %d: %v != %v", c, r, i, got[i], want[i])
+							return
+						}
+					}
+				case 1: // single searches
+					for i := c % len(qs); i < len(qs); i += clients {
+						got, err := pe.SearchATSQ(qs[i], 5)
+						if err != nil {
+							t.Errorf("client %d round %d: %v", c, r, err)
+							return
+						}
+						if !sameResults(got, want[i]) {
+							t.Errorf("client %d round %d query %d: %v != %v", c, r, i, got, want[i])
+							return
+						}
+					}
+				case 2: // ordered variant, results just need to not error
+					if _, err := pe.SearchOATSQ(qs[c%len(qs)], 5); err != nil {
+						t.Errorf("client %d round %d OATSQ: %v", c, r, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st2 := pe.LastStats()
+	if st2.Candidates == 0 {
+		t.Fatal("no work recorded")
+	}
+}
+
+func sameResults(a, b []query.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package evaluate
 
 import (
+	"activitytraj/internal/geo"
 	"activitytraj/internal/matcher"
 	"activitytraj/internal/query"
 	"activitytraj/internal/trajectory"
@@ -23,14 +24,25 @@ const (
 )
 
 // Evaluator validates candidate trajectories and computes their match
-// distances, charging disk reads to the shared TrajStore. It owns matcher
-// scratch space and is not safe for concurrent use.
+// distances, charging disk reads to the shared TrajStore. It owns matcher,
+// row-building and decode scratch space — reused across candidates so the
+// scoring hot path allocates nothing once warm — and is not safe for
+// concurrent use; each search goroutine owns one.
 type Evaluator struct {
 	ts *TrajStore
 	m  matcher.Matcher
 	// UseSketch enables the TAS pre-filter (GAT and the tree baselines use
 	// it; IL's candidates come pre-validated by construction).
 	UseSketch bool
+
+	rb        matcher.RowBuilder
+	coordsBuf []geo.Point
+	blobBuf   []byte
+	// allActs memoizes q.AllActs() for the query whose Pts backing array is
+	// allActsPts: engines score many candidates against one query, and the
+	// union does not change between them.
+	allActsPts []query.Point
+	allActs    trajectory.ActivitySet
 }
 
 // NewEvaluator returns an evaluator over ts with the sketch filter enabled.
@@ -77,17 +89,23 @@ func (e *Evaluator) ScoreOATSQ(q query.Query, id trajectory.TrajID, threshold fl
 }
 
 // prepare runs the shared validation pipeline: TAS check (memory), APL
-// fetch + containment check (disk), coordinate fetch (disk), row build.
-// It returns the candidate rows and the trajectory length.
+// fetch + containment check (cached/disk), coordinate fetch (disk), row
+// build. It returns the candidate rows and the trajectory length. The rows
+// alias evaluator scratch and are valid until the next prepare.
+//
+// Disk and cache traffic is attributed to stats here, at the point of the
+// fetch, rather than by diffing the shared pool/cache counters: local
+// attribution stays exact when many searches run concurrently over the
+// same store.
 func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.SearchStats) ([]matcher.QueryRow, int, Outcome, error) {
-	all := q.AllActs()
+	all := e.queryActs(q)
 	if e.UseSketch {
 		if !e.ts.TAS(id).CoversAll(all) {
 			stats.SketchRejected++
 			return nil, 0, RejectedSketch, nil
 		}
 	}
-	apl, err := e.ts.FetchAPL(id)
+	apl, err := e.ts.fetchAPL(id, stats)
 	if err != nil {
 		return nil, 0, Scored, err
 	}
@@ -97,10 +115,43 @@ func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.Se
 			return nil, 0, RejectedAPL, nil
 		}
 	}
-	coords, err := e.ts.FetchCoords(id)
+	coords, blob, err := e.ts.FetchCoordsScratch(id, e.blobBuf, e.coordsBuf)
+	e.blobBuf = blob
 	if err != nil {
 		return nil, 0, Scored, err
 	}
-	rows := matcher.BuildRowsFromPostings(q.Pts, apl.Postings, coords)
+	e.coordsBuf = coords
+	stats.PageReads += e.ts.coordRefs[id].PageSpan()
+	rows := e.rb.Build(q.Pts, apl.Postings, coords)
 	return rows, len(coords), Scored, nil
+}
+
+// queryActs returns q.AllActs(), memoized on the query points' slice
+// identities so per-candidate calls within one search reuse the union. The
+// memo is refreshed whenever any point's Acts slice is replaced; mutating
+// an ActivitySet's elements in place between searches is not supported
+// (normalized sets are treated as immutable throughout the library).
+func (e *Evaluator) queryActs(q query.Query) trajectory.ActivitySet {
+	if e.sameQueryPts(q.Pts) {
+		return e.allActs
+	}
+	e.allActsPts = append(e.allActsPts[:0], q.Pts...)
+	e.allActs = q.AllActs()
+	return e.allActs
+}
+
+func (e *Evaluator) sameQueryPts(pts []query.Point) bool {
+	if len(pts) != len(e.allActsPts) {
+		return false
+	}
+	for i := range pts {
+		a, b := pts[i].Acts, e.allActsPts[i].Acts
+		if len(a) != len(b) {
+			return false
+		}
+		if len(a) > 0 && &a[0] != &b[0] {
+			return false
+		}
+	}
+	return true
 }

@@ -15,8 +15,10 @@ import (
 	"math"
 	"sort"
 
+	"activitytraj/internal/cache"
 	"activitytraj/internal/geo"
 	"activitytraj/internal/invindex"
+	"activitytraj/internal/query"
 	"activitytraj/internal/sketch"
 	"activitytraj/internal/storage"
 	"activitytraj/internal/trajectory"
@@ -25,6 +27,10 @@ import (
 // TrajStore keeps every trajectory's coordinates and Activity Posting List
 // (APL, GAT component iv) on simulated disk, with small in-memory
 // directories and the Trajectory Activity Sketches (TAS, component iii).
+// A sharded LRU of decoded APLs sits in front of the disk store so repeated
+// candidates — within one query or across concurrent queries — skip both
+// the page reads and the varint decode. All read paths are safe for
+// concurrent use.
 type TrajStore struct {
 	ds        *trajectory.Dataset
 	store     *storage.Store
@@ -32,6 +38,7 @@ type TrajStore struct {
 	aplRefs   []storage.SegRef
 	tas       []sketch.Sketch
 	sketchM   int
+	aplCache  *cache.Sharded[trajectory.TrajID, *APL] // nil when disabled
 }
 
 // TrajStoreConfig controls construction.
@@ -43,6 +50,9 @@ type TrajStoreConfig struct {
 	// FilePath, when non-empty, backs the store with a file instead of the
 	// deterministic in-memory pager.
 	FilePath string
+	// APLCacheEntries caps the decoded-APL cache (0 = DefaultAPLCacheEntries,
+	// negative = disable caching).
+	APLCacheEntries int
 }
 
 // DefaultSketchIntervals is the default TAS interval count M.
@@ -50,6 +60,9 @@ const DefaultSketchIntervals = 4
 
 // DefaultPoolPages is the default buffer pool capacity (4 MiB).
 const DefaultPoolPages = 1024
+
+// DefaultAPLCacheEntries is the default decoded-APL cache capacity.
+const DefaultAPLCacheEntries = 8192
 
 // BuildTrajStore lays the dataset out on disk and builds the sketches.
 func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, error) {
@@ -76,6 +89,15 @@ func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, er
 		aplRefs:   make([]storage.SegRef, len(ds.Trajs)),
 		tas:       make([]sketch.Sketch, len(ds.Trajs)),
 		sketchM:   cfg.SketchIntervals,
+	}
+	if cfg.APLCacheEntries >= 0 {
+		n := cfg.APLCacheEntries
+		if n == 0 {
+			n = DefaultAPLCacheEntries
+		}
+		ts.aplCache = cache.New[trajectory.TrajID, *APL](n, 0, func(id trajectory.TrajID) uint64 {
+			return cache.Uint64Hash(uint64(id))
+		})
 	}
 	var buf []byte
 	for i := range ds.Trajs {
@@ -119,6 +141,20 @@ func (ts *TrajStore) FetchCoords(id trajectory.TrajID) ([]geo.Point, error) {
 	return decodeCoords(blob)
 }
 
+// FetchCoordsScratch is FetchCoords decoding into caller-owned scratch: the
+// segment bytes land in blob and the points in pts (both may be nil and are
+// grown as needed). It returns the decoded points plus the possibly-grown
+// buffers for the next call. The evaluator uses this so candidate scoring
+// does not allocate per fetch.
+func (ts *TrajStore) FetchCoordsScratch(id trajectory.TrajID, blob []byte, pts []geo.Point) ([]geo.Point, []byte, error) {
+	blob, err := ts.store.ReadInto(ts.coordRefs[id], blob[:0])
+	if err != nil {
+		return nil, blob, err
+	}
+	pts, err = decodeCoordsInto(pts[:0], blob)
+	return pts, blob, err
+}
+
 // APL is a decoded Activity Posting List: for each activity the trajectory
 // contains, the ascending indexes of the points carrying it.
 type APL struct {
@@ -138,8 +174,39 @@ func (a *APL) Postings(act trajectory.ActivityID) []uint32 {
 // Has reports whether the trajectory contains activity act anywhere.
 func (a *APL) Has(act trajectory.ActivityID) bool { return a.Postings(act) != nil }
 
-// FetchAPL reads and decodes a trajectory's APL from disk.
+// FetchAPL returns a trajectory's decoded APL, consulting the shared cache
+// first. Cached APLs are shared across goroutines and must be treated as
+// immutable.
 func (ts *TrajStore) FetchAPL(id trajectory.TrajID) (*APL, error) {
+	var discard query.SearchStats
+	return ts.fetchAPL(id, &discard)
+}
+
+// fetchAPL is the one APL cache policy: consult the shared cache, fall back
+// to disk, insert on miss — attributing cache hits/misses and the page span
+// of actual disk reads to stats. Local attribution (rather than diffing the
+// cache's global counters) keeps per-search accounting exact when many
+// searches share the store.
+func (ts *TrajStore) fetchAPL(id trajectory.TrajID, stats *query.SearchStats) (*APL, error) {
+	if ts.aplCache != nil {
+		if apl, ok := ts.aplCache.Get(id); ok {
+			stats.CacheHits++
+			return apl, nil
+		}
+		stats.CacheMisses++
+	}
+	apl, err := ts.fetchAPLDisk(id)
+	if err != nil {
+		return nil, err
+	}
+	stats.PageReads += ts.aplRefs[id].PageSpan()
+	if ts.aplCache != nil {
+		ts.aplCache.Put(id, apl)
+	}
+	return apl, nil
+}
+
+func (ts *TrajStore) fetchAPLDisk(id trajectory.TrajID) (*APL, error) {
 	blob, err := ts.store.Read(ts.aplRefs[id])
 	if err != nil {
 		return nil, err
@@ -150,9 +217,23 @@ func (ts *TrajStore) FetchAPL(id trajectory.TrajID) (*APL, error) {
 // PoolStats exposes the buffer-pool counters for per-search accounting.
 func (ts *TrajStore) PoolStats() storage.PoolStats { return ts.store.Stats() }
 
-// ResetPool clears the buffer pool between engine runs so each engine is
-// measured from a cold cache.
-func (ts *TrajStore) ResetPool() { ts.store.ResetPool() }
+// CacheStats exposes the decoded-APL cache counters for per-search
+// accounting (all zeros when the cache is disabled).
+func (ts *TrajStore) CacheStats() cache.Stats {
+	if ts.aplCache == nil {
+		return cache.Stats{}
+	}
+	return ts.aplCache.Stats()
+}
+
+// ResetPool clears the buffer pool and the decoded-APL cache between engine
+// runs so each engine is measured from a cold cache.
+func (ts *TrajStore) ResetPool() {
+	ts.store.ResetPool()
+	if ts.aplCache != nil {
+		ts.aplCache.Reset()
+	}
+}
 
 // DiskBytes returns the on-disk footprint.
 func (ts *TrajStore) DiskBytes() int64 { return ts.store.DiskBytes() }
@@ -182,6 +263,10 @@ func encodeCoords(dst []byte, tr *trajectory.Trajectory) []byte {
 }
 
 func decodeCoords(blob []byte) ([]geo.Point, error) {
+	return decodeCoordsInto(nil, blob)
+}
+
+func decodeCoordsInto(dst []geo.Point, blob []byte) ([]geo.Point, error) {
 	n, used := binary.Uvarint(blob)
 	if used <= 0 {
 		return nil, fmt.Errorf("evaluate: corrupt coords header")
@@ -190,13 +275,14 @@ func decodeCoords(blob []byte) ([]geo.Point, error) {
 	if len(blob) < off+int(n)*16 {
 		return nil, fmt.Errorf("evaluate: coords segment truncated")
 	}
-	pts := make([]geo.Point, n)
-	for i := range pts {
-		pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(blob[off:]))
-		pts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(blob[off+8:]))
+	for i := uint64(0); i < n; i++ {
+		dst = append(dst, geo.Point{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(blob[off:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(blob[off+8:])),
+		})
 		off += 16
 	}
-	return pts, nil
+	return dst, nil
 }
 
 func encodeAPL(dst []byte, tr *trajectory.Trajectory) []byte {

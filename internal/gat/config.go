@@ -44,6 +44,10 @@ type Config struct {
 	NearCells int
 	// PoolPages is the buffer pool capacity for the HICL disk store.
 	PoolPages int
+	// HICLCacheEntries caps the shared cache of decoded disk-level HICL
+	// posting lists (0 selects DefaultHICLCacheEntries). The cache is
+	// shared by every engine clone over the index.
+	HICLCacheEntries int
 	// DisableTAS switches off the sketch pre-filter (ablation A2).
 	DisableTAS bool
 	// LooseLowerBound replaces Algorithm 2 with the "straightforward"
@@ -57,6 +61,10 @@ const (
 	DefaultMemLevels = 6
 	DefaultLambda    = 32
 	DefaultNearCells = 8
+	// DefaultHICLCacheEntries holds every disk-level list of a depth-8,
+	// multi-thousand-activity index comfortably; each entry is one decoded
+	// posting list.
+	DefaultHICLCacheEntries = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -77,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PoolPages <= 0 {
 		c.PoolPages = evaluate.DefaultPoolPages
+	}
+	if c.HICLCacheEntries <= 0 {
+		c.HICLCacheEntries = DefaultHICLCacheEntries
 	}
 	return c
 }

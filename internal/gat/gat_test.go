@@ -7,7 +7,6 @@ import (
 	"activitytraj/internal/dataset"
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/grid"
-	"activitytraj/internal/invindex"
 	"activitytraj/internal/queries"
 	"activitytraj/internal/trajectory"
 )
@@ -132,16 +131,8 @@ func TestTheorem1LowerBoundSoundness(t *testing.T) {
 	}
 	ev := evaluate.NewEvaluator(ts)
 	for qi, q := range qs {
-		s := &searcher{
-			idx:       e,
-			q:         q,
-			near:      make([]*nearSet, len(q.Pts)),
-			seen:      make(map[trajectory.TrajID]struct{}),
-			hiclCache: make(map[hiclKey]invindex.PostingList),
-		}
-		for i := range s.near {
-			s.near[i] = newNearSet()
-		}
+		s := &e.sc
+		s.begin(q)
 		s.initQueue()
 		for batch := 0; batch < 30 && !s.exhausted; batch++ {
 			s.retrieveBatch(8)
@@ -154,7 +145,7 @@ func TestTheorem1LowerBoundSoundness(t *testing.T) {
 			var stats = e.stats
 			for ti := range ds.Trajs {
 				id := ds.Trajs[ti].ID
-				if _, seen := s.seen[id]; seen {
+				if s.seen[id] == s.gen {
 					continue
 				}
 				d, out, err := ev.ScoreATSQ(q, id, math.Inf(1), &stats)
@@ -196,9 +187,9 @@ func TestMemBreakdown(t *testing.T) {
 	}
 }
 
-// TestNearSet: ordering, lazy removal and FirstM re-insertion.
-func TestNearSet(t *testing.T) {
-	s := newNearSet()
+// TestPointQueue: heap ordering, pop, and firstM re-insertion.
+func TestPointQueue(t *testing.T) {
+	var q pointQueue
 	cells := []nearCell{
 		{dist: 5, cell: grid.Cell{Level: 3, Z: 1}},
 		{dist: 1, cell: grid.Cell{Level: 3, Z: 2}},
@@ -206,27 +197,43 @@ func TestNearSet(t *testing.T) {
 		{dist: 4, cell: grid.Cell{Level: 3, Z: 4}},
 	}
 	for _, c := range cells {
-		s.Add(c)
+		q.push(c)
 	}
-	if s.Len() != 4 {
-		t.Fatalf("Len = %d", s.Len())
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
 	}
-	got := s.FirstM(2)
+	got := q.firstM(nil, 2)
 	if len(got) != 2 || got[0].dist != 1 || got[1].dist != 3 {
-		t.Fatalf("FirstM(2) = %+v", got)
+		t.Fatalf("firstM(2) = %+v", got)
 	}
-	// Lazy removal: drop the closest, FirstM must skip it.
-	s.Remove(grid.Cell{Level: 3, Z: 2})
-	if s.Len() != 3 {
-		t.Fatalf("Len after remove = %d", s.Len())
+	if q.Len() != 4 {
+		t.Fatalf("firstM must re-insert, Len = %d", q.Len())
 	}
-	got = s.FirstM(10)
+	// Pop removes the closest; firstM must then skip it.
+	if c := q.pop(); c.dist != 1 {
+		t.Fatalf("pop = %+v", c)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len after pop = %d", q.Len())
+	}
+	got = q.firstM(got[:0], 10)
 	if len(got) != 3 || got[0].dist != 3 || got[1].dist != 4 || got[2].dist != 5 {
-		t.Fatalf("FirstM after remove = %+v", got)
+		t.Fatalf("firstM after pop = %+v", got)
 	}
-	// FirstM must be repeatable (re-insertion works).
-	again := s.FirstM(3)
+	// firstM must be repeatable (re-insertion works).
+	again := q.firstM(nil, 3)
 	if len(again) != 3 || again[0].dist != 3 {
-		t.Fatalf("FirstM not repeatable: %+v", again)
+		t.Fatalf("firstM not repeatable: %+v", again)
+	}
+	// Ties break by (level, Z) so expansion order is deterministic.
+	q.reset()
+	q.push(nearCell{dist: 2, cell: grid.Cell{Level: 4, Z: 9}})
+	q.push(nearCell{dist: 2, cell: grid.Cell{Level: 3, Z: 7}})
+	q.push(nearCell{dist: 2, cell: grid.Cell{Level: 3, Z: 5}})
+	if c := q.pop(); c.cell.Z != 5 {
+		t.Fatalf("tie-break pop = %+v", c)
+	}
+	if c := q.pop(); c.cell.Z != 7 {
+		t.Fatalf("tie-break pop 2 = %+v", c)
 	}
 }

@@ -3,6 +3,7 @@ package gat
 import (
 	"fmt"
 
+	"activitytraj/internal/cache"
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/grid"
 	"activitytraj/internal/invindex"
@@ -35,8 +36,25 @@ type Index struct {
 	// hiclDir locates the on-disk lists for levels > MemLevels.
 	hiclDir   map[hiclKey]storage.SegRef
 	hiclStore *storage.Store
-	itl       map[uint32]*cellITL
+	// hicl caches decoded disk-level HICL posting lists across queries and
+	// across every engine clone sharing this index (concurrency-safe).
+	// Absent lists are cached as nil so repeated probes stay cheap.
+	hicl *cache.Sharded[hiclKey, invindex.PostingList]
+	itl  map[uint32]*cellITL
 }
+
+func newHICLCache(entries int) *cache.Sharded[hiclKey, invindex.PostingList] {
+	return cache.New[hiclKey, invindex.PostingList](entries, 0, func(k hiclKey) uint64 {
+		return cache.Uint64Hash(uint64(k.level)<<32 | uint64(uint32(k.act)))
+	})
+}
+
+// CacheStats exposes the HICL decoded-list cache counters.
+func (idx *Index) CacheStats() cache.Stats { return idx.hicl.Stats() }
+
+// ResetCache empties the shared decoded-HICL cache (cold-cache
+// experiments). It affects every engine over this index.
+func (idx *Index) ResetCache() { idx.hicl.Reset() }
 
 // Build constructs the GAT index for the trajectories in ts.
 func Build(ts *evaluate.TrajStore, cfg Config) (*Index, error) {
@@ -53,6 +71,7 @@ func Build(ts *evaluate.TrajStore, cfg Config) (*Index, error) {
 		g:         g,
 		hiclDir:   make(map[hiclKey]storage.SegRef),
 		hiclStore: storage.NewMemStore(cfg.PoolPages),
+		hicl:      newHICLCache(cfg.HICLCacheEntries),
 		itl:       make(map[uint32]*cellITL),
 	}
 

@@ -223,12 +223,17 @@ func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// HICLCacheEntries is a runtime knob, not part of the serialized
+	// geometry; withDefaults re-derives it (all persisted fields are
+	// already post-default values, so they pass through unchanged).
+	cfg = cfg.withDefaults()
 	idx := &Index{
 		cfg:       cfg,
 		ts:        ts,
 		g:         g,
 		hiclDir:   make(map[hiclKey]storage.SegRef),
 		hiclStore: storage.NewMemStore(cfg.PoolPages),
+		hicl:      newHICLCache(cfg.HICLCacheEntries),
 		itl:       make(map[uint32]*cellITL),
 	}
 

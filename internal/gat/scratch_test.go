@@ -1,0 +1,96 @@
+package gat
+
+import (
+	"math"
+	"testing"
+
+	"activitytraj/internal/queries"
+)
+
+// TestScratchReuseMatchesFresh: an engine's recycled searcher scratch
+// (generation-stamped seen array, per-point heaps, candidate buffer) must
+// be invisible in results — searching many different queries on one engine
+// gives exactly what a fresh engine gives for each.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	ds, _, idx := buildSmall(t, Config{Depth: 6, MemLevels: 4})
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 12, NumPoints: 3, ActsPerPoint: 2, DiameterKm: 8, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := NewEngine(idx)
+	for round := 0; round < 2; round++ { // second round exercises fully warm scratch
+		for qi, q := range qs {
+			got, err := reused.SearchATSQ(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotStats := reused.stats
+			fresh := NewEngine(idx)
+			want, err := fresh.SearchATSQ(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d q%d: %d results vs %d", round, qi, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d q%d result %d: %+v vs %+v", round, qi, i, got[i], want[i])
+				}
+			}
+			if gotStats.Candidates != fresh.stats.Candidates || gotStats.PQPops != fresh.stats.PQPops {
+				t.Fatalf("round %d q%d: reused stats %+v vs fresh %+v", round, qi, gotStats, fresh.stats)
+			}
+		}
+	}
+}
+
+// TestGenerationWraparound: when the 32-bit search generation wraps, stale
+// stamps from ~4 billion searches ago must not alias the new generation —
+// begin() wipes the array and restarts at 1.
+func TestGenerationWraparound(t *testing.T) {
+	ds, _, idx := buildSmall(t, Config{Depth: 6, MemLevels: 4})
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 4, NumPoints: 2, ActsPerPoint: 2, DiameterKm: 8, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(idx)
+	// Warm up so the seen array exists and carries stamps.
+	if _, err := e.SearchATSQ(qs[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	// Force the wrap: two searches from now gen overflows to 0.
+	e.sc.gen = math.MaxUint32 - 1
+	// Poison the array with the post-wrap generation value: if begin() did
+	// not wipe on wrap, these entries would mask every trajectory as seen.
+	for i := range e.sc.seen {
+		e.sc.seen[i] = 1
+	}
+	fresh := NewEngine(idx)
+	for round := 0; round < 3; round++ { // spans gen = MaxUint32, wrap, 2
+		for qi, q := range qs {
+			got, err := e.SearchATSQ(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.SearchATSQ(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("round %d q%d: %d results vs %d (gen %d)", round, qi, len(got), len(want), e.sc.gen)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("round %d q%d result %d: %+v vs %+v (gen %d)", round, qi, i, got[i], want[i], e.sc.gen)
+				}
+			}
+			if e.stats.Candidates != fresh.stats.Candidates {
+				t.Fatalf("round %d q%d: candidates %d vs %d (gen %d)", round, qi, e.stats.Candidates, fresh.stats.Candidates, e.sc.gen)
+			}
+		}
+	}
+	if e.sc.gen == 0 || e.sc.gen > 16 {
+		t.Fatalf("generation did not restart after wrap: %d", e.sc.gen)
+	}
+}

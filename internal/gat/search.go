@@ -1,7 +1,6 @@
 package gat
 
 import (
-	"container/heap"
 	"math"
 	"sort"
 
@@ -14,19 +13,25 @@ import (
 )
 
 // Engine wraps an Index with the per-query machinery (evaluator, matcher
-// scratch). It implements query.Engine. Not safe for concurrent use.
+// and searcher scratch). It implements query.Engine. An Engine is NOT safe
+// for concurrent use — its scratch is reused across searches precisely so
+// the hot path allocates nothing — but any number of engines may share one
+// (immutable) Index: use Clone or ParallelEngine for concurrent serving.
 type Engine struct {
 	idx   *Index
 	ev    *evaluate.Evaluator
 	m     matcher.Matcher
 	stats query.SearchStats
+	sc    searcher
 }
 
 // NewEngine returns a search engine over a built index.
 func NewEngine(idx *Index) *Engine {
 	ev := evaluate.NewEvaluator(idx.ts)
 	ev.UseSketch = !idx.cfg.DisableTAS
-	return &Engine{idx: idx, ev: ev}
+	e := &Engine{idx: idx, ev: ev}
+	e.sc.e = e
+	return e
 }
 
 // Name implements query.Engine.
@@ -51,49 +56,50 @@ func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
 	return e.search(q, k, true)
 }
 
-// cellEntry is one priority-queue element: a cell to visit on behalf of
-// query point qi, keyed by the minimum distance from the cell to q_i.
-type cellEntry struct {
-	dist float64
-	cell grid.Cell
-	qi   int32
-	mask uint32 // query activities of q_i present in the cell
-}
-
-type cellHeap []cellEntry
-
-func (h cellHeap) Len() int { return len(h) }
-func (h cellHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
-		return h[i].dist < h[j].dist
-	}
-	if h[i].cell.Level != h[j].cell.Level {
-		return h[i].cell.Level < h[j].cell.Level
-	}
-	if h[i].cell.Z != h[j].cell.Z {
-		return h[i].cell.Z < h[j].cell.Z
-	}
-	return h[i].qi < h[j].qi
-}
-func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellEntry)) }
-func (h *cellHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	*h = old[:n-1]
-	return c
-}
-
-// searcher holds the per-query state of Algorithm 1.
+// searcher holds the per-query state of Algorithm 1 in engine-owned scratch
+// that is recycled across searches:
+//
+//   - pqs merges the paper's global cell priority queue with the per-point
+//     cellsn structures — one hand-rolled heap per query point, no
+//     interface{} boxing;
+//   - seen replaces the per-search map[TrajID]struct{} with a dense
+//     generation-stamped array: seen[id] == gen marks id as retrieved this
+//     search, and bumping gen invalidates the whole array in O(1).
 type searcher struct {
-	idx       *Engine
+	e         *Engine
 	q         query.Query
-	pq        cellHeap
-	near      []*nearSet
-	seen      map[trajectory.TrajID]struct{}
-	hiclCache map[hiclKey]invindex.PostingList
+	pqs       []pointQueue
+	seen      []uint32
+	gen       uint32
+	cands     []trajectory.TrajID
+	virtual   []matcher.WeightedPoint
+	nearBuf   []nearCell
 	exhausted bool
+}
+
+// begin readies the scratch for a new search.
+func (s *searcher) begin(q query.Query) {
+	s.q = q
+	if n := s.e.idx.ts.NumTrajs(); len(s.seen) < n {
+		s.seen = make([]uint32, n)
+		s.gen = 0
+	}
+	s.gen++
+	if s.gen == 0 { // wrapped: stale stamps could collide, wipe them
+		clear(s.seen)
+		s.gen = 1
+	}
+	if cap(s.pqs) < len(q.Pts) {
+		grown := make([]pointQueue, len(q.Pts))
+		copy(grown, s.pqs)
+		s.pqs = grown
+	}
+	s.pqs = s.pqs[:len(q.Pts)]
+	for i := range s.pqs {
+		s.pqs[i].reset()
+	}
+	s.cands = s.cands[:0]
+	s.exhausted = false
 }
 
 func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
@@ -101,19 +107,8 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 		return nil, err
 	}
 	e.stats = query.SearchStats{}
-	poolBase := e.idx.ts.PoolStats()
-	hiclBase := e.idx.hiclStore.Stats()
-
-	s := &searcher{
-		idx:       e,
-		q:         q,
-		near:      make([]*nearSet, len(q.Pts)),
-		seen:      make(map[trajectory.TrajID]struct{}),
-		hiclCache: make(map[hiclKey]invindex.PostingList),
-	}
-	for i := range s.near {
-		s.near[i] = newNearSet()
-	}
+	s := &e.sc
+	s.begin(q)
 	s.initQueue()
 
 	topk := query.NewTopK(k)
@@ -145,58 +140,77 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 			break
 		}
 	}
-	pool := e.idx.ts.PoolStats().Sub(poolBase)
-	hicl := e.idx.hiclStore.Stats().Sub(hiclBase)
-	e.stats.PageReads = int(pool.Touched + hicl.Touched)
 	return topk.Results(), nil
 }
 
-// initQueue seeds the priority queue with every level-1 cell containing any
-// of each query point's activities (the "highest level of HICL").
+// initQueue seeds each query point's frontier with every level-1 cell
+// containing any of its activities (the "highest level of HICL").
 func (s *searcher) initQueue() {
-	g := s.idx.idx.g
+	g := s.e.idx.g
 	for qi, qp := range s.q.Pts {
 		for _, cell := range g.TopCells() {
 			mask := s.cellMask(cell, qp.Acts)
 			if mask == 0 {
 				continue
 			}
-			ce := cellEntry{dist: g.MinDist(qp.Loc, cell), cell: cell, qi: int32(qi), mask: mask}
-			heap.Push(&s.pq, ce)
-			s.near[qi].Add(nearCell{dist: ce.dist, cell: cell, mask: mask})
+			s.pqs[qi].push(nearCell{dist: g.MinDist(qp.Loc, cell), cell: cell, mask: mask})
 		}
 	}
 }
 
-// hiclList fetches the HICL posting list for (level, act), consulting the
-// in-memory levels directly and caching disk-level fetches per search.
+// minQueue returns the index of the query point whose frontier head is the
+// globally nearest cell (ties: lowest level, Z, then query point), or -1
+// when every frontier is empty.
+func (s *searcher) minQueue() int {
+	best := -1
+	for i := range s.pqs {
+		if s.pqs[i].Len() == 0 {
+			continue
+		}
+		if best < 0 || nearLess(s.pqs[i].head(), s.pqs[best].head()) {
+			best = i
+		}
+	}
+	return best
+}
+
+// hiclList fetches the HICL posting list for (level, act): the in-memory
+// levels are consulted directly; disk-level lists go through the index's
+// shared decoded-list cache, so across queries (and across engine clones)
+// each list is read and decoded once while resident. Page and cache
+// traffic is charged to the engine's stats at the point of the fetch so
+// per-search accounting stays exact under concurrent serving; absent lists
+// are cached as nil so repeated probes stay cheap.
 func (s *searcher) hiclList(level int, a trajectory.ActivityID) invindex.PostingList {
-	idx := s.idx.idx
+	idx := s.e.idx
 	if level <= len(idx.hiclMem)-1 {
 		return idx.hiclMem[level][a]
 	}
 	key := hiclKey{level: uint8(level), act: a}
-	if l, ok := s.hiclCache[key]; ok {
-		return l
+	if list, ok := idx.hicl.Get(key); ok {
+		s.e.stats.CacheHits++
+		return list
 	}
+	s.e.stats.CacheMisses++
 	ref, ok := idx.hiclDir[key]
 	if !ok {
-		s.hiclCache[key] = nil
+		idx.hicl.Put(key, nil)
 		return nil
 	}
+	s.e.stats.PageReads += ref.PageSpan()
 	blob, err := idx.hiclStore.Read(ref)
 	if err != nil {
 		// The store is sealed and append-only; a read failure indicates
 		// corruption, which Build would have surfaced. Treat as absent.
-		s.hiclCache[key] = nil
+		idx.hicl.Put(key, nil)
 		return nil
 	}
 	list, _, err := invindex.DecodePostings(blob)
 	if err != nil {
-		s.hiclCache[key] = nil
+		idx.hicl.Put(key, nil)
 		return nil
 	}
-	s.hiclCache[key] = list
+	idx.hicl.Put(key, list)
 	return list
 }
 
@@ -231,79 +245,80 @@ func (s *searcher) childMasks(cell grid.Cell, acts trajectory.ActivitySet) [4]ui
 }
 
 // retrieveBatch runs the best-first expansion until at least lambda new
-// candidate trajectories are collected (Section V-A) or the queue empties.
+// candidate trajectories are collected (Section V-A) or every frontier
+// empties. The returned slice aliases searcher scratch.
 func (s *searcher) retrieveBatch(lambda int) []trajectory.TrajID {
-	g := s.idx.idx.g
-	depth := s.idx.idx.cfg.Depth
-	var out []trajectory.TrajID
+	g := s.e.idx.g
+	depth := s.e.idx.cfg.Depth
+	out := s.cands[:0]
 	for len(out) < lambda {
-		if s.pq.Len() == 0 {
+		qi := s.minQueue()
+		if qi < 0 {
 			s.exhausted = true
 			break
 		}
-		e := heap.Pop(&s.pq).(cellEntry)
-		s.idx.stats.PQPops++
-		s.near[e.qi].Remove(e.cell)
-		qp := s.q.Pts[e.qi]
-		if int(e.cell.Level) < depth {
-			masks := s.childMasks(e.cell, qp.Acts)
-			children := e.cell.Children()
+		c := s.pqs[qi].pop()
+		s.e.stats.PQPops++
+		qp := s.q.Pts[qi]
+		if int(c.cell.Level) < depth {
+			masks := s.childMasks(c.cell, qp.Acts)
+			children := c.cell.Children()
 			for ci, mask := range masks {
 				if mask == 0 {
 					continue
 				}
 				child := children[ci]
-				ce := cellEntry{dist: g.MinDist(qp.Loc, child), cell: child, qi: e.qi, mask: mask}
-				heap.Push(&s.pq, ce)
-				s.near[e.qi].Add(nearCell{dist: ce.dist, cell: child, mask: mask})
+				s.pqs[qi].push(nearCell{dist: g.MinDist(qp.Loc, child), cell: child, mask: mask})
 			}
 			continue
 		}
 		// Leaf cell: pull matching trajectories from its ITL.
-		itl := s.idx.idx.itl[e.cell.Z]
+		itl := s.e.idx.itl[c.cell.Z]
 		if itl == nil {
 			continue
 		}
 		for _, a := range qp.Acts {
 			for _, tid := range itl.lists[a] {
-				id := trajectory.TrajID(tid)
-				if _, ok := s.seen[id]; !ok {
-					s.seen[id] = struct{}{}
-					out = append(out, id)
+				if s.seen[tid] != s.gen {
+					s.seen[tid] = s.gen
+					out = append(out, trajectory.TrajID(tid))
 				}
 			}
 		}
 	}
+	s.cands = out
 	return out
 }
 
 // lowerBound computes Dlb for all unseen trajectories. With the loose
-// option it is the priority queue's head distance; otherwise Algorithm 2:
+// option it is the frontier's head distance; otherwise Algorithm 2:
 // per query point, the better of (a) the minimum point match distance over
 // virtual points standing in for the m nearest unvisited cells and (b) the
 // distance of the (m+1)-th unvisited cell, summed over query points. An
 // exhausted query point contributes +Inf — every trajectory containing its
 // activities has been seen.
 func (s *searcher) lowerBound() float64 {
-	if s.idx.idx.cfg.LooseLowerBound {
-		if s.pq.Len() == 0 {
+	if s.e.idx.cfg.LooseLowerBound {
+		qi := s.minQueue()
+		if qi < 0 {
 			return math.Inf(1)
 		}
-		return s.pq[0].dist
+		return s.pqs[qi].head().dist
 	}
-	m := s.idx.idx.cfg.NearCells
+	m := s.e.idx.cfg.NearCells
 	var sum float64
-	virtual := make([]matcher.WeightedPoint, 0, m)
-	for qi, qp := range s.q.Pts {
-		cells := s.near[qi].FirstM(m + 1)
+	for qi := range s.q.Pts {
+		qp := s.q.Pts[qi]
+		cells := s.pqs[qi].firstM(s.nearBuf[:0], m+1)
+		s.nearBuf = cells[:0]
 		if len(cells) == 0 {
 			return math.Inf(1)
 		}
-		virtual = virtual[:0]
+		s.virtual = s.virtual[:0]
 		for _, c := range cells[:min(m, len(cells))] {
-			virtual = append(virtual, matcher.WeightedPoint{Dist: c.dist, Mask: c.mask})
+			s.virtual = append(s.virtual, matcher.WeightedPoint{Dist: c.dist, Mask: c.mask})
 		}
-		dvirt := s.idx.m.MinPointMatchSorted(len(qp.Acts), virtual)
+		dvirt := s.e.m.MinPointMatchSorted(len(qp.Acts), s.virtual)
 		bound := dvirt
 		if len(cells) > m && cells[m].dist < bound {
 			bound = cells[m].dist
@@ -317,5 +332,11 @@ func (s *searcher) lowerBound() float64 {
 }
 
 // Clone returns an independent engine over the same (immutable) index, for
-// concurrent query execution: each goroutine owns one engine.
+// concurrent query execution: each goroutine owns one engine, while the
+// index, its HICL cache, the trajectory store and its APL cache are shared.
 func (e *Engine) Clone() query.Engine { return NewEngine(e.idx) }
+
+// ResetCaches empties the index's shared decoded-HICL cache so cold-cache
+// measurements are fair across engines and workloads (the harness calls
+// this alongside TrajStore.ResetPool).
+func (e *Engine) ResetCaches() { e.idx.ResetCache() }

@@ -27,6 +27,9 @@ type Options struct {
 	Datasets []string
 	// Seed offsets workload generation.
 	Seed int64
+	// Workers is the worker-count sweep of the throughput experiment
+	// (default 1, 2, 4, 8).
+	Workers []int
 }
 
 // WithDefaults fills unset options with the suite defaults.

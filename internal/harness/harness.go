@@ -93,11 +93,25 @@ func (w WorkloadResult) AvgPageReads() float64 {
 	return float64(w.Stats.PageReads) / float64(w.Queries)
 }
 
-// RunWorkload executes qs against e and aggregates timing and statistics.
-// The shared buffer pool is reset first so engines are measured from a cold
-// cache regardless of run order.
-func RunWorkload(ts *evaluate.TrajStore, e query.Engine, qs []query.Query, k int, ordered bool) (WorkloadResult, error) {
+// cacheResetter is implemented by engines holding cross-query caches of
+// their own (beyond the TrajStore's) that cold-cache runs must clear.
+type cacheResetter interface{ ResetCaches() }
+
+// resetCaches puts the shared storage layer and any engine-owned caches in
+// the cold state, so engines are measured identically regardless of run
+// order.
+func resetCaches(ts *evaluate.TrajStore, e query.Engine) {
 	ts.ResetPool()
+	if cr, ok := e.(cacheResetter); ok {
+		cr.ResetCaches()
+	}
+}
+
+// RunWorkload executes qs against e and aggregates timing and statistics.
+// The shared buffer pool and caches are reset first so engines are measured
+// from a cold cache regardless of run order.
+func RunWorkload(ts *evaluate.TrajStore, e query.Engine, qs []query.Query, k int, ordered bool) (WorkloadResult, error) {
+	resetCaches(ts, e)
 	res := WorkloadResult{Method: e.Name(), Queries: len(qs)}
 	for qi, q := range qs {
 		start := time.Now()

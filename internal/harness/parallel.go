@@ -1,8 +1,6 @@
 package harness
 
 import (
-	"fmt"
-	"sync"
 	"time"
 
 	"activitytraj/internal/evaluate"
@@ -11,59 +9,23 @@ import (
 
 // CloneableEngine is an engine that can spawn independent copies sharing
 // its immutable index structures. All four engines implement it; clones
-// read the shared trajectory store, whose buffer pool is concurrency-safe.
-type CloneableEngine interface {
-	query.Engine
-	Clone() query.Engine
-}
+// read the shared trajectory store, whose buffer pool and APL cache are
+// concurrency-safe.
+type CloneableEngine = query.CloneableEngine
 
-// RunWorkloadParallel executes qs across workers goroutines, each with its
-// own engine clone, and aggregates the outcome. Total wall time divided by
-// the query count gives effective throughput, not per-query latency.
+// RunWorkloadParallel executes qs across a ParallelEngine with the given
+// worker count and aggregates the outcome. Total wall time divided by the
+// query count gives effective throughput, not per-query latency.
 func RunWorkloadParallel(ts *evaluate.TrajStore, e CloneableEngine, qs []query.Query, k int, ordered bool, workers int) (WorkloadResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(qs) && len(qs) > 0 {
-		workers = len(qs)
-	}
-	ts.ResetPool()
+	resetCaches(ts, e)
+	pe := query.NewParallelEngine(e, workers)
 	res := WorkloadResult{Method: e.Name(), Queries: len(qs)}
-
-	type partial struct {
-		stats query.SearchStats
-		err   error
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
 	start := time.Now()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			eng := e.Clone()
-			for qi := w; qi < len(qs); qi += workers {
-				var err error
-				if ordered {
-					_, err = eng.SearchOATSQ(qs[qi], k)
-				} else {
-					_, err = eng.SearchATSQ(qs[qi], k)
-				}
-				if err != nil {
-					parts[w].err = fmt.Errorf("worker %d query %d: %w", w, qi, err)
-					return
-				}
-				parts[w].stats.Add(eng.LastStats())
-			}
-		}(w)
-	}
-	wg.Wait()
+	_, err := pe.SearchBatch(qs, k, ordered)
 	res.TotalTime = time.Since(start)
-	for _, p := range parts {
-		if p.err != nil {
-			return res, p.err
-		}
-		res.Stats.Add(p.stats)
-	}
-	return res, nil
+	res.Stats = pe.LastStats()
+	return res, err
 }

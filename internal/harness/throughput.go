@@ -33,10 +33,14 @@ func (s *Suite) Throughput(w io.Writer) error {
 		for len(reps) < 64 {
 			reps = append(reps, qs...)
 		}
+		sweep := s.opts.Workers
+		if len(sweep) == 0 {
+			sweep = []int{1, 2, 4, 8}
+		}
 		tab := NewTable(
 			fmt.Sprintf("Throughput — ATSQ on %s (queries/sec, %d queries)", dsName, len(reps)),
 			"workers", "IL", "RT", "IRT", "GAT")
-		for _, workers := range []int{1, 2, 4, 8} {
+		for _, workers := range sweep {
 			row := []string{fmt.Sprint(workers)}
 			for _, e := range st.Engines {
 				ce, ok := e.(CloneableEngine)

@@ -44,6 +44,7 @@ type Matcher struct {
 	queue []uint32
 	gPrev []float64
 	gCur  []float64
+	wpts  []WeightedPoint
 }
 
 // resetTable returns a subset table of size 1<<nq with every entry +Inf

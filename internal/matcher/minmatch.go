@@ -24,16 +24,15 @@ func (r QueryRow) Empty() bool { return len(r.Idx) == 0 }
 // the current top-k, which is the same pruning every engine applies.
 func (m *Matcher) MinMatch(rows []QueryRow, threshold float64) float64 {
 	var sum float64
-	scratch := make([]WeightedPoint, 0, 16)
 	for _, row := range rows {
 		if row.Empty() && row.NumActs > 0 {
 			return Inf
 		}
-		scratch = scratch[:0]
+		m.wpts = m.wpts[:0]
 		for i := range row.Idx {
-			scratch = append(scratch, WeightedPoint{Dist: row.Dist[i], Mask: row.Mask[i]})
+			m.wpts = append(m.wpts, WeightedPoint{Dist: row.Dist[i], Mask: row.Mask[i]})
 		}
-		d := m.MinPointMatch(row.NumActs, scratch)
+		d := m.MinPointMatch(row.NumActs, m.wpts)
 		if d == Inf {
 			return Inf
 		}

@@ -1,11 +1,22 @@
 package matcher
 
-import "sort"
+import "slices"
 
 // SortByDist orders candidate points by ascending distance — the input
-// order Algorithm 3 requires for its early-termination condition.
+// order Algorithm 3 requires for its early-termination condition. It uses
+// the generic sort, which (unlike sort.Slice) does not allocate, keeping
+// the per-candidate path of a search allocation-free.
 func SortByDist(pts []WeightedPoint) {
-	sort.Slice(pts, func(i, j int) bool { return pts[i].Dist < pts[j].Dist })
+	slices.SortFunc(pts, func(a, b WeightedPoint) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		default:
+			return 0
+		}
+	})
 }
 
 // MinPointMatch computes Dmpm(q, Tr) — the minimum point match distance of

@@ -1,8 +1,6 @@
 package matcher
 
 import (
-	"sort"
-
 	"activitytraj/internal/geo"
 	"activitytraj/internal/query"
 	"activitytraj/internal/trajectory"
@@ -29,40 +27,70 @@ func BuildRowsFromPoints(qpts []query.Point, pts []trajectory.Point) []QueryRow 
 	return rows
 }
 
-// BuildRowsFromPostings builds candidate rows from Activity Posting Lists —
-// the path used by GAT and IL, which read only the relevant point indexes
-// from disk. postings returns the ascending point indexes of the trajectory
-// that carry activity a (nil when absent); coords are the trajectory's point
-// locations.
-func BuildRowsFromPostings(
+// RowBuilder builds candidate rows from posting lists into reusable scratch,
+// so the per-candidate hot path of a search allocates nothing once warm.
+// The returned rows alias the builder and are valid until the next Build.
+type RowBuilder struct {
+	rows  []QueryRow
+	lists [][]uint32
+	pos   []int
+}
+
+// Build builds candidate rows from Activity Posting Lists — the path used
+// by GAT and IL, which read only the relevant point indexes from disk.
+// postings returns the ascending point indexes of the trajectory that carry
+// activity a (nil when absent); coords are the trajectory's point
+// locations. The per-activity lists are k-way-merged directly (they are
+// already ascending), so no scatter map and no sort.
+func (rb *RowBuilder) Build(
 	qpts []query.Point,
 	postings func(a trajectory.ActivityID) []uint32,
 	coords []geo.Point,
 ) []QueryRow {
-	rows := make([]QueryRow, len(qpts))
-	for qi, qp := range qpts {
-		row := QueryRow{NumActs: len(qp.Acts)}
-		masks := make(map[int32]uint32)
-		for b, a := range qp.Acts {
-			for _, idx := range postings(a) {
-				masks[int32(idx)] |= 1 << uint(b)
-			}
-		}
-		if len(masks) > 0 {
-			idxs := make([]int32, 0, len(masks))
-			for idx := range masks {
-				idxs = append(idxs, idx)
-			}
-			sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-			row.Idx = idxs
-			row.Dist = make([]float64, len(idxs))
-			row.Mask = make([]uint32, len(idxs))
-			for i, idx := range idxs {
-				row.Dist[i] = geo.Dist(qp.Loc, coords[idx])
-				row.Mask[i] = masks[idx]
-			}
-		}
-		rows[qi] = row
+	if cap(rb.rows) < len(qpts) {
+		grown := make([]QueryRow, len(qpts))
+		copy(grown, rb.rows)
+		rb.rows = grown
 	}
-	return rows
+	rb.rows = rb.rows[:len(qpts)]
+	for qi := range qpts {
+		qp := &qpts[qi]
+		row := &rb.rows[qi]
+		row.NumActs = len(qp.Acts)
+		row.Idx = row.Idx[:0]
+		row.Dist = row.Dist[:0]
+		row.Mask = row.Mask[:0]
+
+		rb.lists = rb.lists[:0]
+		rb.pos = rb.pos[:0]
+		for _, a := range qp.Acts {
+			rb.lists = append(rb.lists, postings(a))
+			rb.pos = append(rb.pos, 0)
+		}
+		for {
+			// Next unconsumed point index across the activity lists.
+			min := uint32(0)
+			found := false
+			for b, l := range rb.lists {
+				if p := rb.pos[b]; p < len(l) && (!found || l[p] < min) {
+					min = l[p]
+					found = true
+				}
+			}
+			if !found {
+				break
+			}
+			var mask uint32
+			for b, l := range rb.lists {
+				if p := rb.pos[b]; p < len(l) && l[p] == min {
+					mask |= 1 << uint(b)
+					rb.pos[b]++
+				}
+			}
+			row.Idx = append(row.Idx, int32(min))
+			row.Dist = append(row.Dist, geo.Dist(qp.Loc, coords[min]))
+			row.Mask = append(row.Mask, mask)
+		}
+	}
+	return rb.rows
 }

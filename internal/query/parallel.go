@@ -1,0 +1,177 @@
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CloneableEngine is an Engine that can spawn independent copies sharing
+// its immutable index structures. All engines in this repository implement
+// it: index structures are read-only after build, and the shared storage
+// layer (buffer pool, decoded-structure caches) is concurrency-safe, so
+// clones may run in parallel.
+type CloneableEngine interface {
+	Engine
+	Clone() Engine
+}
+
+// ParallelEngine serves queries across a fixed pool of engine clones, one
+// per worker, so throughput scales with cores while each clone keeps its
+// allocation-free scratch. It implements Engine (single queries borrow a
+// clone from the pool) and adds SearchBatch for fan-out over a whole batch.
+// All methods are safe for concurrent use.
+type ParallelEngine struct {
+	name    string
+	mem     int64
+	workers int
+	pool    chan Engine
+
+	mu    sync.Mutex
+	stats SearchStats // aggregate of the last SearchBatch / single search
+}
+
+// NewParallelEngine builds a pool of workers clones of e. workers <= 0
+// selects GOMAXPROCS.
+func NewParallelEngine(e CloneableEngine, workers int) *ParallelEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &ParallelEngine{
+		name:    e.Name(),
+		mem:     e.MemBytes(),
+		workers: workers,
+		pool:    make(chan Engine, workers),
+	}
+	// The prototype itself becomes the first worker: a fresh clone's
+	// scratch is identical to the prototype's, and reusing it means a
+	// 1-worker ParallelEngine adds no engine state at all.
+	p.pool <- e
+	for i := 1; i < workers; i++ {
+		p.pool <- e.Clone()
+	}
+	return p
+}
+
+// Name implements Engine.
+func (p *ParallelEngine) Name() string { return p.name }
+
+// MemBytes implements Engine. Clones share the index, so the footprint is
+// the prototype's.
+func (p *ParallelEngine) MemBytes() int64 { return p.mem }
+
+// Workers returns the pool size.
+func (p *ParallelEngine) Workers() int { return p.workers }
+
+// LastStats implements Engine: the summed statistics of the last
+// SearchBatch (or single search).
+func (p *ParallelEngine) LastStats() SearchStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// SearchATSQ implements Engine by borrowing one clone from the pool.
+func (p *ParallelEngine) SearchATSQ(q Query, k int) ([]Result, error) {
+	return p.searchOne(q, k, false)
+}
+
+// SearchOATSQ implements Engine by borrowing one clone from the pool.
+func (p *ParallelEngine) SearchOATSQ(q Query, k int) ([]Result, error) {
+	return p.searchOne(q, k, true)
+}
+
+func (p *ParallelEngine) searchOne(q Query, k int, ordered bool) ([]Result, error) {
+	e := <-p.pool
+	defer func() { p.pool <- e }()
+	var rs []Result
+	var err error
+	if ordered {
+		rs, err = e.SearchOATSQ(q, k)
+	} else {
+		rs, err = e.SearchATSQ(q, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st := e.LastStats()
+	p.mu.Lock()
+	p.stats = st
+	p.mu.Unlock()
+	return rs, nil
+}
+
+// SearchBatch answers qs[i] into the i-th result slot, fanning the batch
+// out over the worker pool. Queries are handed to workers through a single
+// atomic cursor, so a slow query never stalls the rest of the batch. On
+// error the first failure (by query index) is reported and the remaining
+// queries are abandoned. LastStats afterwards returns the summed statistics
+// of all completed searches.
+func (p *ParallelEngine) SearchBatch(qs []Query, k int, ordered bool) ([][]Result, error) {
+	out := make([][]Result, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+	workers := p.workers
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	type werr struct {
+		qi  int
+		err error
+	}
+	errs := make([]werr, workers)
+	var agg SearchStats
+	var aggMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := <-p.pool
+			defer func() { p.pool <- e }()
+			errs[w].qi = -1
+			var local SearchStats
+			for !failed.Load() {
+				qi := int(cursor.Add(1)) - 1
+				if qi >= len(qs) {
+					break
+				}
+				var err error
+				if ordered {
+					out[qi], err = e.SearchOATSQ(qs[qi], k)
+				} else {
+					out[qi], err = e.SearchATSQ(qs[qi], k)
+				}
+				if err != nil {
+					errs[w] = werr{qi: qi, err: err}
+					failed.Store(true)
+					break
+				}
+				local.Add(e.LastStats())
+			}
+			aggMu.Lock()
+			agg.Add(local)
+			aggMu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	p.stats = agg
+	p.mu.Unlock()
+	first := werr{qi: -1}
+	for _, we := range errs {
+		if we.err != nil && (first.qi < 0 || we.qi < first.qi) {
+			first = we
+		}
+	}
+	if first.err != nil {
+		return out, fmt.Errorf("query %d: %w", first.qi, first.err)
+	}
+	return out, nil
+}

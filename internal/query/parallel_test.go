@@ -1,0 +1,126 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"activitytraj/internal/geo"
+)
+
+// fakeEngine answers query i (encoded in the X coordinate) with a single
+// result whose distance is i, and fails on X == failAt.
+type fakeEngine struct {
+	calls  *atomic.Int64
+	failAt float64
+	stats  SearchStats
+}
+
+func (f *fakeEngine) Name() string    { return "fake" }
+func (f *fakeEngine) MemBytes() int64 { return 1 }
+func (f *fakeEngine) Clone() Engine   { return &fakeEngine{calls: f.calls, failAt: f.failAt} }
+func (f *fakeEngine) LastStats() SearchStats {
+	return f.stats
+}
+func (f *fakeEngine) SearchATSQ(q Query, k int) ([]Result, error) {
+	f.calls.Add(1)
+	x := q.Pts[0].Loc.X
+	if f.failAt != 0 && x == f.failAt {
+		f.stats = SearchStats{}
+		return nil, fmt.Errorf("query %v failed", x)
+	}
+	f.stats = SearchStats{Candidates: 1, Scored: 1}
+	return []Result{{ID: 0, Dist: x}}, nil
+}
+func (f *fakeEngine) SearchOATSQ(q Query, k int) ([]Result, error) { return f.SearchATSQ(q, k) }
+
+func fakeQueries(n int) []Query {
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = Query{Pts: []Point{{Loc: geo.Point{X: float64(i + 1)}}}}
+	}
+	return qs
+}
+
+func TestSearchBatchOrderAndStats(t *testing.T) {
+	var calls atomic.Int64
+	pe := NewParallelEngine(&fakeEngine{calls: &calls}, 4)
+	qs := fakeQueries(37)
+	out, err := pe.SearchBatch(qs, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(qs) {
+		t.Fatalf("got %d result slots", len(out))
+	}
+	for i, rs := range out {
+		if len(rs) != 1 || rs[0].Dist != float64(i+1) {
+			t.Fatalf("slot %d = %+v", i, rs)
+		}
+	}
+	if got := calls.Load(); got != int64(len(qs)) {
+		t.Fatalf("engine ran %d times, want %d", got, len(qs))
+	}
+	st := pe.LastStats()
+	if st.Candidates != len(qs) || st.Scored != len(qs) {
+		t.Fatalf("aggregate stats = %+v", st)
+	}
+}
+
+func TestSearchBatchError(t *testing.T) {
+	var calls atomic.Int64
+	pe := NewParallelEngine(&fakeEngine{calls: &calls, failAt: 5}, 3)
+	qs := fakeQueries(20)
+	_, err := pe.SearchBatch(qs, 1, false)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// The failure is attributed to its query index.
+	if !strings.HasPrefix(err.Error(), "query 4:") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSearchBatchEmptyAndSingleWorker(t *testing.T) {
+	var calls atomic.Int64
+	pe := NewParallelEngine(&fakeEngine{calls: &calls}, 1)
+	out, err := pe.SearchBatch(nil, 1, false)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: %v %v", out, err)
+	}
+	if pe.Workers() != 1 {
+		t.Fatalf("workers = %d", pe.Workers())
+	}
+	qs := fakeQueries(5)
+	out, err = pe.SearchBatch(qs, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[4][0].Dist != 5 {
+		t.Fatalf("single worker batch wrong: %+v", out)
+	}
+}
+
+func TestParallelEngineSingleSearch(t *testing.T) {
+	var calls atomic.Int64
+	pe := NewParallelEngine(&fakeEngine{calls: &calls}, 2)
+	rs, err := pe.SearchATSQ(fakeQueries(1)[0], 1)
+	if err != nil || len(rs) != 1 || rs[0].Dist != 1 {
+		t.Fatalf("single search: %v %v", rs, err)
+	}
+	if st := pe.LastStats(); st.Scored != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if pe.Name() != "fake" || pe.MemBytes() != 1 {
+		t.Fatal("identity not forwarded")
+	}
+}
+
+func TestNewParallelEngineDefaultWorkers(t *testing.T) {
+	var calls atomic.Int64
+	pe := NewParallelEngine(&fakeEngine{calls: &calls}, 0)
+	if pe.Workers() < 1 {
+		t.Fatalf("workers = %d", pe.Workers())
+	}
+}

@@ -92,6 +92,8 @@ type SearchStats struct {
 	Batches        int // λ-batches of Algorithm 1
 	PageReads      int // simulated disk pages read
 	NodesVisited   int // R-tree / IR-tree nodes visited (baselines)
+	CacheHits      int // decoded-structure cache hits (HICL lists, APLs)
+	CacheMisses    int // decoded-structure cache misses
 }
 
 // Add accumulates other into s (used when averaging over a workload).
@@ -105,4 +107,6 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.Batches += other.Batches
 	s.PageReads += other.PageReads
 	s.NodesVisited += other.NodesVisited
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
 }

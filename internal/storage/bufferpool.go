@@ -3,6 +3,7 @@ package storage
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // PoolStats counts page traffic through a BufferPool. Touched counts every
@@ -26,19 +27,53 @@ func (s PoolStats) Sub(old PoolStats) PoolStats {
 	}
 }
 
-// BufferPool is a fixed-capacity LRU page cache in front of a Pager.
+// BufferPool is a fixed-capacity LRU page cache in front of a Pager, safe
+// for concurrent use. The page-frame map and LRU list are sharded by page
+// number so concurrent readers (engine clones serving queries in parallel)
+// do not serialize on a single mutex; statistics are kept in atomics.
+//
+// Pools below 2 * minPagesPerShard pages use a single shard, which keeps
+// exact global LRU semantics for the small deterministic pools tests and
+// cold-cache experiments use.
 type BufferPool struct {
-	mu       sync.Mutex
 	pager    Pager
+	capacity int
+	shards   []poolShard
+	mask     uint32
+
+	touched atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64
+}
+
+type poolShard struct {
+	mu       sync.Mutex
 	capacity int
 	lru      *list.List // front = most recent; values are *frame
 	frames   map[uint32]*list.Element
-	stats    PoolStats
 }
 
 type frame struct {
 	id   uint32
 	data [PageSize]byte
+}
+
+const (
+	// maxPoolShards bounds lock splitting; past ~16 ways the mutexes are
+	// no longer the bottleneck.
+	maxPoolShards = 16
+	// minPagesPerShard keeps shards big enough that per-shard LRU still
+	// approximates global LRU.
+	minPagesPerShard = 8
+)
+
+func poolShardCount(capacity int) int {
+	n := 1
+	for n < maxPoolShards && capacity >= n*2*minPagesPerShard {
+		n <<= 1
+	}
+	return n
 }
 
 // NewBufferPool returns a pool caching up to capacity pages of pager.
@@ -47,77 +82,126 @@ func NewBufferPool(pager Pager, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
+	n := poolShardCount(capacity)
+	bp := &BufferPool{
 		pager:    pager,
 		capacity: capacity,
-		lru:      list.New(),
-		frames:   make(map[uint32]*list.Element, capacity),
+		shards:   make([]poolShard, n),
+		mask:     uint32(n - 1),
 	}
+	base, extra := capacity/n, capacity%n
+	for i := range bp.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		bp.shards[i] = poolShard{
+			capacity: c,
+			lru:      list.New(),
+			frames:   make(map[uint32]*list.Element, c),
+		}
+	}
+	return bp
 }
 
+func (bp *BufferPool) shardFor(id uint32) *poolShard { return &bp.shards[id&bp.mask] }
+
 // Get returns the content of page id. The returned slice aliases the cached
-// frame and is valid until the next pool operation; callers must copy out
-// anything they keep and must not modify it.
+// frame: callers must not modify it. Evicted frames are never recycled, so
+// the slice stays valid (and race-free) even if the page is evicted while a
+// concurrent reader still holds it.
 func (bp *BufferPool) Get(id uint32) ([]byte, error) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.stats.Touched++
-	if el, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
-		bp.lru.MoveToFront(el)
-		return el.Value.(*frame).data[:], nil
+	bp.touched.Add(1)
+	s := bp.shardFor(id)
+	s.mu.Lock()
+	if el, ok := s.frames[id]; ok {
+		s.lru.MoveToFront(el)
+		data := el.Value.(*frame).data[:]
+		s.mu.Unlock()
+		bp.hits.Add(1)
+		return data, nil
 	}
-	bp.stats.Misses++
-	var fr *frame
-	if bp.lru.Len() >= bp.capacity {
-		el := bp.lru.Back()
-		fr = el.Value.(*frame)
-		delete(bp.frames, fr.id)
-		bp.lru.Remove(el)
-		bp.stats.Evicted++
-	} else {
-		fr = &frame{}
-	}
+	s.mu.Unlock()
+	bp.misses.Add(1)
+
+	// Read outside the shard lock so a slow pager does not stall other
+	// pages of the shard. Concurrent misses on the same page may both read
+	// it; the second insert refreshes the first, which is correct because
+	// pages are immutable once flushed.
+	fr := &frame{id: id}
 	if err := bp.pager.ReadPage(id, fr.data[:]); err != nil {
 		return nil, err
 	}
-	fr.id = id
-	bp.frames[id] = bp.lru.PushFront(fr)
+	s.mu.Lock()
+	if el, ok := s.frames[id]; ok {
+		// Raced with another filler; keep the resident frame.
+		s.lru.MoveToFront(el)
+		data := el.Value.(*frame).data[:]
+		s.mu.Unlock()
+		return data, nil
+	}
+	if s.lru.Len() >= s.capacity {
+		el := s.lru.Back()
+		delete(s.frames, el.Value.(*frame).id)
+		s.lru.Remove(el)
+		bp.evicted.Add(1)
+	}
+	s.frames[id] = s.lru.PushFront(fr)
+	s.mu.Unlock()
 	return fr.data[:], nil
 }
 
 // Invalidate drops page id from the cache (used after rewrites).
 func (bp *BufferPool) Invalidate(id uint32) {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	if el, ok := bp.frames[id]; ok {
-		delete(bp.frames, id)
-		bp.lru.Remove(el)
+	s := bp.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.frames[id]; ok {
+		delete(s.frames, id)
+		s.lru.Remove(el)
 	}
 }
 
 // Reset empties the cache and zeroes statistics.
 func (bp *BufferPool) Reset() {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	bp.lru.Init()
-	bp.frames = make(map[uint32]*list.Element, bp.capacity)
-	bp.stats = PoolStats{}
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		s.lru.Init()
+		s.frames = make(map[uint32]*list.Element, s.capacity)
+		s.mu.Unlock()
+	}
+	bp.touched.Store(0)
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evicted.Store(0)
 }
 
-// Stats returns a snapshot of the pool counters.
+// Stats returns a snapshot of the pool counters. Under concurrent use the
+// counters are individually exact but not mutually atomic.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Touched: bp.touched.Load(),
+		Hits:    bp.hits.Load(),
+		Misses:  bp.misses.Load(),
+		Evicted: bp.evicted.Load(),
+	}
 }
 
 // Capacity returns the pool capacity in pages.
 func (bp *BufferPool) Capacity() int { return bp.capacity }
 
+// Shards returns the number of lock shards the pool uses.
+func (bp *BufferPool) Shards() int { return len(bp.shards) }
+
 // Resident returns the number of pages currently cached.
 func (bp *BufferPool) Resident() int {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.lru.Len()
+	n := 0
+	for i := range bp.shards {
+		s := &bp.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }

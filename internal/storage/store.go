@@ -19,6 +19,18 @@ type SegRef struct {
 // with Len 0 denotes an empty segment.
 func (r SegRef) Zero() bool { return r == SegRef{} }
 
+// PageSpan returns the number of pages a Read of the segment touches.
+// Reading through the buffer pool touches each spanned page exactly once,
+// so this is the per-fetch page cost — engines sum it for the PageReads
+// statistic instead of diffing the pool's global counters, which keeps
+// per-search accounting exact when many searches share the pool.
+func (r SegRef) PageSpan() int {
+	if r.Len == 0 {
+		return 0
+	}
+	return int((r.Off + r.Len + PageSize - 1) / PageSize)
+}
+
 // Store packs append-only byte segments across fixed-size pages and reads
 // them back through a BufferPool. It is the "hard disk" of the paper's
 // Figure 2: APLs, low HICL levels, and raw trajectories are segments here.
@@ -109,10 +121,21 @@ func (s *Store) Seal() error {
 // Read returns the bytes of the segment at ref, reading every spanned page
 // through the buffer pool (each touched page counts toward PoolStats).
 func (s *Store) Read(ref SegRef) ([]byte, error) {
+	return s.ReadInto(ref, nil)
+}
+
+// ReadInto is Read appending into dst (which may be nil), letting hot paths
+// reuse one segment buffer across reads instead of allocating per call.
+func (s *Store) ReadInto(ref SegRef, dst []byte) ([]byte, error) {
 	if ref.Len == 0 {
-		return nil, nil
+		return dst, nil
 	}
-	out := make([]byte, 0, ref.Len)
+	out := dst
+	if cap(out)-len(out) < int(ref.Len) {
+		grown := make([]byte, len(out), len(out)+int(ref.Len))
+		copy(grown, out)
+		out = grown
+	}
 	page := ref.Page
 	off := int(ref.Off)
 	remaining := int(ref.Len)
