@@ -7,6 +7,7 @@ import (
 	"activitytraj/internal/baseline"
 	"activitytraj/internal/checkin"
 	"activitytraj/internal/dataset"
+	"activitytraj/internal/delta"
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/gat"
 	"activitytraj/internal/geo"
@@ -72,6 +73,22 @@ type (
 	GeneratorConfig = dataset.Config
 	// WorkloadConfig parameterizes query workload generation.
 	WorkloadConfig = queries.Config
+
+	// DynamicIndex is the LSM-style dynamic GAT index: an immutable base
+	// generation plus an in-memory delta layer absorbing Insert/Delete,
+	// searched together exactly and compacted in the background. See
+	// NewDynamic.
+	DynamicIndex = delta.Dynamic
+	// DynamicConfig tunes a DynamicIndex (base GAT/store configuration and
+	// the auto-compaction threshold).
+	DynamicConfig = delta.Config
+	// DynamicStats snapshots a DynamicIndex's shape (epoch, delta size,
+	// tombstones, compactions).
+	DynamicStats = delta.Stats
+	// DynamicEngine serves queries over a DynamicIndex; it implements
+	// Engine and CloneableEngine, so NewParallelEngine can serve it
+	// concurrently.
+	DynamicEngine = delta.Engine
 )
 
 // NewActivitySet returns a normalized activity set.
@@ -120,6 +137,17 @@ func NewGAT(ts *TrajStore, cfg GATConfig) (Engine, error) {
 
 // NewEngineForIndex wraps an already-built GAT index.
 func NewEngineForIndex(idx *GATIndex) Engine { return gat.NewEngine(idx) }
+
+// NewDynamic builds a dynamic GAT index over ds for live ingestion: the
+// dataset becomes the immutable base generation, and Insert/Delete apply
+// online through an in-memory delta layer that searches merge exactly with
+// the base. Past DynamicConfig.CompactThreshold delta mutations, a
+// background compaction rebuilds base+delta into a fresh immutable
+// generation and atomically swaps it in; in-flight searches finish on the
+// old generation. Use (*DynamicIndex).NewEngine for a serving engine.
+func NewDynamic(ds *Dataset, cfg DynamicConfig) (*DynamicIndex, error) {
+	return delta.NewDynamic(ds, cfg)
+}
 
 // NewParallelEngine wraps e in a pool of workers clones (workers <= 0
 // selects GOMAXPROCS) for concurrent serving: single searches borrow one

@@ -10,6 +10,12 @@
 //
 // With -random N, the tool instead generates N workload queries (Table V
 // parameters) and prints per-query results and statistics.
+//
+// With -stream N, the tool exercises the dynamic index: the last N
+// trajectories are held out of the base build and ingested online through
+// DynamicIndex.Insert while the -random workload runs interleaved,
+// reporting search/insert latency and compaction activity as the delta
+// layer fills and is folded into fresh base generations.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	queryStr := flag.String("query", "", `query: "x,y:act1,act2;x,y:act3"`)
 	random := flag.Int("random", 0, "generate this many random workload queries instead")
 	workers := flag.Int("workers", 1, "serve -random queries concurrently on this many engine clones (0 = GOMAXPROCS)")
+	stream := flag.Int("stream", 0, "hold out the last N trajectories and ingest them online (dynamic index) while the -random workload runs")
+	compactAt := flag.Int("compact-threshold", 0, "dynamic-index delta mutations before background compaction (0 = default, <0 = never)")
 	verbose := flag.Bool("v", false, "print per-result trajectory details")
 	flag.Parse()
 
@@ -45,6 +53,22 @@ func main() {
 	st := ds.Stats()
 	fmt.Printf("dataset %s: %d trajectories, %d points, %d distinct activities\n",
 		ds.Name, st.Trajectories, st.Points, st.DistinctActs)
+
+	if *stream > 0 {
+		// Fail loudly on flags streamIngest does not honor, instead of
+		// silently measuring a different configuration.
+		if strings.ToLower(*engineName) != "gat" {
+			log.Fatalf("-stream uses the dynamic GAT index; -engine %s is not supported", *engineName)
+		}
+		if *queryStr != "" {
+			log.Fatal("-stream generates its own workload; use -random N, not -query")
+		}
+		if *workers != 1 {
+			log.Fatal("-stream interleaves searches on one engine; -workers is not supported")
+		}
+		streamIngest(ds, *stream, *random, *k, *ordered, *compactAt)
+		return
+	}
 
 	store, err := activitytraj.NewStore(ds)
 	if err != nil {
@@ -115,6 +139,87 @@ func main() {
 			stats.PageReads, stats.CacheHits, stats.CacheMisses)
 		printResults(results, ds, *verbose)
 	}
+}
+
+// streamIngest holds the last n trajectories out of the base build and
+// ingests them online, interleaving searches from a generated workload so
+// query latency is observed while the delta layer fills and compactions
+// swap generations underneath.
+func streamIngest(ds *activitytraj.Dataset, n, nq, k int, ordered bool, compactAt int) {
+	if n >= len(ds.Trajs) {
+		log.Fatalf("-stream %d leaves no base trajectories (dataset has %d)", n, len(ds.Trajs))
+	}
+	if nq <= 0 {
+		nq = 10
+	}
+	baseN := len(ds.Trajs) - n
+	base := &activitytraj.Dataset{Name: ds.Name, Vocab: ds.Vocab, Trajs: ds.Trajs[:baseN]}
+
+	buildStart := time.Now()
+	d, err := activitytraj.NewDynamic(base, activitytraj.DynamicConfig{CompactThreshold: compactAt})
+	if err != nil {
+		log.Fatalf("dynamic: %v", err)
+	}
+	eng := d.NewEngine()
+	fmt.Printf("dynamic index over %d base trajectories built in %s; streaming %d more\n",
+		baseN, time.Since(buildStart).Round(time.Millisecond), n)
+
+	qs, err := activitytraj.GenerateQueries(ds, activitytraj.WorkloadConfig{
+		NumQueries: nq, Seed: time.Now().UnixNano(),
+	})
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+
+	// Interleave: spread the nq searches evenly through the insert stream.
+	every := n / nq
+	if every == 0 {
+		every = 1
+	}
+	var insertTotal, searchTotal time.Duration
+	inserts, searches := 0, 0
+	for i, tr := range ds.Trajs[baseN:] {
+		t0 := time.Now()
+		if _, err := d.Insert(activitytraj.Trajectory{Pts: tr.Pts}); err != nil {
+			log.Fatalf("insert %d: %v", i, err)
+		}
+		insertTotal += time.Since(t0)
+		inserts++
+		if i%every == every-1 && searches < nq {
+			q := qs[searches]
+			t0 = time.Now()
+			var err error
+			if ordered {
+				_, err = eng.SearchOATSQ(q, k)
+			} else {
+				_, err = eng.SearchATSQ(q, k)
+			}
+			lat := time.Since(t0)
+			searchTotal += lat
+			if err != nil {
+				log.Fatalf("search %d: %v", searches, err)
+			}
+			searches++
+			sst := eng.LastStats()
+			ist := d.Stats()
+			fmt.Printf("  [%4d/%d ingested] search %2d: %8s  (candidates=%d delta=%d epoch=%d compactions=%d)\n",
+				inserts, n, searches, lat.Round(time.Microsecond),
+				sst.Candidates, sst.DeltaCandidates, ist.Epoch, ist.Compactions)
+		}
+	}
+	// Let any in-flight background compaction settle before reporting.
+	for deadline := time.Now().Add(5 * time.Second); d.Stats().Compacting && time.Now().Before(deadline); {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d.LastCompactErr(); err != nil {
+		log.Fatalf("background compaction: %v", err)
+	}
+	ist := d.Stats()
+	fmt.Printf("\ningested %d trajectories (avg %s/insert), %d searches (avg %s)\n",
+		inserts, (insertTotal / time.Duration(inserts)).Round(time.Microsecond),
+		searches, (searchTotal / time.Duration(max(searches, 1))).Round(time.Microsecond))
+	fmt.Printf("final state: epoch=%d base=%d delta=%d tombstones=%d compactions=%d\n",
+		ist.Epoch, ist.BaseTrajectories, ist.DeltaTrajectories, ist.Tombstones, ist.Compactions)
 }
 
 func printResults(results []activitytraj.Result, ds *activitytraj.Dataset, verbose bool) {

@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` output into JSON and gates CI
+// on per-metric ceilings. It reads benchmark output from stdin, writes a
+// JSON array of the parsed results, and exits non-zero when any run of a
+// benchmark exceeds a ceiling given with -fail.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchmem | benchjson -o BENCH_ci.json \
+//	    -fail 'allocs/search:2000'
+//
+// Each -fail entry is metric:ceiling (comma-separable); the gate applies to
+// every benchmark that reports the metric, across every -count repetition.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line: the benchmark name (with the
+// -cpu/GOMAXPROCS suffix stripped), its iteration count, and every reported
+// metric (ns/op, B/op, allocs/op and custom b.ReportMetric units).
+type Result struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// parseLine parses one `go test -bench` result line, returning ok=false for
+// non-benchmark lines (headers, PASS, ok ...).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iters: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+// ceiling is one -fail gate: metric value must stay <= limit.
+type ceiling struct {
+	metric string
+	limit  float64
+}
+
+func parseCeilings(spec string) ([]ceiling, error) {
+	var out []ceiling
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, ":")
+		if i <= 0 {
+			return nil, fmt.Errorf("bad -fail entry %q: want metric:ceiling", part)
+		}
+		limit, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fail ceiling in %q: %v", part, err)
+		}
+		out = append(out, ceiling{metric: part[:i], limit: limit})
+	}
+	return out, nil
+}
+
+// run parses benchmark output from in, writes JSON to jsonOut, echoes the
+// input to echo (so CI logs keep the raw output), and returns the ceiling
+// violations.
+func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling) ([]string, error) {
+	var results []Result
+	var violations []string
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		r, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		results = append(results, r)
+		for _, g := range gates {
+			if v, ok := r.Metrics[g.metric]; ok && v > g.limit {
+				violations = append(violations,
+					fmt.Sprintf("%s: %s = %g exceeds ceiling %g", r.Name, g.metric, v, g.limit))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(jsonOut)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		return nil, err
+	}
+	return violations, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	failSpec := flag.String("fail", "", "comma-separated metric:ceiling gates, e.g. 'allocs/search:2000'")
+	quiet := flag.Bool("q", false, "do not echo the raw benchmark output")
+	flag.Parse()
+
+	gates, err := parseCeilings(*failSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var jsonOut io.Writer = os.Stdout
+	var echo io.Writer
+	if !*quiet {
+		echo = os.Stderr
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("create %s: %v", *out, err)
+		}
+		defer f.Close()
+		jsonOut = f
+	}
+	violations, err := run(os.Stdin, jsonOut, echo, gates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "FAIL %s\n", v)
+	}
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}

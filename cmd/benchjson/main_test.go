@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: activitytraj
+BenchmarkGATSearchAllocs-4   	       3	  14424855 ns/op	      4112 B/op	        92 allocs/op	        23.00 allocs/search
+BenchmarkGATSearchAllocs-4   	       3	  14561102 ns/op	      4112 B/op	        92 allocs/op	        23.00 allocs/search
+BenchmarkParallelThroughput/workers=1-4 	       3	  90000000 ns/op	        32.00 queries/op
+PASS
+ok  	activitytraj	12.3s
+`
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkGATSearchAllocs-4   3   14424855 ns/op   4112 B/op   92 allocs/op   23.00 allocs/search")
+	if !ok {
+		t.Fatal("benchmark line not parsed")
+	}
+	if r.Name != "BenchmarkGATSearchAllocs" {
+		t.Fatalf("name %q", r.Name)
+	}
+	if r.Iters != 3 {
+		t.Fatalf("iters %d", r.Iters)
+	}
+	if r.Metrics["allocs/search"] != 23 || r.Metrics["allocs/op"] != 92 || r.Metrics["ns/op"] != 14424855 {
+		t.Fatalf("metrics %v", r.Metrics)
+	}
+	for _, junk := range []string{"PASS", "ok  \tactivitytraj\t12.3s", "goos: linux", ""} {
+		if _, ok := parseLine(junk); ok {
+			t.Fatalf("parsed junk line %q", junk)
+		}
+	}
+	// Sub-benchmark names keep their path but lose the GOMAXPROCS suffix.
+	r, ok = parseLine("BenchmarkParallelThroughput/workers=1-4 \t 3\t 90000000 ns/op")
+	if !ok || r.Name != "BenchmarkParallelThroughput/workers=1" {
+		t.Fatalf("sub-benchmark: ok=%v name=%q", ok, r.Name)
+	}
+}
+
+func TestRunJSONAndGates(t *testing.T) {
+	var out bytes.Buffer
+	gates, err := parseCeilings("allocs/search:2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, err := run(strings.NewReader(sample), &out, nil, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	var results []Result
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+
+	// A tight ceiling trips on every offending repetition.
+	gates, err = parseCeilings("allocs/search:20,queries/op:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	violations, err = run(strings.NewReader(sample), &out, nil, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 2 {
+		t.Fatalf("violations %v, want 2 (one per allocs/search repetition)", violations)
+	}
+	if !strings.Contains(violations[0], "allocs/search") {
+		t.Fatalf("violation message %q", violations[0])
+	}
+}
+
+func TestParseCeilings(t *testing.T) {
+	gs, err := parseCeilings("allocs/search:2000, ns/op:5e8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 || gs[0].metric != "allocs/search" || gs[0].limit != 2000 || gs[1].limit != 5e8 {
+		t.Fatalf("gates %+v", gs)
+	}
+	if _, err := parseCeilings("nolimit"); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	if gs, err := parseCeilings(""); err != nil || len(gs) != 0 {
+		t.Fatalf("empty spec: %v %v", gs, err)
+	}
+}

@@ -58,6 +58,43 @@
 //     pe, _ := activitytraj.NewParallelEngine(engine, runtime.GOMAXPROCS(0))
 //     results, _ := pe.SearchBatch(queries, 10, false)
 //
+// # Dynamic ingestion
+//
+// The paper builds its index once over a frozen corpus; this library also
+// serves live traffic. NewDynamic wraps the same GAT machinery in an
+// LSM-style dynamic index:
+//
+//	d, _ := activitytraj.NewDynamic(ds, activitytraj.DynamicConfig{})
+//	eng := d.NewEngine()
+//	id, _ := d.Insert(activitytraj.Trajectory{Pts: pts}) // visible immediately
+//	_ = d.Delete(id)                                     // masked immediately
+//	results, _ := eng.SearchATSQ(q, 10)                  // exact over base ∪ delta
+//
+// Writes land in an in-memory delta layer — a mutable mini-GAT (per-cell
+// inverted trajectory lists, an all-in-memory HICL, per-trajectory posting
+// lists and TAS sketches) plus a tombstone set for deletes. Searches merge
+// the delta with the immutable base index inside the best-first expansion
+// itself, so the paper's upper/lower-bound pruning applies to both layers
+// and results are exact — byte-identical to rebuilding the index over the
+// merged corpus. Deletes are tombstones: they mask matches from any layer
+// at candidate-collection time and are physically reclaimed at the next
+// compaction.
+//
+// Once the delta accumulates DynamicConfig.CompactThreshold mutations
+// (default 4096; negative disables), a background compaction rebuilds
+// base+delta into a fresh immutable generation and atomically swaps it in,
+// RCU-style: the delta is first frozen behind a new empty active layer (so
+// writes never block on the rebuild), in-flight searches finish on the
+// generation they started on, and the retired generation's caches are
+// dropped once its last search drains. CompactNow forces a compaction
+// synchronously. Trajectory IDs are assigned densely after the base
+// dataset's and remain stable across compactions.
+//
+// Engines from (*DynamicIndex).NewEngine follow generation swaps
+// automatically and implement CloneableEngine, so NewParallelEngine serves
+// a dynamic index concurrently exactly like a static one. Search cost over
+// the delta shows up in SearchStats.DeltaCandidates.
+//
 // # Cache tuning
 //
 // Two sharded LRU caches sit in front of the simulated disk and are shared

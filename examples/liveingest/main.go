@@ -1,0 +1,77 @@
+// Liveingest demonstrates the dynamic-index lifecycle: build a base index
+// over part of a corpus, ingest the rest online while searching, delete a
+// trajectory, and compact the delta back into a fresh immutable generation.
+// Searches stay exact (identical to a full rebuild) at every step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"activitytraj"
+)
+
+func main() {
+	// A small synthetic check-in corpus: 80% becomes the immutable base,
+	// 20% arrives online.
+	full, err := activitytraj.GenerateDataset(activitytraj.PresetLA(0.02))
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	baseN := len(full.Trajs) * 4 / 5
+	base := &activitytraj.Dataset{Name: full.Name, Vocab: full.Vocab, Trajs: full.Trajs[:baseN]}
+
+	// CompactThreshold: after this many inserts+deletes, a background
+	// compaction folds the delta into a new base generation. Negative
+	// would disable auto-compaction; CompactNow always works.
+	d, err := activitytraj.NewDynamic(base, activitytraj.DynamicConfig{
+		CompactThreshold: 200,
+	})
+	if err != nil {
+		log.Fatalf("dynamic: %v", err)
+	}
+	eng := d.NewEngine() // follows generation swaps automatically
+
+	qs, err := activitytraj.GenerateQueries(full, activitytraj.WorkloadConfig{NumQueries: 1, Seed: 42})
+	if err != nil {
+		log.Fatalf("queries: %v", err)
+	}
+	q := qs[0]
+
+	show := func(stage string) {
+		rs, err := eng.SearchATSQ(q, 3)
+		if err != nil {
+			log.Fatalf("%s: search: %v", stage, err)
+		}
+		st := d.Stats()
+		fmt.Printf("%-22s epoch=%d base=%d delta=%d tombstones=%d compactions=%d\n",
+			stage+":", st.Epoch, st.BaseTrajectories, st.DeltaTrajectories, st.Tombstones, st.Compactions)
+		for i, r := range rs {
+			fmt.Printf("    %d. trajectory %-5d %.3f km\n", i+1, r.ID, r.Dist)
+		}
+	}
+	show("base only")
+
+	// Live ingest: each insert is visible to the very next search.
+	var lastID activitytraj.TrajID
+	for _, tr := range full.Trajs[baseN:] {
+		lastID, err = d.Insert(activitytraj.Trajectory{Pts: tr.Pts})
+		if err != nil {
+			log.Fatalf("insert: %v", err)
+		}
+	}
+	show(fmt.Sprintf("after %d inserts", len(full.Trajs)-baseN))
+
+	// Deletes are tombstones: masked immediately, reclaimed at compaction.
+	if err := d.Delete(lastID); err != nil {
+		log.Fatalf("delete: %v", err)
+	}
+	show("after one delete")
+
+	// Fold everything into a fresh immutable generation. Results do not
+	// change — only where they are served from.
+	if err := d.CompactNow(); err != nil {
+		log.Fatalf("compact: %v", err)
+	}
+	show("after CompactNow")
+}

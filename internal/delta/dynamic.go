@@ -1,0 +1,616 @@
+package delta
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/gat"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/sketch"
+	"activitytraj/internal/trajectory"
+)
+
+// Config tunes a Dynamic index.
+type Config struct {
+	// GAT configures the immutable base index (rebuilt on every
+	// compaction); the zero value uses the paper's defaults.
+	GAT gat.Config
+	// Store configures the base trajectory store. FilePath must be empty:
+	// the dynamic index rebuilds the store on every compaction and only
+	// supports the in-memory pager.
+	Store evaluate.TrajStoreConfig
+	// CompactThreshold is the number of delta mutations (inserts+deletes)
+	// that triggers a background compaction. 0 selects
+	// DefaultCompactThreshold; negative disables auto-compaction (call
+	// CompactNow explicitly).
+	CompactThreshold int
+}
+
+// DefaultCompactThreshold is the default delta-mutation count that triggers
+// a background compaction.
+const DefaultCompactThreshold = 4096
+
+// view merges up to two delta layers (frozen under active) into the single
+// overlay the GAT searcher and evaluator consume. It is immutable; layer
+// content consistency is guaranteed by the generation's read-locking of the
+// active layer (frozen layers receive no writes).
+type view struct {
+	layers []*Layer // search order: frozen first, then active
+	baseN  int
+}
+
+var _ gat.DeltaOverlay = (*view)(nil)
+
+func (v *view) IDSpace() int {
+	n := v.baseN
+	for _, l := range v.layers {
+		if l.idSpace > n {
+			n = l.idSpace
+		}
+	}
+	return n
+}
+
+func (v *view) Empty() bool {
+	for _, l := range v.layers {
+		// Reading len under the generation's search-time lock discipline:
+		// the active layer is read-locked for the whole search, frozen
+		// layers receive no writes.
+		if len(l.trajs) > 0 || l.numTombs.Load() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *view) CellHasAct(level int, z uint32, a trajectory.ActivityID) bool {
+	for _, l := range v.layers {
+		if l.cellHasAct(level, z, a) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *view) AppendCellTrajs(dst []uint32, z uint32, a trajectory.ActivityID) []uint32 {
+	for _, l := range v.layers {
+		dst = l.appendCellTrajs(dst, z, a)
+	}
+	return dst
+}
+
+func (v *view) Tombstoned(id trajectory.TrajID) bool {
+	for _, l := range v.layers {
+		if l.tombstoned(id) {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *view) HasTombstones() bool {
+	for _, l := range v.layers {
+		if l.numTombs.Load() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (v *view) AppendOverflow(dst []uint32) []uint32 {
+	for _, l := range v.layers {
+		dst = append(dst, l.overflowIDs...)
+	}
+	return dst
+}
+
+func (v *view) find(id trajectory.TrajID) *entry {
+	for _, l := range v.layers {
+		if e := l.lookup(id); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// TAS implements evaluate.DeltaSource.
+func (v *view) TAS(id trajectory.TrajID) sketch.Sketch {
+	if e := v.find(id); e != nil {
+		return e.tas
+	}
+	return nil
+}
+
+// Postings implements evaluate.DeltaSource.
+func (v *view) Postings(id trajectory.TrajID, a trajectory.ActivityID) []uint32 {
+	if e := v.find(id); e != nil {
+		return e.aplPostings(a)
+	}
+	return nil
+}
+
+// Coords implements evaluate.DeltaSource.
+func (v *view) Coords(id trajectory.TrajID) []geo.Point {
+	if e := v.find(id); e != nil {
+		return e.pts
+	}
+	return nil
+}
+
+// generation is one immutable epoch of the dynamic index: a base index and
+// store plus the delta layers stacked on top. Searches acquire the current
+// generation, search it, and release it; compaction retires generations by
+// swapping in a successor. refs/drained implement the RCU-style grace
+// period after which a retired generation's caches are dropped.
+type generation struct {
+	epoch  uint64
+	ds     *trajectory.Dataset
+	ts     *evaluate.TrajStore
+	idx    *gat.Index
+	frozen *Layer // layer under compaction, nil otherwise
+	active *Layer
+	ov     *view
+
+	refs      atomic.Int64
+	retired   atomic.Bool
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+func newGeneration(epoch uint64, ds *trajectory.Dataset, ts *evaluate.TrajStore, idx *gat.Index, frozen, active *Layer) *generation {
+	layers := make([]*Layer, 0, 2)
+	if frozen != nil {
+		layers = append(layers, frozen)
+	}
+	layers = append(layers, active)
+	return &generation{
+		epoch:   epoch,
+		ds:      ds,
+		ts:      ts,
+		idx:     idx,
+		frozen:  frozen,
+		active:  active,
+		ov:      &view{layers: layers, baseN: ts.NumTrajs()},
+		drained: make(chan struct{}),
+	}
+}
+
+func (g *generation) release() {
+	if g.refs.Add(-1) == 0 && g.retired.Load() {
+		g.drainOnce.Do(func() { close(g.drained) })
+	}
+}
+
+func (g *generation) retire() {
+	g.retired.Store(true)
+	if g.refs.Load() == 0 {
+		g.drainOnce.Do(func() { close(g.drained) })
+	}
+}
+
+// Dynamic is an LSM-style dynamic GAT index: an immutable base generation
+// plus an in-memory delta layer absorbing Insert/Delete, searched together
+// exactly, and compacted into a fresh immutable generation in the
+// background once the delta grows past Config.CompactThreshold.
+//
+// All methods are safe for concurrent use. Searches go through engines
+// from NewEngine (each engine clone is single-goroutine, as everywhere in
+// this library; wrap with query.NewParallelEngine for concurrent serving).
+type Dynamic struct {
+	cfg Config
+
+	mu     sync.Mutex // serializes writers and generation swaps
+	nextID int        // next trajectory ID to assign (monotone, never reused)
+
+	compactMu   sync.Mutex  // one compaction at a time
+	compacting  atomic.Bool // auto-compaction trigger latch
+	autoOff     atomic.Bool // auto-compaction disabled after a failure
+	compactions atomic.Int64
+	// testFailBuild injects a rebuild failure so tests can exercise the
+	// rollback path (in-memory builds cannot fail organically).
+	testFailBuild atomic.Bool
+	// compactErr holds the last background compaction error, boxed so
+	// atomic.Value never sees two different concrete error types.
+	compactErr atomic.Value // of errBox
+
+	gen atomic.Pointer[generation]
+}
+
+// NewDynamic builds a dynamic index over ds. The dataset is the initial
+// base generation; it must satisfy (*Dataset).Validate and is treated as
+// immutable afterwards.
+func NewDynamic(ds *trajectory.Dataset, cfg Config) (*Dynamic, error) {
+	if cfg.Store.FilePath != "" {
+		return nil, fmt.Errorf("delta: file-backed stores are not supported (compaction rebuilds the store)")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("delta: invalid dataset: %w", err)
+	}
+	ts, idx, err := buildBase(ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dynamic{cfg: cfg, nextID: len(ds.Trajs)}
+	active := NewLayer(idx.Grid(), len(ds.Trajs), ts.SketchIntervals())
+	d.gen.Store(newGeneration(1, ds, ts, idx, nil, active))
+	return d, nil
+}
+
+func buildBase(ds *trajectory.Dataset, cfg Config) (*evaluate.TrajStore, *gat.Index, error) {
+	ts, err := evaluate.BuildTrajStore(ds, cfg.Store)
+	if err != nil {
+		return nil, nil, fmt.Errorf("delta: build store: %w", err)
+	}
+	idx, err := gat.Build(ts, cfg.GAT)
+	if err != nil {
+		return nil, nil, fmt.Errorf("delta: build index: %w", err)
+	}
+	return ts, idx, nil
+}
+
+// threshold returns the effective auto-compaction threshold (<= 0 = off).
+func (d *Dynamic) threshold() int {
+	switch {
+	case d.cfg.CompactThreshold < 0:
+		return 0
+	case d.cfg.CompactThreshold == 0:
+		return DefaultCompactThreshold
+	default:
+		return d.cfg.CompactThreshold
+	}
+}
+
+// acquire pins the current generation for one search. The re-check after
+// incrementing closes the load-then-increment race with retire(): without
+// it, a reader descheduled between Load and Add could pin a generation
+// whose drained channel already fired, and search it while the retirement
+// path drops its caches.
+func (d *Dynamic) acquire() *generation {
+	for {
+		g := d.gen.Load()
+		g.refs.Add(1)
+		if d.gen.Load() == g {
+			return g
+		}
+		g.release()
+	}
+}
+
+// Insert adds a trajectory to the index and returns its assigned ID. The
+// trajectory becomes visible to searches atomically, point activity sets
+// must be normalized (see NewActivitySet) and within the dataset's
+// vocabulary, and the Pts slice is retained — callers must not mutate it
+// afterwards. tr.ID is ignored; IDs are assigned densely after the base
+// dataset's and are stable across compactions.
+func (d *Dynamic) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
+	if err := d.validate(tr); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	gen := d.gen.Load()
+	id := trajectory.TrajID(d.nextID)
+	d.nextID++
+	tr.ID = id
+	gen.active.insert(id, tr)
+	d.mu.Unlock()
+	d.maybeCompact(gen)
+	return id, nil
+}
+
+// Delete removes trajectory id from search results. Deletes are tombstones:
+// the trajectory stops matching immediately and its storage is reclaimed at
+// the next compaction. Deleting an unknown ID is an error; deleting an
+// already-deleted one is a no-op — including across compactions, so
+// idempotent retries never inflate the tombstone count or re-trigger
+// compaction of an unchanged corpus.
+func (d *Dynamic) Delete(id trajectory.TrajID) error {
+	d.mu.Lock()
+	if int(id) >= d.nextID {
+		d.mu.Unlock()
+		return fmt.Errorf("delta: delete of unknown trajectory %d", id)
+	}
+	gen := d.gen.Load()
+	// Already gone? Either tombstoned in a live layer (we hold d.mu, the
+	// only tombstone writer, so reading both layers is safe) or compacted
+	// away into a base husk.
+	if gen.ov.Tombstoned(id) ||
+		(int(id) < len(gen.ds.Trajs) && len(gen.ds.Trajs[id].Pts) == 0) {
+		d.mu.Unlock()
+		return nil
+	}
+	gen.active.delete(id)
+	d.mu.Unlock()
+	d.maybeCompact(gen)
+	return nil
+}
+
+func (d *Dynamic) validate(tr trajectory.Trajectory) error {
+	gen := d.gen.Load()
+	vsize := 0
+	if gen.ds.Vocab != nil {
+		vsize = gen.ds.Vocab.Size()
+	}
+	for j, p := range tr.Pts {
+		// A non-finite coordinate would poison every future compaction:
+		// the rebuilt dataset's bounds go NaN/Inf and grid construction
+		// fails forever. Reject it at the door.
+		if !finite(p.Loc.X) || !finite(p.Loc.Y) {
+			return fmt.Errorf("delta: point %d has non-finite coordinates (%v, %v)", j, p.Loc.X, p.Loc.Y)
+		}
+		for k, a := range p.Acts {
+			if k > 0 && p.Acts[k-1] >= a {
+				return fmt.Errorf("delta: point %d: activity set not normalized", j)
+			}
+			if gen.ds.Vocab != nil && int(a) >= vsize {
+				return fmt.Errorf("delta: point %d: activity %d outside vocabulary (size %d)", j, a, vsize)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// maybeCompact launches a background compaction when the active layer has
+// accumulated enough mutations (at most one in flight). After a background
+// failure, auto-compaction latches off — the rollback restores the delta,
+// so retrying on every mutation would rebuild the whole corpus in a hot
+// loop — until an explicit CompactNow succeeds.
+func (d *Dynamic) maybeCompact(gen *generation) {
+	t := d.threshold()
+	if t <= 0 || d.autoOff.Load() || gen.active.mutations() < t {
+		return
+	}
+	if !d.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		if err := d.CompactNow(); err != nil {
+			d.compactErr.Store(errBox{err})
+			d.autoOff.Store(true)
+			d.compacting.Store(false)
+			return
+		}
+		d.compacting.Store(false)
+		// Writes that accumulated while the rebuild ran may already exceed
+		// the threshold again; re-check so a write burst cannot leave an
+		// oversized delta idle until the next mutation.
+		d.maybeCompact(d.gen.Load())
+	}()
+}
+
+// CompactNow rebuilds base+delta into a fresh immutable generation and
+// swaps it in. It blocks until the compaction completes (auto-compaction
+// calls it from a background goroutine). Searches keep running throughout:
+// while the rebuild is in flight they see base + frozen delta + a fresh
+// active layer; after the swap they see the new base + the active layer.
+// Writers are only blocked for the two brief swap sections.
+func (d *Dynamic) CompactNow() error {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+
+	// Phase 1: freeze the active layer and open a fresh one.
+	d.mu.Lock()
+	cur := d.gen.Load()
+	if cur.active.mutations() == 0 && cur.frozen == nil {
+		d.mu.Unlock()
+		return nil
+	}
+	frozen := cur.active
+	fresh := NewLayer(cur.idx.Grid(), d.nextID, cur.ts.SketchIntervals())
+	gen1 := newGeneration(cur.epoch+1, cur.ds, cur.ts, cur.idx, frozen, fresh)
+	d.gen.Store(gen1)
+	cur.retire()
+	d.mu.Unlock()
+
+	// Phase 2: rebuild the base from the old dataset plus the frozen layer
+	// (immutable now — no locks needed). Writers land in gen1.active and
+	// survive the swap; searches stay exact over base+frozen+active.
+	newDS := compactedDataset(cur.ds, frozen)
+	newTS, newIdx, err := buildBase(newDS, d.cfg)
+	if err == nil && d.testFailBuild.Load() {
+		err = fmt.Errorf("delta: injected rebuild failure")
+	}
+	if err != nil {
+		// Roll back: merge the frozen layer back into the active one so no
+		// write is lost, and drop the frozen reference.
+		d.mu.Lock()
+		g := d.gen.Load()
+		g.active.absorb(frozen)
+		gen1r := newGeneration(g.epoch+1, g.ds, g.ts, g.idx, nil, g.active)
+		d.gen.Store(gen1r)
+		g.retire()
+		d.mu.Unlock()
+		return fmt.Errorf("delta: compaction rebuild: %w", err)
+	}
+
+	// Phase 3: swap the new base in. The active layer is rebound to the new
+	// grid (cell codes change when the region is refit); in-flight searches
+	// on gen1 keep the old layer object, so they stay consistent.
+	d.mu.Lock()
+	g := d.gen.Load()
+	newActive := g.active.rebound(newIdx.Grid(), newTS.NumTrajs())
+	gen2 := newGeneration(g.epoch+1, newDS, newTS, newIdx, nil, newActive)
+	d.gen.Store(gen2)
+	g.retire()
+	d.mu.Unlock()
+	d.compactions.Add(1)
+	// A successful compaction re-arms auto-compaction and clears the stale
+	// failure so health polls stop reporting a recovered index as failing.
+	d.autoOff.Store(false)
+	d.compactErr.Store(errBox{})
+
+	// Drop the retired generations' caches once every in-flight search on
+	// them has finished (cur and g share the old index and store).
+	go func(a, b *generation, ts *evaluate.TrajStore, idx *gat.Index) {
+		<-a.drained
+		<-b.drained
+		idx.ResetCache()
+		ts.ResetPool()
+	}(cur, g, cur.ts, cur.idx)
+	return nil
+}
+
+// compactedDataset merges the base dataset with a frozen delta layer:
+// inserted trajectories are appended at their assigned IDs and tombstoned
+// ones are reduced to empty husks, so IDs stay dense and stable forever.
+func compactedDataset(base *trajectory.Dataset, frozen *Layer) *trajectory.Dataset {
+	n := frozen.idSpace
+	trajs := make([]trajectory.Trajectory, n)
+	for i := range base.Trajs {
+		if frozen.tombstoned(base.Trajs[i].ID) {
+			trajs[i] = trajectory.Trajectory{ID: base.Trajs[i].ID}
+			continue
+		}
+		trajs[i] = base.Trajs[i]
+	}
+	for id := range trajs[len(base.Trajs):] {
+		tid := trajectory.TrajID(len(base.Trajs) + id)
+		trajs[tid] = trajectory.Trajectory{ID: tid}
+	}
+	for id, e := range frozen.trajs {
+		if frozen.tombstoned(id) {
+			continue
+		}
+		trajs[id] = trajectory.Trajectory{ID: id, Pts: e.src.Pts}
+	}
+	return &trajectory.Dataset{Name: base.Name, Vocab: base.Vocab, Trajs: trajs}
+}
+
+// Stats reports the dynamic index's current shape.
+type Stats struct {
+	// Epoch counts generation swaps (freezes and compactions both bump it).
+	Epoch uint64
+	// BaseTrajectories is the base generation's trajectory count (including
+	// husks of compacted-away deletes).
+	BaseTrajectories int
+	// DeltaTrajectories counts inserts living in the delta layers.
+	DeltaTrajectories int
+	// Tombstones counts pending (uncompacted) deletes.
+	Tombstones int
+	// Compacting reports whether a rebuild is in flight.
+	Compacting bool
+	// Compactions counts completed compactions.
+	Compactions int64
+	// IDSpace is one past the highest assigned trajectory ID.
+	IDSpace int
+}
+
+// Stats returns a snapshot of the index's shape.
+func (d *Dynamic) Stats() Stats {
+	d.mu.Lock()
+	gen := d.gen.Load()
+	s := Stats{
+		Epoch:            gen.epoch,
+		BaseTrajectories: gen.ts.NumTrajs(),
+		// d.compacting covers the window between the auto-compaction
+		// trigger and the freeze, when gen.frozen is still nil.
+		Compacting:  gen.frozen != nil || d.compacting.Load(),
+		Compactions: d.compactions.Load(),
+		IDSpace:     d.nextID,
+	}
+	for _, l := range gen.ov.layers {
+		l.mu.RLock()
+		s.DeltaTrajectories += len(l.trajs)
+		s.Tombstones += len(l.tombs)
+		l.mu.RUnlock()
+	}
+	d.mu.Unlock()
+	return s
+}
+
+// errBox wraps errors stored in compactErr (atomic.Value requires one
+// consistent concrete type).
+type errBox struct{ err error }
+
+// LastCompactErr returns the most recent background-compaction failure,
+// nil if none. Explicit CompactNow calls report their errors directly.
+// After a background failure auto-compaction stays disabled (searches and
+// writes keep working on the un-compacted layers) until a CompactNow
+// succeeds.
+func (d *Dynamic) LastCompactErr() error {
+	if b, ok := d.compactErr.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// Dataset returns the current base dataset (not including delta inserts).
+// It is immutable; compactions replace it.
+func (d *Dynamic) Dataset() *trajectory.Dataset { return d.gen.Load().ds }
+
+// Engine serves searches over a Dynamic index. Like every engine in this
+// library it is single-goroutine (per-generation scratch is reused across
+// searches); it implements query.CloneableEngine, so wrap it with
+// query.NewParallelEngine for concurrent serving — clones share the base
+// index, its caches and the delta layers, and follow generation swaps
+// independently.
+type Engine struct {
+	d     *Dynamic
+	inner *gat.Engine
+	epoch uint64
+	stats query.SearchStats
+}
+
+// NewEngine returns a serving engine over the dynamic index.
+func (d *Dynamic) NewEngine() *Engine { return &Engine{d: d} }
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return "GAT+delta" }
+
+// MemBytes implements query.Engine: the base index plus the delta layers.
+func (e *Engine) MemBytes() int64 {
+	gen := e.d.acquire()
+	defer gen.release()
+	n := gen.idx.MemBytes()
+	for _, l := range gen.ov.layers {
+		l.mu.RLock()
+		n += l.memBytes()
+		l.mu.RUnlock()
+	}
+	return n
+}
+
+// LastStats implements query.Engine.
+func (e *Engine) LastStats() query.SearchStats { return e.stats }
+
+// SearchATSQ implements query.Engine over base ∪ delta.
+func (e *Engine) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
+	return e.search(q, k, false)
+}
+
+// SearchOATSQ implements query.Engine over base ∪ delta.
+func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	return e.search(q, k, true)
+}
+
+func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
+	gen := e.d.acquire()
+	defer gen.release()
+	if e.inner == nil || e.epoch != gen.epoch {
+		e.inner = gat.NewEngineWithOverlay(gen.idx, gen.ov)
+		e.epoch = gen.epoch
+	}
+	// Hold the active layer's read lock for the whole search so it sees one
+	// consistent delta state; frozen layers receive no writes.
+	gen.active.mu.RLock()
+	defer gen.active.mu.RUnlock()
+	var rs []query.Result
+	var err error
+	if ordered {
+		rs, err = e.inner.SearchOATSQ(q, k)
+	} else {
+		rs, err = e.inner.SearchATSQ(q, k)
+	}
+	e.stats = e.inner.LastStats()
+	return rs, err
+}
+
+// Clone implements query.CloneableEngine.
+func (e *Engine) Clone() query.Engine { return &Engine{d: e.d} }
+
+var _ query.CloneableEngine = (*Engine)(nil)

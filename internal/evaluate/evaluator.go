@@ -4,8 +4,25 @@ import (
 	"activitytraj/internal/geo"
 	"activitytraj/internal/matcher"
 	"activitytraj/internal/query"
+	"activitytraj/internal/sketch"
 	"activitytraj/internal/trajectory"
 )
+
+// DeltaSource supplies in-memory trajectory data for IDs beyond the base
+// TrajStore — freshly ingested trajectories that have not been compacted
+// into the immutable store yet. Implementations must be safe to read for
+// the duration of a search (the dynamic index holds its write lock off
+// while searches run).
+type DeltaSource interface {
+	// TAS returns the activity sketch of trajectory id (nil when the
+	// trajectory is unknown or has no activities).
+	TAS(id trajectory.TrajID) sketch.Sketch
+	// Postings returns the ascending point indexes of trajectory id that
+	// carry activity a, nil when absent.
+	Postings(id trajectory.TrajID, a trajectory.ActivityID) []uint32
+	// Coords returns the point locations of trajectory id.
+	Coords(id trajectory.TrajID) []geo.Point
+}
 
 // Outcome classifies what happened to a candidate during evaluation.
 type Outcome int
@@ -35,6 +52,14 @@ type Evaluator struct {
 	// it; IL's candidates come pre-validated by construction).
 	UseSketch bool
 
+	// delta, when set, serves candidates whose ID is at or beyond the base
+	// store's trajectory count from memory instead of disk. deltaID and
+	// deltaFn adapt DeltaSource.Postings to RowBuilder's per-activity
+	// callback without allocating a closure per candidate.
+	delta   DeltaSource
+	deltaID trajectory.TrajID
+	deltaFn func(a trajectory.ActivityID) []uint32
+
 	rb        matcher.RowBuilder
 	coordsBuf []geo.Point
 	blobBuf   []byte
@@ -52,6 +77,18 @@ func NewEvaluator(ts *TrajStore) *Evaluator {
 
 // Store returns the underlying TrajStore.
 func (e *Evaluator) Store() *TrajStore { return e.ts }
+
+// SetDelta attaches a delta source: candidates with IDs at or beyond the
+// base store's trajectory count are validated and scored from it, entirely
+// in memory. Pass nil to detach.
+func (e *Evaluator) SetDelta(d DeltaSource) {
+	e.delta = d
+	if d != nil && e.deltaFn == nil {
+		e.deltaFn = func(a trajectory.ActivityID) []uint32 {
+			return e.delta.Postings(e.deltaID, a)
+		}
+	}
+}
 
 // ScoreATSQ validates candidate id against q and, if valid, returns its
 // minimum match distance Dmm (computations abandoning past threshold return
@@ -99,6 +136,9 @@ func (e *Evaluator) ScoreOATSQ(q query.Query, id trajectory.TrajID, threshold fl
 // same store.
 func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.SearchStats) ([]matcher.QueryRow, int, Outcome, error) {
 	all := e.queryActs(q)
+	if e.delta != nil && int(id) >= e.ts.NumTrajs() {
+		return e.prepareDelta(q, id, all, stats)
+	}
 	if e.UseSketch {
 		if !e.ts.TAS(id).CoversAll(all) {
 			stats.SketchRejected++
@@ -123,6 +163,28 @@ func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.Se
 	e.coordsBuf = coords
 	stats.PageReads += e.ts.coordRefs[id].PageSpan()
 	rows := e.rb.Build(q.Pts, apl.Postings, coords)
+	return rows, len(coords), Scored, nil
+}
+
+// prepareDelta is prepare for a candidate served by the delta layer: the
+// same TAS → containment → row-build pipeline, but every input is already
+// in memory, so no disk or cache traffic is charged.
+func (e *Evaluator) prepareDelta(q query.Query, id trajectory.TrajID, all trajectory.ActivitySet, stats *query.SearchStats) ([]matcher.QueryRow, int, Outcome, error) {
+	if e.UseSketch {
+		if !e.delta.TAS(id).CoversAll(all) {
+			stats.SketchRejected++
+			return nil, 0, RejectedSketch, nil
+		}
+	}
+	for _, a := range all {
+		if e.delta.Postings(id, a) == nil {
+			stats.APLRejected++
+			return nil, 0, RejectedAPL, nil
+		}
+	}
+	coords := e.delta.Coords(id)
+	e.deltaID = id
+	rows := e.rb.Build(q.Pts, e.deltaFn, coords)
 	return rows, len(coords), Scored, nil
 }
 

@@ -132,6 +132,10 @@ func (ts *TrajStore) NumTrajs() int { return len(ts.coordRefs) }
 // TAS returns the activity sketch of trajectory id.
 func (ts *TrajStore) TAS(id trajectory.TrajID) sketch.Sketch { return ts.tas[id] }
 
+// SketchIntervals returns the effective TAS interval count M, so layered
+// structures (the delta index) can sketch new trajectories identically.
+func (ts *TrajStore) SketchIntervals() int { return ts.sketchM }
+
 // FetchCoords reads a trajectory's point locations from disk.
 func (ts *TrajStore) FetchCoords(id trajectory.TrajID) ([]geo.Point, error) {
 	blob, err := ts.store.Read(ts.coordRefs[id])

@@ -1,0 +1,60 @@
+package gat
+
+import (
+	"activitytraj/internal/evaluate"
+	"activitytraj/internal/trajectory"
+)
+
+// DeltaOverlay is the read contract a mutable delta layer presents to the
+// GAT searcher so queries stay exact over base ∪ delta without touching the
+// immutable base structures. Candidate generation consults the overlay's
+// cell lists alongside the base HICL/ITL at every expansion step, so the
+// Algorithm 2 lower bound covers unseen delta trajectories exactly like
+// base ones; candidate evaluation goes through the embedded DeltaSource.
+//
+// Tombstones mask deleted trajectories from BOTH layers at candidate-
+// collection time, which keeps the merged search exact without inflating k.
+//
+// Implementations must be stable for the duration of one search; the
+// dynamic index guarantees this by excluding writers while a search holds
+// its read lock.
+type DeltaOverlay interface {
+	evaluate.DeltaSource
+
+	// IDSpace returns one past the highest trajectory ID served by either
+	// layer; the searcher sizes its seen-set to it.
+	IDSpace() int
+	// Empty reports whether the overlay currently contributes nothing (no
+	// trajectories, no tombstones). The searcher checks it once per search
+	// and skips every overlay probe when true, so a dynamic index whose
+	// delta has just been compacted away searches at static-index cost.
+	Empty() bool
+	// CellHasAct reports whether the delta layer has a point with activity
+	// a inside cell (level, z) — the overlay side of the HICL probe.
+	CellHasAct(level int, z uint32, a trajectory.ActivityID) bool
+	// AppendCellTrajs appends the IDs of delta trajectories having a point
+	// with activity a inside leaf cell z — the overlay side of the ITL.
+	AppendCellTrajs(dst []uint32, z uint32, a trajectory.ActivityID) []uint32
+	// Tombstoned reports whether trajectory id has been deleted.
+	Tombstoned(id trajectory.TrajID) bool
+	// HasTombstones reports whether any deletes are pending, letting the
+	// searcher skip per-candidate tombstone probes on the common path.
+	HasTombstones() bool
+	// AppendOverflow appends the IDs of delta trajectories with a point
+	// outside the base grid's region. Their clamped cells cannot bound
+	// their true distances, so the searcher retrieves them unconditionally
+	// in the first batch (they are few; validation filters them fast).
+	AppendOverflow(dst []uint32) []uint32
+}
+
+// NewEngineWithOverlay returns a search engine over a built index merged
+// with a delta overlay (nil behaves exactly like NewEngine). Results are
+// exact over the union of both layers minus tombstoned trajectories.
+func NewEngineWithOverlay(idx *Index, ov DeltaOverlay) *Engine {
+	e := NewEngine(idx)
+	e.ov = ov
+	if ov != nil {
+		e.ev.SetDelta(ov)
+	}
+	return e
+}

@@ -18,7 +18,10 @@ import (
 // the hot path allocates nothing — but any number of engines may share one
 // (immutable) Index: use Clone or ParallelEngine for concurrent serving.
 type Engine struct {
-	idx   *Index
+	idx *Index
+	// ov, when non-nil, merges a mutable delta layer into every search; see
+	// DeltaOverlay and NewEngineWithOverlay.
+	ov    DeltaOverlay
 	ev    *evaluate.Evaluator
 	m     matcher.Matcher
 	stats query.SearchStats
@@ -66,21 +69,37 @@ func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
 //     generation-stamped array: seen[id] == gen marks id as retrieved this
 //     search, and bumping gen invalidates the whole array in O(1).
 type searcher struct {
-	e         *Engine
-	q         query.Query
+	e *Engine
+	q query.Query
+	// ov is the engine's overlay for the duration of one search, nil when
+	// absent or currently empty — probing an empty delta on every cell
+	// expansion would tax the static hot path for nothing.
+	ov        DeltaOverlay
 	pqs       []pointQueue
 	seen      []uint32
 	gen       uint32
 	cands     []trajectory.TrajID
 	virtual   []matcher.WeightedPoint
 	nearBuf   []nearCell
+	deltaBuf  []uint32
+	overflown bool
 	exhausted bool
 }
 
 // begin readies the scratch for a new search.
 func (s *searcher) begin(q query.Query) {
 	s.q = q
-	if n := s.e.idx.ts.NumTrajs(); len(s.seen) < n {
+	s.ov = s.e.ov
+	if s.ov != nil && s.ov.Empty() {
+		s.ov = nil
+	}
+	n := s.e.idx.ts.NumTrajs()
+	if ov := s.ov; ov != nil {
+		if m := ov.IDSpace(); m > n {
+			n = m
+		}
+	}
+	if len(s.seen) < n {
 		s.seen = make([]uint32, n)
 		s.gen = 0
 	}
@@ -99,6 +118,7 @@ func (s *searcher) begin(q query.Query) {
 		s.pqs[i].reset()
 	}
 	s.cands = s.cands[:0]
+	s.overflown = false
 	s.exhausted = false
 }
 
@@ -112,12 +132,16 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 	s.initQueue()
 
 	topk := query.NewTopK(k)
+	baseN := e.idx.ts.NumTrajs()
 	for {
 		cands := s.retrieveBatch(e.idx.cfg.Lambda)
 		e.stats.Batches++
 		dlb := s.lowerBound()
 		for _, tid := range cands {
 			e.stats.Candidates++
+			if int(tid) >= baseN {
+				e.stats.DeltaCandidates++
+			}
 			var d float64
 			var out evaluate.Outcome
 			var err error
@@ -214,11 +238,14 @@ func (s *searcher) hiclList(level int, a trajectory.ActivityID) invindex.Posting
 	return list
 }
 
-// cellMask returns which of acts are present in cell, per the HICL.
+// cellMask returns which of acts are present in cell, per the HICL merged
+// with the delta overlay (if any).
 func (s *searcher) cellMask(cell grid.Cell, acts trajectory.ActivitySet) uint32 {
+	ov := s.ov
 	var mask uint32
 	for b, a := range acts {
-		if s.hiclList(int(cell.Level), a).Contains(cell.Z) {
+		if s.hiclList(int(cell.Level), a).Contains(cell.Z) ||
+			(ov != nil && ov.CellHasAct(int(cell.Level), cell.Z, a)) {
 			mask |= 1 << uint(b)
 		}
 	}
@@ -226,7 +253,8 @@ func (s *searcher) cellMask(cell grid.Cell, acts trajectory.ActivitySet) uint32 
 }
 
 // childMasks returns, for each of the four children of cell, the bitmask of
-// query activities present (0 when the child can be pruned).
+// query activities present (0 when the child can be pruned), merging the
+// base HICL with the delta overlay.
 func (s *searcher) childMasks(cell grid.Cell, acts trajectory.ActivitySet) [4]uint32 {
 	var masks [4]uint32
 	base := cell.Z << 2
@@ -241,16 +269,55 @@ func (s *searcher) childMasks(cell grid.Cell, acts trajectory.ActivitySet) [4]ui
 			masks[list[i]-base] |= 1 << uint(b)
 		}
 	}
+	if ov := s.ov; ov != nil {
+		for b, a := range acts {
+			bit := uint32(1) << uint(b)
+			for ci := uint32(0); ci < 4; ci++ {
+				if masks[ci]&bit == 0 && ov.CellHasAct(childLevel, base+ci, a) {
+					masks[ci] |= bit
+				}
+			}
+		}
+	}
 	return masks
+}
+
+// emit appends tid to out unless it is tombstoned (tombs pre-computes
+// whether any tombstones exist this search) or already retrieved — the one
+// candidate-emission rule shared by the overflow, base-ITL and delta-ITL
+// paths.
+func (s *searcher) emit(out []trajectory.TrajID, tid uint32, tombs bool) []trajectory.TrajID {
+	if tombs && s.ov.Tombstoned(trajectory.TrajID(tid)) {
+		return out
+	}
+	if s.seen[tid] != s.gen {
+		s.seen[tid] = s.gen
+		out = append(out, trajectory.TrajID(tid))
+	}
+	return out
 }
 
 // retrieveBatch runs the best-first expansion until at least lambda new
 // candidate trajectories are collected (Section V-A) or every frontier
-// empties. The returned slice aliases searcher scratch.
+// empties. The returned slice aliases searcher scratch. With a delta
+// overlay, leaf-cell pulls merge the overlay's trajectory lists with the
+// base ITL, tombstoned trajectories are dropped here (keeping the merged
+// search exact without inflating k), and overlay trajectories that fall
+// outside the grid region — whose clamped cells cannot bound their true
+// distance — are retrieved unconditionally in the first batch.
 func (s *searcher) retrieveBatch(lambda int) []trajectory.TrajID {
 	g := s.e.idx.g
 	depth := s.e.idx.cfg.Depth
+	ov := s.ov
+	tombs := ov != nil && ov.HasTombstones()
 	out := s.cands[:0]
+	if ov != nil && !s.overflown {
+		s.overflown = true
+		s.deltaBuf = ov.AppendOverflow(s.deltaBuf[:0])
+		for _, tid := range s.deltaBuf {
+			out = s.emit(out, tid, tombs)
+		}
+	}
 	for len(out) < lambda {
 		qi := s.minQueue()
 		if qi < 0 {
@@ -272,16 +339,22 @@ func (s *searcher) retrieveBatch(lambda int) []trajectory.TrajID {
 			}
 			continue
 		}
-		// Leaf cell: pull matching trajectories from its ITL.
+		// Leaf cell: pull matching trajectories from its ITL, merged with
+		// the delta overlay's list for the same (cell, activity).
 		itl := s.e.idx.itl[c.cell.Z]
-		if itl == nil {
+		if itl == nil && ov == nil {
 			continue
 		}
 		for _, a := range qp.Acts {
-			for _, tid := range itl.lists[a] {
-				if s.seen[tid] != s.gen {
-					s.seen[tid] = s.gen
-					out = append(out, trajectory.TrajID(tid))
+			if itl != nil {
+				for _, tid := range itl.lists[a] {
+					out = s.emit(out, tid, tombs)
+				}
+			}
+			if ov != nil {
+				s.deltaBuf = ov.AppendCellTrajs(s.deltaBuf[:0], c.cell.Z, a)
+				for _, tid := range s.deltaBuf {
+					out = s.emit(out, tid, tombs)
 				}
 			}
 		}
@@ -331,10 +404,11 @@ func (s *searcher) lowerBound() float64 {
 	return sum
 }
 
-// Clone returns an independent engine over the same (immutable) index, for
-// concurrent query execution: each goroutine owns one engine, while the
-// index, its HICL cache, the trajectory store and its APL cache are shared.
-func (e *Engine) Clone() query.Engine { return NewEngine(e.idx) }
+// Clone returns an independent engine over the same (immutable) index and
+// delta overlay, for concurrent query execution: each goroutine owns one
+// engine, while the index, its HICL cache, the trajectory store and its APL
+// cache are shared.
+func (e *Engine) Clone() query.Engine { return NewEngineWithOverlay(e.idx, e.ov) }
 
 // ResetCaches empties the index's shared decoded-HICL cache so cold-cache
 // measurements are fair across engines and workloads (the harness calls

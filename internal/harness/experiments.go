@@ -27,8 +27,9 @@ type Options struct {
 	Datasets []string
 	// Seed offsets workload generation.
 	Seed int64
-	// Workers is the worker-count sweep of the throughput experiment
-	// (default 1, 2, 4, 8).
+	// Workers is the worker-count sweep of the throughput experiment.
+	// WithDefaults sets it to 1, 2, 4, 8 when empty (matching the
+	// atsqbench -workers default).
 	Workers []int
 }
 
@@ -48,6 +49,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 2, 4, 8}
 	}
 	return o
 }
@@ -462,6 +466,7 @@ func (s *Suite) All(w io.Writer) error {
 		{"granularity", s.Granularity},
 		{"ablations", s.Ablations},
 		{"throughput", s.Throughput},
+		{"mixed", s.Mixed},
 	}
 	for _, st := range steps {
 		fmt.Fprintf(w, "==== experiment: %s ====\n\n", st.name)
@@ -495,7 +500,9 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.Ablations(w)
 	case "throughput":
 		return s.Throughput(w)
+	case "mixed":
+		return s.Mixed(w)
 	default:
-		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput)", name)
+		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed)", name)
 	}
 }

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"activitytraj/internal/delta"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// MixedOptions configures a mixed read/write run against a dynamic index.
+type MixedOptions struct {
+	// ReadFraction is the probability an operation is a search (0.95 models
+	// a read-heavy service, 0.5 a write-heavy backfill).
+	ReadFraction float64
+	// Ops is the total operation count across all workers.
+	Ops int
+	// K is the search result count.
+	K int
+	// Workers is the number of concurrent client goroutines (each owns an
+	// engine clone). <= 0 selects 1.
+	Workers int
+	// Seed drives the per-worker operation mix.
+	Seed int64
+}
+
+// LatencySummary reports tail latency over one operation class.
+type LatencySummary struct {
+	Count              int
+	P50, P95, P99, Max time.Duration
+}
+
+func summarize(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(ds)-1))
+		return ds[i]
+	}
+	return LatencySummary{
+		Count: len(ds),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   ds[len(ds)-1],
+	}
+}
+
+// MixedResult aggregates one mixed read/write run.
+type MixedResult struct {
+	Ops         int
+	Duration    time.Duration
+	Search      LatencySummary
+	Insert      LatencySummary
+	Compactions int64 // compactions completed during the run
+}
+
+// RunMixedWorkload hammers a dynamic index with a search/insert mix:
+// Workers goroutines each draw operations — a search from qs (round-robin)
+// with probability ReadFraction, otherwise the next trajectory from stream
+// (falling back to a search once the stream is exhausted) — until Ops
+// operations have run. It reports per-class tail latency, which captures
+// the cost of generation swaps and compactions happening mid-run.
+func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []query.Query, opt MixedOptions) (MixedResult, error) {
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.Ops <= 0 {
+		opt.Ops = 2 * len(stream)
+	}
+	if opt.K <= 0 {
+		opt.K = queries.DefaultK
+	}
+	before := d.Stats().Compactions
+
+	var opCursor, streamCursor, qCursor atomic.Int64
+	var mu sync.Mutex
+	var searchLat, insertLat []time.Duration
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+			eng := d.NewEngine()
+			var sl, il []time.Duration
+			var err error
+			for {
+				if int(opCursor.Add(1)) > opt.Ops {
+					break
+				}
+				insert := rng.Float64() >= opt.ReadFraction
+				if insert {
+					si := int(streamCursor.Add(1)) - 1
+					if si < len(stream) {
+						t0 := time.Now()
+						_, err = d.Insert(trajectory.Trajectory{Pts: stream[si].Pts})
+						il = append(il, time.Since(t0))
+					} else {
+						insert = false // stream drained: serve a read instead
+					}
+				}
+				if !insert {
+					q := qs[int(qCursor.Add(1)-1)%len(qs)]
+					t0 := time.Now()
+					_, err = eng.SearchATSQ(q, opt.K)
+					sl = append(sl, time.Since(t0))
+				}
+				if err != nil {
+					break
+				}
+			}
+			mu.Lock()
+			searchLat = append(searchLat, sl...)
+			insertLat = append(insertLat, il...)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	res := MixedResult{
+		Ops:         len(searchLat) + len(insertLat),
+		Duration:    time.Since(start),
+		Search:      summarize(searchLat),
+		Insert:      summarize(insertLat),
+		Compactions: d.Stats().Compactions - before,
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, d.LastCompactErr()
+}
+
+// Mixed measures dynamic-index serving under live ingestion: each dataset
+// starts with 80% of its trajectories compiled into the base index, the
+// remaining 20% arrive through Insert while searches run concurrently, at
+// a read-heavy (95/5) and a write-heavy (50/50) search/insert mix. The
+// compaction threshold is sized so generation swaps happen mid-run, so the
+// search tail latencies include searches that overlapped a compaction.
+// This extends the paper (whose index is built once) toward the streaming
+// regime of production check-in services.
+func (s *Suite) Mixed(w io.Writer) error {
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		qs, err := s.workload(ds, queries.Config{Seed: s.opts.Seed + 53})
+		if err != nil {
+			return err
+		}
+		baseN := len(ds.Trajs) * 4 / 5
+		stream := ds.Trajs[baseN:]
+		tab := NewTable(
+			fmt.Sprintf("Mixed read/write — %s (%d base + %d streamed, %d workers)",
+				dsName, baseN, len(stream), 4),
+			"mix", "ops", "compactions",
+			"search p50", "p95", "p99", "max (ms)",
+			"insert p50", "p95", "max (ms)")
+		for _, readFrac := range []float64{0.95, 0.5} {
+			base := ds.Sample(baseN)
+			base.Name = ds.Name
+			// Compact roughly twice over the run: the expected insert count
+			// is the write share of the op budget, capped by the stream.
+			expInserts := int(float64(4*len(stream)) * (1 - readFrac))
+			if expInserts > len(stream) {
+				expInserts = len(stream)
+			}
+			d, err := delta.NewDynamic(base, delta.Config{
+				CompactThreshold: max(expInserts/2, 1),
+			})
+			if err != nil {
+				return err
+			}
+			res, err := RunMixedWorkload(d, stream, qs, MixedOptions{
+				ReadFraction: readFrac,
+				Ops:          4 * len(stream),
+				K:            s.opts.K,
+				Workers:      4,
+				Seed:         s.opts.Seed,
+			})
+			if err != nil {
+				return fmt.Errorf("harness: mixed %s %.0f/%.0f: %w",
+					dsName, readFrac*100, (1-readFrac)*100, err)
+			}
+			tab.AddRow(
+				fmt.Sprintf("%.0f/%.0f", readFrac*100, (1-readFrac)*100),
+				fmt.Sprint(res.Ops),
+				fmt.Sprint(res.Compactions),
+				lms(res.Search.P50), lms(res.Search.P95), lms(res.Search.P99), lms(res.Search.Max),
+				lms(res.Insert.P50), lms(res.Insert.P95), lms(res.Insert.Max),
+			)
+		}
+		tab.Write(w)
+	}
+	return nil
+}
+
+// lms formats a latency in milliseconds.
+func lms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }

@@ -58,7 +58,6 @@ func (t *Table) Write(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-func ms(v float64) string    { return fmt.Sprintf("%.2f", v) }
-func cnt(v float64) string   { return fmt.Sprintf("%.0f", v) }
-func mb(v int64) string      { return fmt.Sprintf("%.1f", float64(v)/(1<<20)) }
-func ratio(v float64) string { return fmt.Sprintf("%.1fx", v) }
+func ms(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func cnt(v float64) string { return fmt.Sprintf("%.0f", v) }
+func mb(v int64) string    { return fmt.Sprintf("%.1f", float64(v)/(1<<20)) }

@@ -33,10 +33,8 @@ func (s *Suite) Throughput(w io.Writer) error {
 		for len(reps) < 64 {
 			reps = append(reps, qs...)
 		}
+		// WithDefaults guarantees a non-empty sweep.
 		sweep := s.opts.Workers
-		if len(sweep) == 0 {
-			sweep = []int{1, 2, 4, 8}
-		}
 		tab := NewTable(
 			fmt.Sprintf("Throughput — ATSQ on %s (queries/sec, %d queries)", dsName, len(reps)),
 			"workers", "IL", "RT", "IRT", "GAT")

@@ -48,6 +48,26 @@ func (p PostingList) Append(id uint32) PostingList {
 	return append(p, id)
 }
 
+// Insert adds id at its sorted position, ignoring duplicates, and returns
+// the updated list (append semantics). Unlike Append it accepts IDs in any
+// order — the mutable delta-index lists use it, since re-registration after
+// a generation swap visits trajectories in arbitrary map order. The common
+// in-order case stays O(1).
+func (p PostingList) Insert(id uint32) PostingList {
+	n := len(p)
+	if n == 0 || p[n-1] < id {
+		return append(p, id)
+	}
+	i := sort.Search(n, func(i int) bool { return p[i] >= id })
+	if i < n && p[i] == id {
+		return p
+	}
+	p = append(p, 0)
+	copy(p[i+1:], p[i:])
+	p[i] = id
+	return p
+}
+
 // Intersect returns the elements common to p and q.
 func (p PostingList) Intersect(q PostingList) PostingList {
 	if len(p) > len(q) {

@@ -83,17 +83,18 @@ type Result struct {
 
 // SearchStats records where a query's work went. Engines reset it per search.
 type SearchStats struct {
-	Candidates     int // distinct trajectories retrieved as candidates
-	SketchRejected int // candidates rejected by the TAS check
-	APLRejected    int // candidates rejected after fetching the APL
-	OrderRejected  int // candidates rejected by the MIB order filter (OATSQ)
-	Scored         int // candidates whose match distance was computed
-	PQPops         int // priority-queue pops during candidate retrieval
-	Batches        int // λ-batches of Algorithm 1
-	PageReads      int // simulated disk pages read
-	NodesVisited   int // R-tree / IR-tree nodes visited (baselines)
-	CacheHits      int // decoded-structure cache hits (HICL lists, APLs)
-	CacheMisses    int // decoded-structure cache misses
+	Candidates      int // distinct trajectories retrieved as candidates
+	SketchRejected  int // candidates rejected by the TAS check
+	APLRejected     int // candidates rejected after fetching the APL
+	OrderRejected   int // candidates rejected by the MIB order filter (OATSQ)
+	Scored          int // candidates whose match distance was computed
+	PQPops          int // priority-queue pops during candidate retrieval
+	Batches         int // λ-batches of Algorithm 1
+	PageReads       int // simulated disk pages read
+	NodesVisited    int // R-tree / IR-tree nodes visited (baselines)
+	CacheHits       int // decoded-structure cache hits (HICL lists, APLs)
+	CacheMisses     int // decoded-structure cache misses
+	DeltaCandidates int // candidates served by the dynamic index's delta layer
 }
 
 // Add accumulates other into s (used when averaging over a workload).
@@ -109,4 +110,5 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.NodesVisited += other.NodesVisited
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
+	s.DeltaCandidates += other.DeltaCandidates
 }
