@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"activitytraj/internal/dataset"
+	"activitytraj/internal/delta"
 	"activitytraj/internal/gat"
 	"activitytraj/internal/harness"
 	"activitytraj/internal/matcher"
@@ -144,6 +145,52 @@ func BenchmarkGATSearchAllocs(b *testing.B) {
 	if perSearch > gatAllocCeiling {
 		b.Fatalf("GAT search allocates %.0f allocs/op, ceiling is %d", perSearch, gatAllocCeiling)
 	}
+	// Warm-engine disk traffic of the same workload: deterministic, so CI can
+	// gate on it alongside the alloc ceiling.
+	var pages int
+	for _, q := range qs {
+		if _, err := e.SearchATSQ(q, queries.DefaultK); err != nil {
+			b.Fatal(err)
+		}
+		pages += e.LastStats().PageReads
+	}
+	b.ReportMetric(float64(pages)/float64(len(qs)), "pages/search")
+}
+
+// BenchmarkMixedPageReads runs the harness's read-heavy (95/5) mixed
+// search/insert workload on the LA preset against a dynamic index and
+// reports the simulated disk pages touched per search — the I/O budget the
+// candidate pipeline is optimized against. Concurrency makes the APL-cache
+// hit pattern (and so the exact page count) vary slightly between runs; CI
+// gates it with headroom.
+func BenchmarkMixedPageReads(b *testing.B) {
+	ds := benchDataset(b, "LA")
+	qs := benchWorkload(b, ds, queries.Config{Seed: 41})
+	baseN := len(ds.Trajs) * 4 / 5
+	stream := ds.Trajs[baseN:]
+	var pages float64
+	for i := 0; i < b.N; i++ {
+		base := ds.Sample(baseN)
+		base.Name = ds.Name
+		d, err := delta.NewDynamic(base, delta.Config{CompactThreshold: max(len(stream)/2, 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := harness.RunMixedWorkload(d, stream, qs, harness.MixedOptions{
+			ReadFraction: 0.95,
+			Ops:          4 * len(stream),
+			K:            queries.DefaultK,
+			Workers:      4,
+			Seed:         7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pages += res.PagesPerSearch()
+	}
+	// Average over iterations: each run's cache pattern varies slightly
+	// under concurrency, and the mean is the tighter signal for the CI gate.
+	b.ReportMetric(pages/float64(b.N), "pages/search")
 }
 
 // BenchmarkParallelThroughput compares 1-worker and multi-worker serving of

@@ -20,6 +20,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,13 +42,61 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for the throughput experiment (default 1,2,4,8)")
 	out := flag.String("o", "", "also write output to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	flag.Parse()
+
+	// stopProfiles flushes both profiles exactly once. log.Fatal skips
+	// defers (os.Exit), so every fatal path below calls it explicitly —
+	// otherwise an error after StartCPUProfile would leave the CPU profile
+	// truncated. Heap-profile problems only warn: the benchmark output the
+	// run produced is still valid.
+	var cpuFile *os.File
+	profilesDone := false
+	stopProfiles := func() {
+		if profilesDone {
+			return
+		}
+		profilesDone = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("create %s: %v", *memProfile, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("write heap profile: %v", err)
+			}
+		}
+	}
+	defer stopProfiles()
+	fatalf := func(format string, args ...any) {
+		stopProfiles()
+		log.Fatalf(format, args...)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("create %s: %v", *cpuProfile, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			log.Fatalf("start CPU profile: %v", err)
+		}
+		cpuFile = f
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatalf("create %s: %v", *out, err)
+			fatalf("create %s: %v", *out, err)
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
@@ -67,7 +117,7 @@ func main() {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n < 1 {
-			log.Fatalf("bad -workers entry %q", part)
+			fatalf("bad -workers entry %q", part)
 		}
 		workers = append(workers, n)
 	}
@@ -87,7 +137,7 @@ func main() {
 
 	start := time.Now()
 	if err := suite.Run(*experiment, w); err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	fmt.Fprintf(w, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }

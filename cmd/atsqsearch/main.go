@@ -113,10 +113,11 @@ func main() {
 			printResults(batches[qi], ds, *verbose)
 		}
 		stats := pe.LastStats()
-		fmt.Printf("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d pages=%d cache hit/miss=%d/%d)\n",
+		fmt.Printf("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
 			len(qs), pe.Workers(), elapsed.Round(time.Microsecond),
 			float64(len(qs))/elapsed.Seconds(),
-			stats.Candidates, stats.Scored, stats.PageReads, stats.CacheHits, stats.CacheMisses)
+			stats.Candidates, stats.Scored, stats.HeaderOnlyRejects, stats.PageReads,
+			stats.BytesDecoded/1024, stats.CacheHits, stats.CacheMisses)
 		return
 	}
 
@@ -134,9 +135,10 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		stats := engine.LastStats()
-		fmt.Printf("  %d results in %s (candidates=%d scored=%d pages=%d cache hit/miss=%d/%d)\n",
+		fmt.Printf("  %d results in %s (candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
 			len(results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored,
-			stats.PageReads, stats.CacheHits, stats.CacheMisses)
+			stats.HeaderOnlyRejects, stats.PageReads, stats.BytesDecoded/1024,
+			stats.CacheHits, stats.CacheMisses)
 		printResults(results, ds, *verbose)
 	}
 }

@@ -1,15 +1,23 @@
 // Command benchjson converts `go test -bench` output into JSON and gates CI
-// on per-metric ceilings. It reads benchmark output from stdin, writes a
-// JSON array of the parsed results, and exits non-zero when any run of a
-// benchmark exceeds a ceiling given with -fail.
+// on per-metric ceilings and on regressions against a committed baseline.
+// It reads benchmark output from stdin, writes a JSON array of the parsed
+// results, and exits non-zero when any gate fails.
 //
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem | benchjson -o BENCH_ci.json \
-//	    -fail 'allocs/search:2000'
+//	    -fail 'allocs/search:2000,pages/search:80' \
+//	    -baseline BENCH_baseline.json -regress 'ns/op:2.5,allocs/op:1.1'
 //
 // Each -fail entry is metric:ceiling (comma-separable); the gate applies to
 // every benchmark that reports the metric, across every -count repetition.
+//
+// -baseline names a JSON file previously written by benchjson (the
+// committed perf trajectory); each -regress entry is metric:factor — for
+// every benchmark present in both files, the best (minimum) current value
+// of the metric must stay within factor × the best baseline value.
+// Deterministic metrics (allocs/op, pages/search) tolerate tight factors;
+// wall-clock metrics need headroom for runner variance.
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -87,10 +96,85 @@ func parseCeilings(spec string) ([]ceiling, error) {
 	return out, nil
 }
 
+// regress is one -regress gate: best current metric must stay within
+// factor × best baseline metric.
+type regress struct {
+	metric string
+	factor float64
+}
+
+func parseRegressions(spec string) ([]regress, error) {
+	gates, err := parseCeilings(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]regress, len(gates))
+	for i, g := range gates {
+		if g.limit <= 0 {
+			return nil, fmt.Errorf("bad -regress factor %g for %s: must be > 0", g.limit, g.metric)
+		}
+		out[i] = regress{metric: g.metric, factor: g.limit}
+	}
+	return out, nil
+}
+
+// bestByName reduces repetitions to the minimum value of each metric per
+// benchmark name — the conventional "best of N" benchmark summary.
+func bestByName(results []Result) map[string]map[string]float64 {
+	best := make(map[string]map[string]float64)
+	for _, r := range results {
+		m := best[r.Name]
+		if m == nil {
+			m = make(map[string]float64)
+			best[r.Name] = m
+		}
+		for k, v := range r.Metrics {
+			if old, ok := m[k]; !ok || v < old {
+				m[k] = v
+			}
+		}
+	}
+	return best
+}
+
+// compareBaseline returns a violation per benchmark/metric where the best
+// current value exceeds factor × the best baseline value. Benchmarks absent
+// from either side are skipped (new benchmarks are not gated).
+func compareBaseline(current, baseline []Result, gates []regress) []string {
+	if len(gates) == 0 {
+		return nil
+	}
+	cur, base := bestByName(current), bestByName(baseline)
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, name := range names {
+		bm, ok := base[name]
+		if !ok {
+			continue
+		}
+		for _, g := range gates {
+			cv, okC := cur[name][g.metric]
+			bv, okB := bm[g.metric]
+			if !okC || !okB {
+				continue
+			}
+			if cv > bv*g.factor {
+				out = append(out, fmt.Sprintf("%s: %s = %g regressed past %g (baseline %g × %g)",
+					name, g.metric, cv, bv*g.factor, bv, g.factor))
+			}
+		}
+	}
+	return out
+}
+
 // run parses benchmark output from in, writes JSON to jsonOut, echoes the
 // input to echo (so CI logs keep the raw output), and returns the ceiling
-// violations.
-func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling) ([]string, error) {
+// and baseline-regression violations.
+func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling, baseline []Result, regressions []regress) ([]string, error) {
 	var results []Result
 	var violations []string
 	sc := bufio.NewScanner(in)
@@ -115,6 +199,7 @@ func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling) ([]string, erro
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	violations = append(violations, compareBaseline(results, baseline, regressions)...)
 	enc := json.NewEncoder(jsonOut)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
@@ -128,12 +213,30 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	failSpec := flag.String("fail", "", "comma-separated metric:ceiling gates, e.g. 'allocs/search:2000'")
+	baselineFile := flag.String("baseline", "", "baseline JSON (written by a previous benchjson run) to diff against")
+	regressSpec := flag.String("regress", "", "comma-separated metric:factor regression gates vs -baseline, e.g. 'ns/op:2.5,allocs/op:1.1'")
 	quiet := flag.Bool("q", false, "do not echo the raw benchmark output")
 	flag.Parse()
 
 	gates, err := parseCeilings(*failSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	regressions, err := parseRegressions(*regressSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var baseline []Result
+	if *baselineFile != "" {
+		raw, err := os.ReadFile(*baselineFile)
+		if err != nil {
+			log.Fatalf("read baseline: %v", err)
+		}
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			log.Fatalf("parse baseline %s: %v", *baselineFile, err)
+		}
+	} else if len(regressions) > 0 {
+		log.Fatal("-regress requires -baseline")
 	}
 	var jsonOut io.Writer = os.Stdout
 	var echo io.Writer
@@ -148,7 +251,7 @@ func main() {
 		defer f.Close()
 		jsonOut = f
 	}
-	violations, err := run(os.Stdin, jsonOut, echo, gates)
+	violations, err := run(os.Stdin, jsonOut, echo, gates, baseline, regressions)
 	if err != nil {
 		log.Fatal(err)
 	}

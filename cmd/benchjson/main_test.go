@@ -49,7 +49,7 @@ func TestRunJSONAndGates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	violations, err := run(strings.NewReader(sample), &out, nil, gates)
+	violations, err := run(strings.NewReader(sample), &out, nil, gates, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestRunJSONAndGates(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	violations, err = run(strings.NewReader(sample), &out, nil, gates)
+	violations, err = run(strings.NewReader(sample), &out, nil, gates, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,5 +95,48 @@ func TestParseCeilings(t *testing.T) {
 	}
 	if gs, err := parseCeilings(""); err != nil || len(gs) != 0 {
 		t.Fatalf("empty spec: %v %v", gs, err)
+	}
+}
+
+func TestBaselineRegression(t *testing.T) {
+	parse := func(text string) []Result {
+		var rs []Result
+		for _, line := range strings.Split(text, "\n") {
+			if r, ok := parseLine(line); ok {
+				rs = append(rs, r)
+			}
+		}
+		return rs
+	}
+	baseline := parse(sample)
+	faster := parse(`BenchmarkGATSearchAllocs-4   3   10000000 ns/op   4112 B/op   92 allocs/op   23.00 allocs/search`)
+	slower := parse(`BenchmarkGATSearchAllocs-4   3   40000000 ns/op   9000 B/op   92 allocs/op   23.00 allocs/search`)
+
+	gates, err := parseRegressions("ns/op:2.0,allocs/op:1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := compareBaseline(faster, baseline, gates); len(v) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", v)
+	}
+	v := compareBaseline(slower, baseline, gates)
+	if len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("2.7x slowdown not flagged: %v", v)
+	}
+	// Benchmarks absent from the baseline are not gated.
+	novel := parse(`BenchmarkBrandNew-4   3   1 ns/op   1 B/op   1 allocs/op`)
+	if v := compareBaseline(novel, baseline, gates); len(v) != 0 {
+		t.Fatalf("new benchmark gated: %v", v)
+	}
+	// The gate uses best-of-N on both sides: one slow repetition among fast
+	// ones must not trip it.
+	mixed := parse(`BenchmarkGATSearchAllocs-4   3   90000000 ns/op   92 allocs/op
+BenchmarkGATSearchAllocs-4   3   14000000 ns/op   92 allocs/op`)
+	if v := compareBaseline(mixed, baseline, gates); len(v) != 0 {
+		t.Fatalf("best-of-N not applied: %v", v)
+	}
+
+	if _, err := parseRegressions("ns/op:0"); err == nil {
+		t.Fatal("zero factor accepted")
 	}
 }

@@ -97,18 +97,55 @@
 //
 // # Cache tuning
 //
-// Two sharded LRU caches sit in front of the simulated disk and are shared
-// by all engine clones:
+// Three sharded LRU caches sit in front of the simulated disk and are
+// shared by all engine clones:
 //
 //   - StoreConfig.APLCacheEntries caps the decoded Activity Posting List
 //     cache in the trajectory store (default 8192 entries; negative
 //     disables it). Candidates re-examined by later queries skip both the
 //     page reads and the varint decode.
+//   - StoreConfig.CoordCacheEntries caps the decoded-coordinate cache
+//     (default 8192 trajectories; negative disables it). Entries are
+//     sparse: only the points queries actually referenced are faulted in,
+//     so a cached trajectory costs memory proportional to what was read,
+//     and repeat candidates cost zero page reads.
 //   - GATConfig.HICLCacheEntries caps the decoded disk-level HICL
-//     posting-list cache in the GAT index (default 4096 entries).
+//     cell-set cache in the GAT index (default 4096 entries).
 //
 // Cache traffic is reported per search in SearchStats.CacheHits and
 // SearchStats.CacheMisses; simulated page reads in SearchStats.PageReads
 // drop as the caches warm. Engines measured by the experiment harness reset
 // the caches between workloads so cold-cache comparisons stay fair.
+//
+// # I/O-minimizing candidate pipeline
+//
+// Candidate evaluation is built to touch as few pages and decode as few
+// bytes as the answer allows:
+//
+//   - Blocked APLs. An Activity Posting List segment starts with a header
+//     (activity set + per-activity block-length skip table). Fetches read
+//     only the header pages; the containment check runs on the header, so
+//     rejected candidates never read or decode a posting block
+//     (SearchStats.HeaderOnlyRejects). Survivors fault the body in once
+//     and decode only the queried activities' blocks, memoized on the
+//     shared cached APL.
+//   - Sparse coordinate reads. Points are fixed-stride on disk, so the
+//     evaluator fetches only the pages containing the point indexes the
+//     match rows reference, and decodes only those points — memoized in
+//     the sparse coordinate cache so each (trajectory, point) is read from
+//     disk at most once while resident.
+//   - Hybrid posting containers. HICL cell lists (in memory and on disk),
+//     the IL baseline's lists and the delta layer's presence sets use
+//     invindex.Set — roaring-style sorted-array/bitmap containers with O(1)
+//     dense probes, single-word quad-sibling masks (Mask4), galloping
+//     sparse intersection and whole-container skipping.
+//   - Batched, page-ordered scoring. Each λ-batch of candidates is scored
+//     in APL page order with a buffer-pool readahead hint instead of
+//     heap-pop order; the top-k set under (distance, ID) is
+//     order-independent, so this is free. Under concurrent serving it
+//     stops clone pools from thrashing the sharded LRU.
+//
+// SearchStats.BytesDecoded counts the bytes actually decoded per search;
+// the persisted GAT index format (version 2) stores HICL lists in the
+// container encoding and migrates version-1 streams on load.
 package activitytraj

@@ -49,18 +49,19 @@ func (e *IL) MemBytes() int64 { return e.inv.MemBytes() }
 // LastStats implements query.Engine.
 func (e *IL) LastStats() query.SearchStats { return e.stats }
 
-// candidates intersects the per-activity lists for every activity in Q.Φ.
+// candidates intersects the per-activity sets for every activity in Q.Φ —
+// shortest set first, whole containers skipped, dense runs ANDed word-wide.
 func (e *IL) candidates(q query.Query) []trajectory.TrajID {
 	all := q.AllActs()
-	lists := make([]invindex.PostingList, 0, len(all))
+	sets := make([]*invindex.Set, 0, len(all))
 	for _, a := range all {
-		l := e.inv.Get(a)
-		if len(l) == 0 {
+		s := e.inv.Get(a)
+		if s.Empty() {
 			return nil
 		}
-		lists = append(lists, l)
+		sets = append(sets, s)
 	}
-	ids := invindex.IntersectMany(lists)
+	ids := invindex.IntersectSets(sets)
 	out := make([]trajectory.TrajID, len(ids))
 	for i, id := range ids {
 		out[i] = trajectory.TrajID(id)

@@ -103,8 +103,10 @@ type Layer struct {
 	muts     atomic.Int64 // inserts+deletes, the auto-compaction trigger
 
 	// hicl[l][a] is the set of level-l cells with a point carrying a;
-	// index 0 is unused, mirroring the base index's level numbering.
-	hicl []map[trajectory.ActivityID]map[uint32]struct{}
+	// index 0 is unused, mirroring the base index's level numbering. Hybrid
+	// container sets keep dense levels compact and make the per-expansion
+	// presence probes branchless on bitmap ranges.
+	hicl []map[trajectory.ActivityID]*invindex.Set
 	// itl[z][a] lists the trajectories with an a-point in leaf cell z.
 	itl map[uint32]map[trajectory.ActivityID]invindex.PostingList
 	// overflowIDs lists inserted trajectories with out-of-region points;
@@ -125,9 +127,9 @@ func NewLayer(g *grid.Grid, baseN, sketchM int) *Layer {
 		tombs:   make(map[trajectory.TrajID]struct{}),
 		itl:     make(map[uint32]map[trajectory.ActivityID]invindex.PostingList),
 	}
-	l.hicl = make([]map[trajectory.ActivityID]map[uint32]struct{}, l.depth+1)
+	l.hicl = make([]map[trajectory.ActivityID]*invindex.Set, l.depth+1)
 	for lev := 1; lev <= l.depth; lev++ {
-		l.hicl[lev] = make(map[trajectory.ActivityID]map[uint32]struct{})
+		l.hicl[lev] = make(map[trajectory.ActivityID]*invindex.Set)
 	}
 	return l
 }
@@ -168,13 +170,12 @@ func (l *Layer) register(id trajectory.TrajID, e *entry) {
 			for lev := l.depth; lev >= 1; lev-- {
 				am := l.hicl[lev][a]
 				if am == nil {
-					am = make(map[uint32]struct{})
+					am = invindex.NewSet()
 					l.hicl[lev][a] = am
 				}
-				if _, ok := am[z]; ok {
+				if !am.Insert(z) {
 					break // every ancestor is registered already
 				}
-				am[z] = struct{}{}
 				z >>= 2
 			}
 		}
@@ -266,7 +267,7 @@ func (l *Layer) memBytes() int64 {
 	}
 	for _, lev := range l.hicl {
 		for _, am := range lev {
-			n += 16 + int64(len(am))*8
+			n += 16 + am.MemBytes()
 		}
 	}
 	n += int64(len(l.tombs)) * 8
@@ -291,8 +292,7 @@ func (l *Layer) cellHasAct(level int, z uint32, a trajectory.ActivityID) bool {
 	if level < 1 || level >= len(l.hicl) {
 		return false
 	}
-	_, ok := l.hicl[level][a][z]
-	return ok
+	return l.hicl[level][a].Contains(z)
 }
 
 func (l *Layer) appendCellTrajs(dst []uint32, z uint32, a trajectory.ActivityID) []uint32 {

@@ -46,9 +46,13 @@ func TestRoundTripAfterCorruptionChecks(t *testing.T) {
 	if err != nil || len(coords) != len(tr.Pts) {
 		t.Fatalf("coords round trip: %v (%d)", err, len(coords))
 	}
-	apl, err := decodeAPL(encodeAPL(nil, tr))
+	blob, hdrLen := encodeAPL(nil, tr)
+	apl, err := decodeAPL(blob)
 	if err != nil {
 		t.Fatalf("apl round trip: %v", err)
+	}
+	if int(apl.hdrLen) != hdrLen {
+		t.Fatalf("header length: encode says %d, decode says %d", hdrLen, apl.hdrLen)
 	}
 	for _, p := range tr.Pts {
 		for _, a := range p.Acts {

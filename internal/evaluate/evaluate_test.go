@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"activitytraj/internal/dataset"
+	"activitytraj/internal/geo"
 	"activitytraj/internal/matcher"
 	"activitytraj/internal/query"
 	"activitytraj/internal/trajectory"
@@ -206,4 +207,157 @@ func eqInf(a, b float64) bool {
 		return math.IsInf(a, 1) && math.IsInf(b, 1)
 	}
 	return math.Abs(a-b) < 1e-9
+}
+
+// TestSparseCoordsMatchFull: the sparse point fetch — cached and uncached —
+// must return exactly the same values a full segment decode does, for
+// arbitrary ascending index subsets.
+func TestSparseCoordsMatchFull(t *testing.T) {
+	ds := smallDataset(t)
+	for _, cacheEntries := range []int{0, -1} { // default cache, disabled
+		ts, err := BuildTrajStore(ds, TrajStoreConfig{CoordCacheEntries: cacheEntries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats query.SearchStats
+		var scratch []geo.Point
+		for ti := range ds.Trajs {
+			tr := &ds.Trajs[ti]
+			full, err := ts.FetchCoords(tr.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := len(tr.Pts)
+			subsets := [][]uint32{{}, {0}, {uint32(n - 1)}}
+			var every, odds []uint32
+			for i := 0; i < n; i++ {
+				every = append(every, uint32(i))
+				if i%2 == 1 {
+					odds = append(odds, uint32(i))
+				}
+			}
+			subsets = append(subsets, odds, every)
+			for si, idxs := range subsets {
+				pts, sc, err := ts.fetchCoordsSparse(tr.ID, idxs, scratch, &stats)
+				scratch = sc
+				if err != nil {
+					t.Fatalf("traj %d subset %d: %v", ti, si, err)
+				}
+				for _, idx := range idxs {
+					if pts[idx] != full[idx] {
+						t.Fatalf("traj %d subset %d idx %d: %v vs %v (cache=%d)",
+							ti, si, idx, pts[idx], full[idx], cacheEntries)
+					}
+				}
+			}
+			// Out-of-range index must error, not read garbage.
+			if _, _, err := ts.fetchCoordsSparse(tr.ID, []uint32{uint32(n)}, scratch, &stats); err == nil {
+				t.Fatalf("traj %d: out-of-range index accepted", ti)
+			}
+		}
+		ts.Close()
+	}
+}
+
+// TestHeaderOnlyRejectAccounting: a candidate rejected on APL containment
+// must be charged header pages only, decode zero posting bytes, and count
+// in HeaderOnlyRejects.
+func TestHeaderOnlyRejectAccounting(t *testing.T) {
+	ds := smallDataset(t)
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{APLCacheEntries: -1, CoordCacheEntries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ev := NewEvaluator(ts)
+	ev.UseSketch = false // force the reject onto the APL path
+
+	// An activity no trajectory carries guarantees rejection.
+	var absent trajectory.ActivityID = 9999
+	tr := &ds.Trajs[0]
+	q := query.New(query.Point{Loc: tr.Pts[0].Loc, Acts: trajectory.ActivitySet{absent}})
+	var stats query.SearchStats
+	_, out, err := ev.ScoreATSQ(q, tr.ID, matcher.Inf, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != RejectedAPL {
+		t.Fatalf("outcome %v, want RejectedAPL", out)
+	}
+	if stats.HeaderOnlyRejects != 1 || stats.APLRejected != 1 {
+		t.Fatalf("stats %+v: want one header-only reject", stats)
+	}
+	if stats.BytesDecoded != 0 {
+		t.Fatalf("reject decoded %d bytes, want 0", stats.BytesDecoded)
+	}
+	hdrSpan := ts.aplRefs[tr.ID].SubSpan(0, ts.aplHdrLens[tr.ID])
+	if stats.PageReads != hdrSpan {
+		t.Fatalf("reject read %d pages, want header span %d", stats.PageReads, hdrSpan)
+	}
+
+	// A scored candidate must decode only the queried activities' blocks.
+	present := tr.Pts[0].Acts[0]
+	q = query.New(query.Point{Loc: tr.Pts[0].Loc, Acts: trajectory.ActivitySet{present}})
+	stats = query.SearchStats{}
+	_, out, err = ev.ScoreATSQ(q, tr.ID, matcher.Inf, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != Scored {
+		t.Fatalf("outcome %v, want Scored", out)
+	}
+	if stats.BytesDecoded == 0 {
+		t.Fatal("scored candidate decoded nothing")
+	}
+	apl, err := ts.FetchAPL(tr.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockLen := int64(0)
+	for i, a := range apl.acts {
+		if a == present {
+			start := uint32(0)
+			if i > 0 {
+				start = apl.ends[i-1]
+			}
+			blockLen = int64(apl.ends[i] - start)
+		}
+	}
+	wantDecoded := blockLen + 16*int64(len(apl.Postings(present)))
+	if stats.BytesDecoded != wantDecoded {
+		t.Fatalf("scored candidate decoded %d bytes, want %d (one block + its points)",
+			stats.BytesDecoded, wantDecoded)
+	}
+}
+
+// TestCoordCacheRepeatCostsNothing: scoring the same candidate twice must
+// charge pages only once when the coordinate and APL caches are on.
+func TestCoordCacheRepeatCostsNothing(t *testing.T) {
+	ds := smallDataset(t)
+	ts, err := BuildTrajStore(ds, TrajStoreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	ev := NewEvaluator(ts)
+	tr := &ds.Trajs[1]
+	q := query.New(query.Point{Loc: tr.Pts[0].Loc, Acts: trajectory.ActivitySet{tr.Pts[0].Acts[0]}})
+
+	var first query.SearchStats
+	if _, _, err := ev.ScoreATSQ(q, tr.ID, matcher.Inf, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.PageReads == 0 {
+		t.Fatal("cold score read no pages")
+	}
+	var second query.SearchStats
+	if _, _, err := ev.ScoreATSQ(q, tr.ID, matcher.Inf, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.PageReads != 0 {
+		t.Fatalf("warm repeat read %d pages, want 0", second.PageReads)
+	}
+	if second.CacheHits == 0 {
+		t.Fatal("warm repeat hit no caches")
+	}
 }

@@ -1,6 +1,8 @@
 package evaluate
 
 import (
+	"slices"
+
 	"activitytraj/internal/geo"
 	"activitytraj/internal/matcher"
 	"activitytraj/internal/query"
@@ -60,9 +62,20 @@ type Evaluator struct {
 	deltaID trajectory.TrajID
 	deltaFn func(a trajectory.ActivityID) []uint32
 
+	// curAPL and aplFn adapt the current candidate's lazily-decoded APL to
+	// RowBuilder's per-activity callback without a per-candidate closure;
+	// prepare pre-decodes every query activity, so aplFn only reads
+	// memoized blocks.
+	curAPL *APL
+	aplFn  func(a trajectory.ActivityID) []uint32
+
 	rb        matcher.RowBuilder
 	coordsBuf []geo.Point
 	blobBuf   []byte
+	actLists  [][]uint32 // per query activity: decoded postings (scratch)
+	mergePos  []int      // k-way merge cursors (scratch)
+	needIdx   []uint32   // union of needed point indexes (scratch)
+	sortKeys  []uint64   // batch locality sort keys (scratch)
 	// allActs memoizes q.AllActs() for the query whose Pts backing array is
 	// allActsPts: engines score many candidates against one query, and the
 	// union does not change between them.
@@ -126,9 +139,11 @@ func (e *Evaluator) ScoreOATSQ(q query.Query, id trajectory.TrajID, threshold fl
 }
 
 // prepare runs the shared validation pipeline: TAS check (memory), APL
-// fetch + containment check (cached/disk), coordinate fetch (disk), row
-// build. It returns the candidate rows and the trajectory length. The rows
-// alias evaluator scratch and are valid until the next prepare.
+// header fetch + containment check (cached/disk, header pages only),
+// lazy posting-block decode for the query activities, sparse coordinate
+// fetch (only pages holding needed points), row build. It returns the
+// candidate rows and the trajectory length. The rows alias evaluator
+// scratch and are valid until the next prepare.
 //
 // Disk and cache traffic is attributed to stats here, at the point of the
 // fetch, rather than by diffing the shared pool/cache counters: local
@@ -145,25 +160,133 @@ func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.Se
 			return nil, 0, RejectedSketch, nil
 		}
 	}
-	apl, err := e.ts.fetchAPL(id, stats)
-	if err != nil {
-		return nil, 0, Scored, err
-	}
-	for _, a := range all {
-		if !apl.Has(a) {
-			stats.APLRejected++
-			return nil, 0, RejectedAPL, nil
-		}
-	}
-	coords, blob, err := e.ts.FetchCoordsScratch(id, e.blobBuf, e.coordsBuf)
+	apl, blob, err := e.ts.fetchAPL(id, stats, e.blobBuf)
 	e.blobBuf = blob
 	if err != nil {
 		return nil, 0, Scored, err
 	}
-	e.coordsBuf = coords
-	stats.PageReads += e.ts.coordRefs[id].PageSpan()
-	rows := e.rb.Build(q.Pts, apl.Postings, coords)
-	return rows, len(coords), Scored, nil
+	// Containment over the header's activity set: a reject never reads or
+	// decodes a posting block.
+	for _, a := range all {
+		if !apl.Has(a) {
+			stats.APLRejected++
+			stats.HeaderOnlyRejects++
+			return nil, 0, RejectedAPL, nil
+		}
+	}
+	// Decode exactly the query activities' blocks (memoized on the shared
+	// APL) and collect the union of point indexes the rows will touch.
+	e.actLists = e.actLists[:0]
+	for _, a := range all {
+		list, err := apl.postings(a, stats)
+		if err != nil {
+			return nil, 0, Scored, err
+		}
+		e.actLists = append(e.actLists, list)
+	}
+	e.needIdx = mergeUnique(e.needIdx[:0], e.actLists, &e.mergePos)
+	coords, scratch, err := e.ts.fetchCoordsSparse(id, e.needIdx, e.coordsBuf, stats)
+	e.coordsBuf = scratch
+	if err != nil {
+		return nil, 0, Scored, err
+	}
+	e.curAPL = apl
+	if e.aplFn == nil {
+		e.aplFn = func(a trajectory.ActivityID) []uint32 {
+			return e.curAPL.cachedPostings(a)
+		}
+	}
+	rows := e.rb.Build(q.Pts, e.aplFn, coords)
+	return rows, e.ts.NumPoints(id), Scored, nil
+}
+
+// mergeUnique appends the ascending union of the ascending lists to dst.
+// pos is cursor scratch, grown as needed.
+func mergeUnique(dst []uint32, lists [][]uint32, pos *[]int) []uint32 {
+	p := (*pos)[:0]
+	for range lists {
+		p = append(p, 0)
+	}
+	*pos = p
+	for {
+		min := uint32(0)
+		found := false
+		for b, l := range lists {
+			if c := p[b]; c < len(l) && (!found || l[c] < min) {
+				min = l[c]
+				found = true
+			}
+		}
+		if !found {
+			return dst
+		}
+		for b, l := range lists {
+			if c := p[b]; c < len(l) && l[c] == min {
+				p[b]++
+			}
+		}
+		dst = append(dst, min)
+	}
+}
+
+// PrefetchBatch reorders ids in place so candidates are scored in APL page
+// order (delta-resident candidates, which cost no disk, go last in ID
+// order) and warms the buffer pool with the header pages of the APLs that
+// are not already decoded in the cache — one ascending readahead sweep
+// instead of heap-pop-order point reads. Scoring order does not affect
+// results: the top-k set under (distance, ID) is order-independent, so
+// engines are free to batch for locality.
+func (e *Evaluator) PrefetchBatch(ids []trajectory.TrajID) {
+	if len(ids) < 2 {
+		if len(ids) == 1 && int(ids[0]) < e.ts.NumTrajs() && !e.ts.APLCached(ids[0]) {
+			e.ts.PrefetchAPLHeader(ids[0])
+		}
+		return
+	}
+	baseN := e.ts.NumTrajs()
+	keys := e.sortKeys[:0]
+	for _, id := range ids {
+		page := ^uint32(0) // delta candidates sort last
+		if int(id) < baseN {
+			page = e.ts.APLPage(id)
+		}
+		keys = append(keys, uint64(page)<<32|uint64(uint32(id)))
+	}
+	e.sortKeys = keys
+	slices.Sort(keys)
+	for i, k := range keys {
+		ids[i] = trajectory.TrajID(uint32(k))
+	}
+	// Readahead over the header pages of to-be-fetched APLs, coalescing
+	// adjacent ranges so the pool sees few, ascending hints.
+	var first, past uint32
+	started := false
+	for _, id := range ids {
+		if int(id) >= baseN {
+			break
+		}
+		if e.ts.APLCached(id) {
+			continue
+		}
+		f, p := e.ts.aplRefs[id].PageRange(0, e.ts.aplHdrLens[id])
+		if p == f {
+			continue // empty segment
+		}
+		switch {
+		case !started:
+			first, past, started = f, p, true
+		case f <= past:
+			if p > past {
+				past = p
+			}
+		default:
+			e.ts.store.Prefetch(first, past)
+			first, past = f, p
+		}
+	}
+	if started {
+		e.ts.store.Prefetch(first, past)
+	}
 }
 
 // prepareDelta is prepare for a candidate served by the delta layer: the

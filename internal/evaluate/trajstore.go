@@ -13,7 +13,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"activitytraj/internal/cache"
 	"activitytraj/internal/geo"
@@ -31,14 +33,45 @@ import (
 // candidates — within one query or across concurrent queries — skip both
 // the page reads and the varint decode. All read paths are safe for
 // concurrent use.
+//
+// APL segments use a blocked layout (see encodeAPL): a header carrying the
+// activity set and a per-activity block skip table, followed by the posting
+// blocks. Fetches read the header pages only; containment checks never
+// touch the blocks, and surviving candidates decode blocks lazily per
+// queried activity. Coordinates are fixed-stride, so scoring fetches only
+// the pages holding the point indexes the match actually needs.
 type TrajStore struct {
-	ds        *trajectory.Dataset
-	store     *storage.Store
-	coordRefs []storage.SegRef
-	aplRefs   []storage.SegRef
-	tas       []sketch.Sketch
-	sketchM   int
-	aplCache  *cache.Sharded[trajectory.TrajID, *APL] // nil when disabled
+	ds           *trajectory.Dataset
+	store        *storage.Store
+	coordRefs    []storage.SegRef
+	aplRefs      []storage.SegRef
+	aplHdrLens   []uint32 // byte length of each APL's header prefix
+	numPts       []uint32 // point count per trajectory
+	coordHdrLens []uint8  // uvarint length of each coord segment's count prefix
+	tas          []sketch.Sketch
+	sketchM      int
+	aplCache     *cache.Sharded[trajectory.TrajID, *APL]        // nil when disabled
+	coordCache   *cache.Sharded[trajectory.TrajID, *coordBlock] // nil when disabled
+}
+
+// coordBlock is a cached, sparsely-filled decode of one trajectory's
+// coordinate segment: points are faulted in page-by-page as queries need
+// them and never re-read. filled is a presence bitmap over point indexes.
+// Entries are shared across goroutines; mu guards the fill path, and a
+// filled point is never rewritten, so readers that observed presence under
+// the lock may use the slice lock-free afterwards.
+type coordBlock struct {
+	mu     sync.Mutex
+	pts    []geo.Point
+	filled []uint64
+}
+
+func (cb *coordBlock) has(idx uint32) bool {
+	return cb.filled[idx>>6]&(1<<(idx&63)) != 0
+}
+
+func (cb *coordBlock) mark(idx uint32) {
+	cb.filled[idx>>6] |= 1 << (idx & 63)
 }
 
 // TrajStoreConfig controls construction.
@@ -53,6 +86,10 @@ type TrajStoreConfig struct {
 	// APLCacheEntries caps the decoded-APL cache (0 = DefaultAPLCacheEntries,
 	// negative = disable caching).
 	APLCacheEntries int
+	// CoordCacheEntries caps the decoded-coordinate cache (0 =
+	// DefaultCoordCacheEntries, negative = disable caching). Entries are
+	// sparse: only the points queries actually touched are resident.
+	CoordCacheEntries int
 }
 
 // DefaultSketchIntervals is the default TAS interval count M.
@@ -63,6 +100,10 @@ const DefaultPoolPages = 1024
 
 // DefaultAPLCacheEntries is the default decoded-APL cache capacity.
 const DefaultAPLCacheEntries = 8192
+
+// DefaultCoordCacheEntries is the default decoded-coordinate cache capacity
+// (trajectories, not points; entries hold only the points actually read).
+const DefaultCoordCacheEntries = 8192
 
 // BuildTrajStore lays the dataset out on disk and builds the sketches.
 func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, error) {
@@ -83,12 +124,15 @@ func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, er
 		store = storage.NewMemStore(cfg.PoolPages)
 	}
 	ts := &TrajStore{
-		ds:        ds,
-		store:     store,
-		coordRefs: make([]storage.SegRef, len(ds.Trajs)),
-		aplRefs:   make([]storage.SegRef, len(ds.Trajs)),
-		tas:       make([]sketch.Sketch, len(ds.Trajs)),
-		sketchM:   cfg.SketchIntervals,
+		ds:           ds,
+		store:        store,
+		coordRefs:    make([]storage.SegRef, len(ds.Trajs)),
+		aplRefs:      make([]storage.SegRef, len(ds.Trajs)),
+		aplHdrLens:   make([]uint32, len(ds.Trajs)),
+		numPts:       make([]uint32, len(ds.Trajs)),
+		coordHdrLens: make([]uint8, len(ds.Trajs)),
+		tas:          make([]sketch.Sketch, len(ds.Trajs)),
+		sketchM:      cfg.SketchIntervals,
 	}
 	if cfg.APLCacheEntries >= 0 {
 		n := cfg.APLCacheEntries
@@ -97,6 +141,15 @@ func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, er
 		}
 		ts.aplCache = cache.New[trajectory.TrajID, *APL](n, 0, func(id trajectory.TrajID) uint64 {
 			return cache.Uint64Hash(uint64(id))
+		})
+	}
+	if cfg.CoordCacheEntries >= 0 {
+		n := cfg.CoordCacheEntries
+		if n == 0 {
+			n = DefaultCoordCacheEntries
+		}
+		ts.coordCache = cache.New[trajectory.TrajID, *coordBlock](n, 0, func(id trajectory.TrajID) uint64 {
+			return cache.Uint64Hash(uint64(id) ^ 0x9E3779B97F4A7C15)
 		})
 	}
 	var buf []byte
@@ -108,12 +161,16 @@ func BuildTrajStore(ds *trajectory.Dataset, cfg TrajStoreConfig) (*TrajStore, er
 			return nil, fmt.Errorf("evaluate: write coords of %d: %w", tr.ID, err)
 		}
 		ts.coordRefs[i] = ref
+		ts.numPts[i] = uint32(len(tr.Pts))
+		ts.coordHdrLens[i] = uint8(uvarintLen(uint64(len(tr.Pts))))
 
-		buf = encodeAPL(buf[:0], tr)
+		var hdrLen int
+		buf, hdrLen = encodeAPL(buf[:0], tr)
 		if ref, err = store.Append(buf); err != nil {
 			return nil, fmt.Errorf("evaluate: write APL of %d: %w", tr.ID, err)
 		}
 		ts.aplRefs[i] = ref
+		ts.aplHdrLens[i] = uint32(hdrLen)
 
 		ts.tas[i] = sketch.Build(tr.ActivityUnion(), cfg.SketchIntervals)
 	}
@@ -128,6 +185,10 @@ func (ts *TrajStore) Dataset() *trajectory.Dataset { return ts.ds }
 
 // NumTrajs returns the number of stored trajectories.
 func (ts *TrajStore) NumTrajs() int { return len(ts.coordRefs) }
+
+// NumPoints returns the point count of trajectory id (from the in-memory
+// directory; no disk access).
+func (ts *TrajStore) NumPoints(id trajectory.TrajID) int { return int(ts.numPts[id]) }
 
 // TAS returns the activity sketch of trajectory id.
 func (ts *TrajStore) TAS(id trajectory.TrajID) sketch.Sketch { return ts.tas[id] }
@@ -145,77 +206,291 @@ func (ts *TrajStore) FetchCoords(id trajectory.TrajID) ([]geo.Point, error) {
 	return decodeCoords(blob)
 }
 
-// FetchCoordsScratch is FetchCoords decoding into caller-owned scratch: the
-// segment bytes land in blob and the points in pts (both may be nil and are
-// grown as needed). It returns the decoded points plus the possibly-grown
-// buffers for the next call. The evaluator uses this so candidate scoring
-// does not allocate per fetch.
-func (ts *TrajStore) FetchCoordsScratch(id trajectory.TrajID, blob []byte, pts []geo.Point) ([]geo.Point, []byte, error) {
-	blob, err := ts.store.ReadInto(ts.coordRefs[id], blob[:0])
-	if err != nil {
-		return nil, blob, err
+// pageCursor caches the current page during a sparse point sweep so
+// consecutive indexes on one page cost a single pool access.
+type pageCursor struct {
+	page  uint32
+	data  []byte
+	valid bool
+}
+
+// readPointAt decodes the 16-byte point idx of the segment at ref (whose
+// count prefix is hdr bytes), advancing cur and charging each newly touched
+// page and decoded point to stats. Indexes must arrive in ascending order.
+func (ts *TrajStore) readPointAt(ref storage.SegRef, hdr, idx uint32, cur *pageCursor, stats *query.SearchStats) (geo.Point, error) {
+	absOff := ref.Off + hdr + 16*idx
+	page := ref.Page + absOff/storage.PageSize
+	off := int(absOff % storage.PageSize)
+	if !cur.valid || page != cur.page {
+		data, err := ts.store.PageData(page)
+		if err != nil {
+			return geo.Point{}, err
+		}
+		cur.page, cur.data, cur.valid = page, data, true
+		stats.PageReads++
 	}
-	pts, err = decodeCoordsInto(pts[:0], blob)
-	return pts, blob, err
+	var b []byte
+	var scratch [16]byte
+	if off+16 <= storage.PageSize {
+		b = cur.data[off : off+16]
+	} else {
+		// The point straddles a page boundary: stitch it from the tail of
+		// this page and the head of the next.
+		head := copy(scratch[:], cur.data[off:])
+		next, err := ts.store.PageData(page + 1)
+		if err != nil {
+			return geo.Point{}, err
+		}
+		copy(scratch[head:], next[:16-head])
+		cur.page, cur.data = page+1, next
+		stats.PageReads++
+		b = scratch[:]
+	}
+	stats.BytesDecoded += 16
+	return geo.Point{
+		X: math.Float64frombits(binary.LittleEndian.Uint64(b[0:8])),
+		Y: math.Float64frombits(binary.LittleEndian.Uint64(b[8:16])),
+	}, nil
 }
 
-// APL is a decoded Activity Posting List: for each activity the trajectory
-// contains, the ascending indexes of the points carrying it.
+// fetchCoordsSparse returns a point slice of the trajectory's full length
+// with (at least) the ascending, duplicate-free indexes idxs decoded. Only
+// the pages holding requested points go through the buffer pool, and only
+// requested points are decoded — page and byte traffic is charged to stats
+// per page / point actually touched; fixed-stride coordinates make the
+// index → byte-offset mapping direct.
+//
+// With the coordinate cache enabled the returned slice is the shared,
+// sparsely-filled cache entry: points a previous query already faulted in
+// cost nothing, repeat candidates cost zero pages. Without it, points land
+// in the caller's scratch (returned grown as the second value).
+func (ts *TrajStore) fetchCoordsSparse(id trajectory.TrajID, idxs []uint32, scratch []geo.Point, stats *query.SearchStats) ([]geo.Point, []geo.Point, error) {
+	n := int(ts.numPts[id])
+	ref := ts.coordRefs[id]
+	hdr := uint32(ts.coordHdrLens[id])
+	if len(idxs) > 0 && int(idxs[len(idxs)-1]) >= n {
+		return nil, scratch, fmt.Errorf("evaluate: point index %d outside trajectory %d (%d points)", idxs[len(idxs)-1], id, n)
+	}
+	if ts.coordCache == nil {
+		if cap(scratch) < n {
+			scratch = make([]geo.Point, n)
+		} else {
+			scratch = scratch[:n]
+		}
+		var cur pageCursor
+		for _, idx := range idxs {
+			p, err := ts.readPointAt(ref, hdr, idx, &cur, stats)
+			if err != nil {
+				return nil, scratch, err
+			}
+			scratch[idx] = p
+		}
+		return scratch, scratch, nil
+	}
+
+	missed := false
+	cb, err := ts.coordCache.GetOrFill(id, func() (*coordBlock, error) {
+		missed = true
+		return &coordBlock{
+			pts:    make([]geo.Point, n),
+			filled: make([]uint64, (n+63)/64),
+		}, nil
+	})
+	if err != nil {
+		return nil, scratch, err
+	}
+	if missed {
+		stats.CacheMisses++
+	} else {
+		stats.CacheHits++
+	}
+	cb.mu.Lock()
+	var cur pageCursor
+	for _, idx := range idxs {
+		if cb.has(idx) {
+			continue
+		}
+		p, err := ts.readPointAt(ref, hdr, idx, &cur, stats)
+		if err != nil {
+			cb.mu.Unlock()
+			return nil, scratch, err
+		}
+		cb.pts[idx] = p
+		cb.mark(idx)
+	}
+	cb.mu.Unlock()
+	return cb.pts, scratch, nil
+}
+
+// APL is a lazily-decoded Activity Posting List. The header — the sorted
+// activity set plus a block skip table — is always present; the posting
+// blocks are faulted in from disk on first use and decoded one activity at
+// a time, memoized per activity. Cached APLs are shared across goroutines:
+// the lazy state is published through atomics, so concurrent readers are
+// race-free and decode each block at most a handful of times.
 type APL struct {
-	acts  []trajectory.ActivityID
-	lists []invindex.PostingList
+	acts   []trajectory.ActivityID
+	ends   []uint32 // cumulative byte ends of posting blocks within the body
+	ref    storage.SegRef
+	hdrLen uint32
+	ts     *TrajStore // nil when built from a fully in-memory blob
+
+	mu    sync.Mutex
+	body  atomic.Pointer[[]byte]
+	lists []atomic.Pointer[[]uint32] // parallel to acts; nil until decoded
 }
 
-// Postings returns the point indexes for activity a, nil when absent.
+// Has reports whether the trajectory contains activity act anywhere — a
+// header-only check; no posting block is read or decoded.
+func (a *APL) Has(act trajectory.ActivityID) bool {
+	_, ok := slices.BinarySearch(a.acts, act)
+	return ok
+}
+
+// Activities returns the trajectory's sorted activity set (shared; callers
+// must not modify it).
+func (a *APL) Activities() []trajectory.ActivityID { return a.acts }
+
+// Postings returns the point indexes for activity a, nil when absent,
+// decoding the activity's block (and faulting in the body) on first use.
+// Decode errors surface as nil; use the TrajStore fetch path for attributed,
+// error-checked access.
 func (a *APL) Postings(act trajectory.ActivityID) []uint32 {
-	i := sort.Search(len(a.acts), func(i int) bool { return a.acts[i] >= act })
-	if i < len(a.acts) && a.acts[i] == act {
-		return a.lists[i]
+	var discard query.SearchStats
+	list, _ := a.postings(act, &discard)
+	return list
+}
+
+// cachedPostings returns the memoized postings for act, nil when the
+// activity is absent or its block has not been decoded yet. Lock-free.
+func (a *APL) cachedPostings(act trajectory.ActivityID) []uint32 {
+	i, ok := slices.BinarySearch(a.acts, act)
+	if !ok {
+		return nil
+	}
+	if p := a.lists[i].Load(); p != nil {
+		return *p
 	}
 	return nil
 }
 
-// Has reports whether the trajectory contains activity act anywhere.
-func (a *APL) Has(act trajectory.ActivityID) bool { return a.Postings(act) != nil }
+// postings decodes (or returns the memoized) block for act, charging page
+// and byte traffic to stats.
+func (a *APL) postings(act trajectory.ActivityID, stats *query.SearchStats) ([]uint32, error) {
+	i, ok := slices.BinarySearch(a.acts, act)
+	if !ok {
+		return nil, nil
+	}
+	if p := a.lists[i].Load(); p != nil {
+		return *p, nil
+	}
+	body, err := a.ensureBody(stats)
+	if err != nil {
+		return nil, err
+	}
+	start := uint32(0)
+	if i > 0 {
+		start = a.ends[i-1]
+	}
+	end := a.ends[i]
+	if int(end) > len(body) || start > end {
+		return nil, fmt.Errorf("evaluate: APL block %d outside body (%d..%d of %d)", i, start, end, len(body))
+	}
+	list, used, err := invindex.DecodePostings(body[start:end])
+	if err != nil {
+		return nil, fmt.Errorf("evaluate: APL block for activity %d: %w", act, err)
+	}
+	if used != int(end-start) {
+		return nil, fmt.Errorf("evaluate: APL block for activity %d has %d trailing bytes", act, int(end-start)-used)
+	}
+	stats.BytesDecoded += int64(end - start)
+	l := []uint32(list)
+	a.lists[i].Store(&l)
+	return l, nil
+}
 
-// FetchAPL returns a trajectory's decoded APL, consulting the shared cache
-// first. Cached APLs are shared across goroutines and must be treated as
-// immutable.
+// ensureBody faults in the posting-block bytes (everything after the
+// header), charging the page span of the partial read to stats.
+func (a *APL) ensureBody(stats *query.SearchStats) ([]byte, error) {
+	if p := a.body.Load(); p != nil {
+		return *p, nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p := a.body.Load(); p != nil {
+		return *p, nil
+	}
+	if a.ts == nil {
+		return nil, fmt.Errorf("evaluate: APL body unavailable (no store)")
+	}
+	n := a.ref.Len - a.hdrLen
+	body, err := a.ts.store.ReadSub(a.ref, a.hdrLen, n, nil)
+	if err != nil {
+		return nil, err
+	}
+	stats.PageReads += a.ref.SubSpan(a.hdrLen, n)
+	a.body.Store(&body)
+	return body, nil
+}
+
+// FetchAPL returns a trajectory's APL (header decoded, blocks lazy),
+// consulting the shared cache first. Cached APLs are shared across
+// goroutines and must be treated as immutable.
 func (ts *TrajStore) FetchAPL(id trajectory.TrajID) (*APL, error) {
 	var discard query.SearchStats
-	return ts.fetchAPL(id, &discard)
+	apl, _, err := ts.fetchAPL(id, &discard, nil)
+	return apl, err
 }
 
 // fetchAPL is the one APL cache policy: consult the shared cache, fall back
-// to disk, insert on miss — attributing cache hits/misses and the page span
-// of actual disk reads to stats. Local attribution (rather than diffing the
-// cache's global counters) keeps per-search accounting exact when many
-// searches share the store.
-func (ts *TrajStore) fetchAPL(id trajectory.TrajID, stats *query.SearchStats) (*APL, error) {
+// to a header-only disk read, insert on miss — attributing cache hits and
+// misses and the page span of actual reads to stats. blob is optional
+// caller scratch for the header bytes; the possibly-grown buffer is
+// returned for reuse. Local attribution (rather than diffing the cache's
+// global counters) keeps per-search accounting exact when many searches
+// share the store.
+func (ts *TrajStore) fetchAPL(id trajectory.TrajID, stats *query.SearchStats, blob []byte) (*APL, []byte, error) {
 	if ts.aplCache != nil {
 		if apl, ok := ts.aplCache.Get(id); ok {
 			stats.CacheHits++
-			return apl, nil
+			return apl, blob, nil
 		}
 		stats.CacheMisses++
 	}
-	apl, err := ts.fetchAPLDisk(id)
+	ref := ts.aplRefs[id]
+	hdrLen := ts.aplHdrLens[id]
+	blob, err := ts.store.ReadSub(ref, 0, hdrLen, blob[:0])
 	if err != nil {
-		return nil, err
+		return nil, blob, err
 	}
-	stats.PageReads += ts.aplRefs[id].PageSpan()
+	stats.PageReads += ref.SubSpan(0, hdrLen)
+	apl, err := decodeAPLHeader(blob, ref.Len)
+	if err != nil {
+		return nil, blob, fmt.Errorf("evaluate: APL of %d: %w", id, err)
+	}
+	apl.ref = ref
+	apl.ts = ts
 	if ts.aplCache != nil {
 		ts.aplCache.Put(id, apl)
 	}
-	return apl, nil
+	return apl, blob, nil
 }
 
-func (ts *TrajStore) fetchAPLDisk(id trajectory.TrajID) (*APL, error) {
-	blob, err := ts.store.Read(ts.aplRefs[id])
-	if err != nil {
-		return nil, err
-	}
-	return decodeAPL(blob)
+// APLCached reports whether trajectory id's APL is resident in the decoded
+// cache (no LRU effect), for readahead planning.
+func (ts *TrajStore) APLCached(id trajectory.TrajID) bool {
+	return ts.aplCache != nil && ts.aplCache.Peek(id)
+}
+
+// APLPage returns the first page of trajectory id's APL segment — the sort
+// key batched scoring uses to order candidate fetches for page locality.
+func (ts *TrajStore) APLPage(id trajectory.TrajID) uint32 { return ts.aplRefs[id].Page }
+
+// PrefetchAPLHeader warms the buffer pool with the header pages of
+// trajectory id's APL (a readahead hint; no logical access is counted).
+func (ts *TrajStore) PrefetchAPLHeader(id trajectory.TrajID) {
+	first, past := ts.aplRefs[id].PageRange(0, ts.aplHdrLens[id])
+	ts.store.Prefetch(first, past)
 }
 
 // PoolStats exposes the buffer-pool counters for per-search accounting.
@@ -237,15 +512,19 @@ func (ts *TrajStore) ResetPool() {
 	if ts.aplCache != nil {
 		ts.aplCache.Reset()
 	}
+	if ts.coordCache != nil {
+		ts.coordCache.Reset()
+	}
 }
 
 // DiskBytes returns the on-disk footprint.
 func (ts *TrajStore) DiskBytes() int64 { return ts.store.DiskBytes() }
 
-// MemBytes returns the in-memory footprint of the store: directories plus
-// sketches (8 bytes per interval, as the paper counts).
+// MemBytes returns the in-memory footprint of the store: directories
+// (segment refs, point counts, header lengths) plus sketches (8 bytes per
+// interval, as the paper counts).
 func (ts *TrajStore) MemBytes() int64 {
-	n := int64(len(ts.coordRefs)+len(ts.aplRefs)) * 12
+	n := int64(len(ts.coordRefs)) * (12 + 12 + 4 + 4 + 1)
 	for _, s := range ts.tas {
 		n += s.MemBytes()
 	}
@@ -256,6 +535,15 @@ func (ts *TrajStore) MemBytes() int64 {
 func (ts *TrajStore) Close() error { return ts.store.Close() }
 
 // --- segment codecs ---
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 func encodeCoords(dst []byte, tr *trajectory.Trajectory) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(tr.Pts)))
@@ -289,7 +577,19 @@ func decodeCoordsInto(dst []geo.Point, blob []byte) ([]geo.Point, error) {
 	return dst, nil
 }
 
-func encodeAPL(dst []byte, tr *trajectory.Trajectory) []byte {
+// encodeAPL writes the blocked APL segment and returns the extended buffer
+// plus the header length. Layout:
+//
+//	header: uvarint activity count
+//	        per activity: uvarint activity-ID delta
+//	        per activity: uvarint block byte-length   (the skip table)
+//	body:   concatenated posting blocks, each the delta+varint
+//	        PostingList encoding (uvarint count, first element, gaps)
+//
+// The header alone answers "does this trajectory contain activity a", and
+// the skip table locates any activity's block without touching the others —
+// the layout behind header-only rejection and lazy per-activity decode.
+func encodeAPL(dst []byte, tr *trajectory.Trajectory) ([]byte, int) {
 	postings := make(map[trajectory.ActivityID][]uint32)
 	for pi, p := range tr.Pts {
 		for _, a := range p.Acts {
@@ -300,8 +600,18 @@ func encodeAPL(dst []byte, tr *trajectory.Trajectory) []byte {
 	for a := range postings {
 		acts = append(acts, a)
 	}
-	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+	slices.Sort(acts)
 
+	// Encode the blocks first so the skip table can carry their lengths.
+	var body []byte
+	lens := make([]uint32, len(acts))
+	for i, a := range acts {
+		n := len(body)
+		body = invindex.PostingList(postings[a]).AppendEncoded(body)
+		lens[i] = uint32(len(body) - n)
+	}
+
+	hdrStart := len(dst)
 	dst = binary.AppendUvarint(dst, uint64(len(acts)))
 	prev := uint64(0)
 	for i, a := range acts {
@@ -311,26 +621,36 @@ func encodeAPL(dst []byte, tr *trajectory.Trajectory) []byte {
 			dst = binary.AppendUvarint(dst, uint64(a)-prev)
 		}
 		prev = uint64(a)
-		dst = invindex.PostingList(postings[a]).AppendEncoded(dst)
 	}
-	return dst
+	for _, l := range lens {
+		dst = binary.AppendUvarint(dst, uint64(l))
+	}
+	hdrLen := len(dst) - hdrStart
+	return append(dst, body...), hdrLen
 }
 
-func decodeAPL(blob []byte) (*APL, error) {
+// decodeAPLHeader parses an APL header from blob (which must hold at least
+// the full header) into an APL whose blocks are still on disk. segLen is
+// the full segment length, used to validate the skip table.
+func decodeAPLHeader(blob []byte, segLen uint32) (*APL, error) {
 	n, used := binary.Uvarint(blob)
 	if used <= 0 {
-		return nil, fmt.Errorf("evaluate: corrupt APL header")
+		return nil, fmt.Errorf("corrupt APL header")
+	}
+	if n > uint64(len(blob)) {
+		return nil, fmt.Errorf("corrupt APL header: %d activities in %d bytes", n, len(blob))
 	}
 	off := used
 	a := &APL{
 		acts:  make([]trajectory.ActivityID, n),
-		lists: make([]invindex.PostingList, n),
+		ends:  make([]uint32, n),
+		lists: make([]atomic.Pointer[[]uint32], n),
 	}
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
 		d, used := binary.Uvarint(blob[off:])
 		if used <= 0 {
-			return nil, fmt.Errorf("evaluate: corrupt APL activity %d", i)
+			return nil, fmt.Errorf("corrupt APL activity %d", i)
 		}
 		off += used
 		if i == 0 {
@@ -339,12 +659,39 @@ func decodeAPL(blob []byte) (*APL, error) {
 			prev += d
 		}
 		a.acts[i] = trajectory.ActivityID(prev)
-		list, used2, err := invindex.DecodePostings(blob[off:])
-		if err != nil {
+	}
+	total := uint32(0)
+	for i := uint64(0); i < n; i++ {
+		l, used := binary.Uvarint(blob[off:])
+		if used <= 0 {
+			return nil, fmt.Errorf("corrupt APL skip table entry %d", i)
+		}
+		off += used
+		total += uint32(l)
+		a.ends[i] = total
+	}
+	a.hdrLen = uint32(off)
+	if a.hdrLen+total != segLen {
+		return nil, fmt.Errorf("corrupt APL: header %dB + blocks %dB != segment %dB", a.hdrLen, total, segLen)
+	}
+	return a, nil
+}
+
+// decodeAPL eagerly decodes a full APL segment held in memory: header plus
+// every posting block (validating all of them). Tests and tools use it; the
+// serving path goes through fetchAPL's lazy header-only route.
+func decodeAPL(blob []byte) (*APL, error) {
+	a, err := decodeAPLHeader(blob, uint32(len(blob)))
+	if err != nil {
+		return nil, err
+	}
+	body := append([]byte(nil), blob[a.hdrLen:]...)
+	a.body.Store(&body)
+	var discard query.SearchStats
+	for _, act := range a.acts {
+		if _, err := a.postings(act, &discard); err != nil {
 			return nil, err
 		}
-		off += used2
-		a.lists[i] = list
 	}
 	return a, nil
 }

@@ -40,7 +40,7 @@ func TestHICLHierarchyConsistency(t *testing.T) {
 	for l := 1; l < idx.cfg.Depth; l++ {
 		for a, list := range idx.hiclMem[l] {
 			childList := idx.hiclMem[l+1][a]
-			for _, z := range list {
+			for _, z := range list.Elements() {
 				found := false
 				for _, cz := range []uint32{z << 2, z<<2 + 1, z<<2 + 2, z<<2 + 3} {
 					if childList.Contains(cz) {
@@ -52,7 +52,7 @@ func TestHICLHierarchyConsistency(t *testing.T) {
 					t.Fatalf("level %d act %d cell %d has no child in level %d", l, a, z, l+1)
 				}
 			}
-			for _, cz := range childList {
+			for _, cz := range childList.Elements() {
 				if !list.Contains(cz >> 2) {
 					t.Fatalf("level %d act %d cell %d missing parent at level %d", l+1, a, cz, l)
 				}

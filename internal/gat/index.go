@@ -31,20 +31,22 @@ type Index struct {
 	ts  *evaluate.TrajStore
 	g   *grid.Grid
 
-	// hiclMem[l] is the level-l inverted cell list for 1 <= l <= MemLevels.
-	hiclMem []map[trajectory.ActivityID]invindex.PostingList
+	// hiclMem[l] is the level-l inverted cell list for 1 <= l <= MemLevels:
+	// per activity, a hybrid container set of the cells carrying it, so
+	// presence probes and sibling masks are O(1) on dense levels.
+	hiclMem []map[trajectory.ActivityID]*invindex.Set
 	// hiclDir locates the on-disk lists for levels > MemLevels.
 	hiclDir   map[hiclKey]storage.SegRef
 	hiclStore *storage.Store
-	// hicl caches decoded disk-level HICL posting lists across queries and
+	// hicl caches decoded disk-level HICL cell sets across queries and
 	// across every engine clone sharing this index (concurrency-safe).
 	// Absent lists are cached as nil so repeated probes stay cheap.
-	hicl *cache.Sharded[hiclKey, invindex.PostingList]
+	hicl *cache.Sharded[hiclKey, *invindex.Set]
 	itl  map[uint32]*cellITL
 }
 
-func newHICLCache(entries int) *cache.Sharded[hiclKey, invindex.PostingList] {
-	return cache.New[hiclKey, invindex.PostingList](entries, 0, func(k hiclKey) uint64 {
+func newHICLCache(entries int) *cache.Sharded[hiclKey, *invindex.Set] {
+	return cache.New[hiclKey, *invindex.Set](entries, 0, func(k hiclKey) uint64 {
 		return cache.Uint64Hash(uint64(k.level)<<32 | uint64(uint32(k.act)))
 	})
 }
@@ -119,20 +121,20 @@ func Build(ts *evaluate.TrajStore, cfg Config) (*Index, error) {
 	}
 
 	memTop := min(cfg.MemLevels, cfg.Depth)
-	idx.hiclMem = make([]map[trajectory.ActivityID]invindex.PostingList, memTop+1)
+	idx.hiclMem = make([]map[trajectory.ActivityID]*invindex.Set, memTop+1)
 	var buf []byte
 	for l := 1; l <= cfg.Depth; l++ {
 		if l <= memTop {
-			m := make(map[trajectory.ActivityID]invindex.PostingList, len(levels[l]))
+			m := make(map[trajectory.ActivityID]*invindex.Set, len(levels[l]))
 			for a, zs := range levels[l] {
-				m[a] = invindex.FromUnsorted(zs)
+				m[a] = invindex.SetFromUnsorted(zs)
 			}
 			idx.hiclMem[l] = m
 			continue
 		}
 		for a, zs := range levels[l] {
-			list := invindex.FromUnsorted(zs)
-			buf = list.AppendEncoded(buf[:0])
+			set := invindex.SetFromUnsorted(zs)
+			buf = set.AppendEncoded(buf[:0])
 			ref, err := idx.hiclStore.Append(buf)
 			if err != nil {
 				return nil, fmt.Errorf("gat: write HICL level %d: %w", l, err)
@@ -155,14 +157,6 @@ func (idx *Index) Config() Config { return idx.cfg }
 // Store returns the shared trajectory store.
 func (idx *Index) Store() *evaluate.TrajStore { return idx.ts }
 
-// memList returns the in-memory HICL list for (level, act), nil if absent.
-func (idx *Index) memList(level int, a trajectory.ActivityID) invindex.PostingList {
-	if level >= len(idx.hiclMem) {
-		return nil
-	}
-	return idx.hiclMem[level][a]
-}
-
 // MemBreakdown itemizes the index's main-memory footprint.
 type MemBreakdown struct {
 	HICL        int64 // in-memory levels of the hierarchical inverted cell list
@@ -179,8 +173,8 @@ func (idx *Index) MemBytes() int64 { return idx.Breakdown().Total }
 func (idx *Index) Breakdown() MemBreakdown {
 	var b MemBreakdown
 	for _, m := range idx.hiclMem {
-		for _, l := range m {
-			b.HICL += 16 + l.MemBytes()
+		for _, s := range m {
+			b.HICL += 16 + s.MemBytes()
 		}
 	}
 	for _, cell := range idx.itl {

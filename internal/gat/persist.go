@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/geo"
@@ -22,10 +22,21 @@ import (
 // pay the build cost once. The format stores the configuration, grid
 // geometry, in-memory HICL levels, ITL, the disk directory and the raw
 // pages of the HICL disk store.
-
+//
+// Version history:
+//
+//	1: flat delta+varint posting lists everywhere (in-memory HICL levels
+//	   and the disk store's pages).
+//	2: HICL cell lists — in memory and on the disk pages — use the hybrid
+//	   container Set encoding (invindex.Set), length-prefixed in the
+//	   stream. The ITL section is unchanged.
+//
+// Load accepts both: a version-1 stream is migrated on the fly — its flat
+// lists are decoded and re-encoded as Sets into a fresh disk store — so
+// indexes persisted before the container change keep working.
 const (
 	persistMagic   = "GATX"
-	persistVersion = 1
+	persistVersion = 2
 )
 
 // ErrBadIndexFormat is returned when loading a stream that is not a
@@ -81,7 +92,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 
-	// In-memory HICL levels.
+	// In-memory HICL levels: per activity a length-prefixed Set blob.
 	if err := putU(uint64(len(idx.hiclMem))); err != nil {
 		return n, err
 	}
@@ -95,6 +106,9 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 				return n, err
 			}
 			buf = level[a].AppendEncoded(buf[:0])
+			if err := putU(uint64(len(buf))); err != nil {
+				return n, err
+			}
 			if err := put(buf); err != nil {
 				return n, err
 			}
@@ -109,7 +123,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	for z := range idx.itl {
 		zs = append(zs, z)
 	}
-	sort.Slice(zs, func(i, j int) bool { return zs[i] < zs[j] })
+	slices.Sort(zs)
 	for _, z := range zs {
 		cell := idx.itl[z]
 		if err := putU(uint64(z)); err != nil {
@@ -133,17 +147,7 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := putU(uint64(len(idx.hiclDir))); err != nil {
 		return n, err
 	}
-	keys := make([]hiclKey, 0, len(idx.hiclDir))
-	for k := range idx.hiclDir {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].level != keys[j].level {
-			return keys[i].level < keys[j].level
-		}
-		return keys[i].act < keys[j].act
-	})
-	for _, k := range keys {
+	for _, k := range sortedHiclKeys(idx.hiclDir) {
 		ref := idx.hiclDir[k]
 		for _, v := range []uint64{uint64(k.level), uint64(k.act), uint64(ref.Page), uint64(ref.Off), uint64(ref.Len)} {
 			if err := putU(v); err != nil {
@@ -168,7 +172,8 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // Load reconstructs an index written by WriteTo, binding it to ts (which
-// must hold the same dataset the index was built from).
+// must hold the same dataset the index was built from). Version-1 streams
+// are migrated to the current container format on the fly.
 func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, len(persistMagic))
@@ -182,7 +187,7 @@ func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != persistVersion {
+	if ver != 1 && ver != persistVersion {
 		return nil, fmt.Errorf("%w: version %d", ErrBadIndexFormat, ver)
 	}
 	getU := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -260,12 +265,45 @@ func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
 		}
 		return out, nil
 	}
+	var blob []byte
+	readSet := func() (*invindex.Set, error) {
+		if ver == 1 {
+			// Migrate: the v1 stream holds a flat list.
+			list, err := readPostings()
+			if err != nil {
+				return nil, err
+			}
+			return invindex.SetFromSorted(list), nil
+		}
+		n, err := getU()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<30 {
+			return nil, fmt.Errorf("%w: set blob of %d bytes", ErrBadIndexFormat, n)
+		}
+		if uint64(cap(blob)) < n {
+			blob = make([]byte, n)
+		}
+		blob = blob[:n]
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, err
+		}
+		set, used, err := invindex.DecodeSet(blob)
+		if err != nil {
+			return nil, err
+		}
+		if used != len(blob) {
+			return nil, fmt.Errorf("%w: set blob has %d trailing bytes", ErrBadIndexFormat, len(blob)-used)
+		}
+		return set, nil
+	}
 
 	nLevels, err := getU()
 	if err != nil {
 		return nil, err
 	}
-	idx.hiclMem = make([]map[trajectory.ActivityID]invindex.PostingList, nLevels)
+	idx.hiclMem = make([]map[trajectory.ActivityID]*invindex.Set, nLevels)
 	for l := range idx.hiclMem {
 		nActs, err := getU()
 		if err != nil {
@@ -274,17 +312,17 @@ func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
 		if l == 0 && nActs == 0 {
 			continue // level 0 is the unused slot
 		}
-		m := make(map[trajectory.ActivityID]invindex.PostingList, nActs)
+		m := make(map[trajectory.ActivityID]*invindex.Set, nActs)
 		for i := uint64(0); i < nActs; i++ {
 			a, err := getU()
 			if err != nil {
 				return nil, err
 			}
-			list, err := readPostings()
+			set, err := readSet()
 			if err != nil {
 				return nil, err
 			}
-			m[trajectory.ActivityID(a)] = list
+			m[trajectory.ActivityID(a)] = set
 		}
 		idx.hiclMem[l] = m
 	}
@@ -339,26 +377,75 @@ func Load(r io.Reader, ts *evaluate.TrajStore) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	loaded := idx.hiclStore
+	if ver == 1 {
+		// The v1 pages hold flat-list segments; load them into a scratch
+		// store and re-encode below.
+		loaded = storage.NewMemStore(1)
+	}
 	page := make([]byte, storage.PageSize)
 	for p := uint64(0); p < nPages; p++ {
 		if _, err := io.ReadFull(br, page); err != nil {
 			return nil, fmt.Errorf("gat: load page %d: %w", p, err)
 		}
-		if _, err := idx.hiclStore.Append(page); err != nil {
+		if _, err := loaded.Append(page); err != nil {
 			return nil, err
 		}
 	}
-	if err := idx.hiclStore.Seal(); err != nil {
+	if err := loaded.Seal(); err != nil {
 		return nil, err
+	}
+	if ver == 1 {
+		if err := idx.migrateDiskLists(loaded); err != nil {
+			return nil, err
+		}
 	}
 	return idx, nil
 }
 
-func sortedActs(m map[trajectory.ActivityID]invindex.PostingList) []trajectory.ActivityID {
+// migrateDiskLists rewrites a version-1 disk store (flat posting lists at
+// the directory's segment refs) into the current hybrid-container encoding,
+// replacing the index's directory refs in place.
+func (idx *Index) migrateDiskLists(old *storage.Store) error {
+	var buf []byte
+	for _, k := range sortedHiclKeys(idx.hiclDir) {
+		blob, err := old.Read(idx.hiclDir[k])
+		if err != nil {
+			return fmt.Errorf("gat: migrate HICL list (level %d, act %d): %w", k.level, k.act, err)
+		}
+		list, _, err := invindex.DecodePostings(blob)
+		if err != nil {
+			return fmt.Errorf("gat: migrate HICL list (level %d, act %d): %w", k.level, k.act, err)
+		}
+		buf = invindex.SetFromSorted(list).AppendEncoded(buf[:0])
+		ref, err := idx.hiclStore.Append(buf)
+		if err != nil {
+			return err
+		}
+		idx.hiclDir[k] = ref
+	}
+	return idx.hiclStore.Seal()
+}
+
+func sortedActs[V any](m map[trajectory.ActivityID]V) []trajectory.ActivityID {
 	out := make([]trajectory.ActivityID, 0, len(m))
 	for a := range m {
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
+}
+
+func sortedHiclKeys(m map[hiclKey]storage.SegRef) []hiclKey {
+	keys := make([]hiclKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b hiclKey) int {
+		if a.level != b.level {
+			return int(a.level) - int(b.level)
+		}
+		return int(a.act) - int(b.act)
+	})
+	return keys
 }

@@ -2,9 +2,14 @@ package gat
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
+	"slices"
 	"testing"
 
+	"activitytraj/internal/invindex"
 	"activitytraj/internal/queries"
+	"activitytraj/internal/storage"
 )
 
 // TestPersistRoundTrip: a saved and reloaded index must be structurally
@@ -85,6 +90,183 @@ func TestPersistRoundTrip(t *testing.T) {
 				if a[i] != b[i] {
 					t.Fatalf("q%d ordered=%v: dist %v vs %v", qi, ordered, a[i], b[i])
 				}
+			}
+		}
+	}
+}
+
+// writeV1 serializes idx in the legacy version-1 format (flat delta+varint
+// posting lists, in memory and on the disk pages), so the migration path in
+// Load can be exercised against a stream produced exactly the way PR 2's
+// WriteTo produced it.
+func writeV1(t *testing.T, idx *Index) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	put := func(p []byte) { out.Write(p) }
+	var scratch [binary.MaxVarintLen64]byte
+	putU := func(v uint64) { out.Write(scratch[:binary.PutUvarint(scratch[:], v)]) }
+	putF := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		put(b[:])
+	}
+
+	put([]byte(persistMagic))
+	put([]byte{1})
+	cfg := idx.cfg
+	flags := uint64(0)
+	if cfg.DisableTAS {
+		flags |= 1
+	}
+	if cfg.LooseLowerBound {
+		flags |= 2
+	}
+	for _, v := range []uint64{
+		uint64(cfg.Depth), uint64(cfg.MemLevels), uint64(cfg.Lambda),
+		uint64(cfg.NearCells), uint64(cfg.PoolPages), flags,
+	} {
+		putU(v)
+	}
+	region := idx.g.Region()
+	for _, f := range []float64{region.MinX, region.MinY, idx.g.Side()} {
+		putF(f)
+	}
+
+	var buf []byte
+	putU(uint64(len(idx.hiclMem)))
+	for _, level := range idx.hiclMem {
+		putU(uint64(len(level)))
+		for _, a := range sortedActs(level) {
+			putU(uint64(a))
+			buf = level[a].Elements().AppendEncoded(buf[:0])
+			put(buf)
+		}
+	}
+
+	putU(uint64(len(idx.itl)))
+	zs := make([]uint32, 0, len(idx.itl))
+	for z := range idx.itl {
+		zs = append(zs, z)
+	}
+	slices.Sort(zs)
+	for _, z := range zs {
+		cell := idx.itl[z]
+		putU(uint64(z))
+		putU(uint64(len(cell.lists)))
+		for _, a := range sortedActs(cell.lists) {
+			putU(uint64(a))
+			buf = cell.lists[a].AppendEncoded(buf[:0])
+			put(buf)
+		}
+	}
+
+	// Re-encode the disk lists the v1 way (flat lists) into a scratch store
+	// so the dumped pages and directory refs are genuinely v1.
+	v1store := storage.NewMemStore(1)
+	v1dir := make(map[hiclKey]storage.SegRef, len(idx.hiclDir))
+	for _, k := range sortedHiclKeys(idx.hiclDir) {
+		blob, err := idx.hiclStore.Read(idx.hiclDir[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, _, err := invindex.DecodeSet(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = set.Elements().AppendEncoded(buf[:0])
+		ref, err := v1store.Append(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1dir[k] = ref
+	}
+	if err := v1store.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	putU(uint64(len(v1dir)))
+	for _, k := range sortedHiclKeys(v1dir) {
+		ref := v1dir[k]
+		for _, v := range []uint64{uint64(k.level), uint64(k.act), uint64(ref.Page), uint64(ref.Off), uint64(ref.Len)} {
+			putU(v)
+		}
+	}
+	pages := v1store.Pages()
+	putU(uint64(pages))
+	for p := uint32(0); p < pages; p++ {
+		blob, err := v1store.Read(storage.SegRef{Page: p, Off: 0, Len: storage.PageSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		put(blob)
+	}
+	return out.Bytes()
+}
+
+// TestPersistV1Migration: a version-1 stream must load through the
+// migration path and answer queries identically to the index it came from.
+func TestPersistV1Migration(t *testing.T) {
+	ds, ts, idx := buildSmall(t, Config{Depth: 7, MemLevels: 4, Lambda: 16, NearCells: 5})
+	v1 := writeV1(t, idx)
+	loaded, err := Load(bytes.NewReader(v1), ts)
+	if err != nil {
+		t.Fatalf("load v1: %v", err)
+	}
+	if loaded.cfg != idx.cfg {
+		t.Fatalf("config mismatch: %+v vs %+v", loaded.cfg, idx.cfg)
+	}
+	if len(loaded.itl) != len(idx.itl) || len(loaded.hiclDir) != len(idx.hiclDir) {
+		t.Fatalf("structure counts differ: itl %d/%d dir %d/%d",
+			len(loaded.itl), len(idx.itl), len(loaded.hiclDir), len(idx.hiclDir))
+	}
+	// Every migrated disk list must decode as a Set with the same elements.
+	for _, k := range sortedHiclKeys(idx.hiclDir) {
+		want, err := idx.hiclStore.Read(idx.hiclDir[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSet, _, err := invindex.DecodeSet(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.hiclStore.Read(loaded.hiclDir[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet, _, err := invindex.DecodeSet(got)
+		if err != nil {
+			t.Fatalf("migrated list (level %d, act %d) does not decode as a set: %v", k.level, k.act, err)
+		}
+		w, g := wantSet.Elements(), gotSet.Elements()
+		if len(w) != len(g) {
+			t.Fatalf("migrated list (level %d, act %d): %d vs %d elements", k.level, k.act, len(g), len(w))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("migrated list (level %d, act %d) differs at %d", k.level, k.act, i)
+			}
+		}
+	}
+
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 8, NumPoints: 3, ActsPerPoint: 2, DiameterKm: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := NewEngine(idx), NewEngine(loaded)
+	for qi, q := range qs {
+		ra, err := e1.SearchATSQ(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := e2.SearchATSQ(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ra) != len(rb) {
+			t.Fatalf("q%d: %d vs %d results", qi, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("q%d result %d: %+v vs %+v", qi, i, ra[i], rb[i])
 			}
 		}
 	}

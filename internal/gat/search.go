@@ -2,7 +2,6 @@ package gat
 
 import (
 	"math"
-	"sort"
 
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/grid"
@@ -137,6 +136,11 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 		cands := s.retrieveBatch(e.idx.cfg.Lambda)
 		e.stats.Batches++
 		dlb := s.lowerBound()
+		// Score the batch in APL page order with a pool readahead hint:
+		// the candidates arrived in heap-pop (distance) order, which has no
+		// page locality; the top-k set is order-independent, so batching
+		// for locality is free.
+		e.ev.PrefetchBatch(cands)
 		for _, tid := range cands {
 			e.stats.Candidates++
 			if int(tid) >= baseN {
@@ -198,22 +202,22 @@ func (s *searcher) minQueue() int {
 	return best
 }
 
-// hiclList fetches the HICL posting list for (level, act): the in-memory
-// levels are consulted directly; disk-level lists go through the index's
-// shared decoded-list cache, so across queries (and across engine clones)
-// each list is read and decoded once while resident. Page and cache
+// hiclList fetches the HICL cell set for (level, act): the in-memory
+// levels are consulted directly; disk-level sets go through the index's
+// shared decoded-set cache, so across queries (and across engine clones)
+// each set is read and decoded once while resident. Page and cache
 // traffic is charged to the engine's stats at the point of the fetch so
 // per-search accounting stays exact under concurrent serving; absent lists
 // are cached as nil so repeated probes stay cheap.
-func (s *searcher) hiclList(level int, a trajectory.ActivityID) invindex.PostingList {
+func (s *searcher) hiclList(level int, a trajectory.ActivityID) *invindex.Set {
 	idx := s.e.idx
 	if level <= len(idx.hiclMem)-1 {
 		return idx.hiclMem[level][a]
 	}
 	key := hiclKey{level: uint8(level), act: a}
-	if list, ok := idx.hicl.Get(key); ok {
+	if set, ok := idx.hicl.Get(key); ok {
 		s.e.stats.CacheHits++
-		return list
+		return set
 	}
 	s.e.stats.CacheMisses++
 	ref, ok := idx.hiclDir[key]
@@ -229,13 +233,14 @@ func (s *searcher) hiclList(level int, a trajectory.ActivityID) invindex.Posting
 		idx.hicl.Put(key, nil)
 		return nil
 	}
-	list, _, err := invindex.DecodePostings(blob)
+	set, _, err := invindex.DecodeSet(blob)
 	if err != nil {
 		idx.hicl.Put(key, nil)
 		return nil
 	}
-	idx.hicl.Put(key, list)
-	return list
+	s.e.stats.BytesDecoded += int64(len(blob))
+	idx.hicl.Put(key, set)
+	return set
 }
 
 // cellMask returns which of acts are present in cell, per the HICL merged
@@ -254,19 +259,23 @@ func (s *searcher) cellMask(cell grid.Cell, acts trajectory.ActivitySet) uint32 
 
 // childMasks returns, for each of the four children of cell, the bitmask of
 // query activities present (0 when the child can be pruned), merging the
-// base HICL with the delta overlay.
+// base HICL with the delta overlay. The four siblings share one container
+// (and in bitmap form one word), so each activity costs a single Mask4
+// probe.
 func (s *searcher) childMasks(cell grid.Cell, acts trajectory.ActivitySet) [4]uint32 {
 	var masks [4]uint32
 	base := cell.Z << 2
 	childLevel := int(cell.Level) + 1
 	for b, a := range acts {
-		list := s.hiclList(childLevel, a)
-		if len(list) == 0 {
+		m4 := s.hiclList(childLevel, a).Mask4(base)
+		if m4 == 0 {
 			continue
 		}
-		i := sort.Search(len(list), func(i int) bool { return list[i] >= base })
-		for ; i < len(list) && list[i] <= base+3; i++ {
-			masks[list[i]-base] |= 1 << uint(b)
+		bit := uint32(1) << uint(b)
+		for ci := uint32(0); ci < 4; ci++ {
+			if m4&(1<<ci) != 0 {
+				masks[ci] |= bit
+			}
 		}
 	}
 	if ov := s.ov; ov != nil {

@@ -431,7 +431,7 @@ func (s *Suite) Ablations(w io.Writer) error {
 		}
 		tab := NewTable(
 			fmt.Sprintf("Ablations — GAT variants on %s (ATSQ, avg per query)", dsName),
-			"variant", "ms", "candidates", "sketch-rej", "pages")
+			"variant", "ms", "candidates", "sketch-rej", "hdr-rej", "pages", "KB-decoded")
 		for _, v := range variants {
 			idx, err := gat.Build(st.TS, v.cfg)
 			if err != nil {
@@ -444,7 +444,9 @@ func (s *Suite) Ablations(w io.Writer) error {
 			}
 			tab.AddRow(v.name, ms(res.AvgMs()), cnt(res.AvgCandidates()),
 				cnt(float64(res.Stats.SketchRejected)/float64(res.Queries)),
-				cnt(res.AvgPageReads()))
+				cnt(float64(res.Stats.HeaderOnlyRejects)/float64(res.Queries)),
+				cnt(res.AvgPageReads()),
+				ms(res.AvgKBDecoded()))
 		}
 		tab.Write(w)
 	}

@@ -93,6 +93,15 @@ func (w WorkloadResult) AvgPageReads() float64 {
 	return float64(w.Stats.PageReads) / float64(w.Queries)
 }
 
+// AvgKBDecoded returns the mean kibibytes of segment data decoded per query
+// (posting blocks, coordinate points, HICL lists).
+func (w WorkloadResult) AvgKBDecoded() float64 {
+	if w.Queries == 0 {
+		return 0
+	}
+	return float64(w.Stats.BytesDecoded) / 1024 / float64(w.Queries)
+}
+
 // cacheResetter is implemented by engines holding cross-query caches of
 // their own (beyond the TrajStore's) that cold-cache runs must clear.
 type cacheResetter interface{ ResetCaches() }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,7 +41,7 @@ func summarize(ds []time.Duration) LatencySummary {
 	if len(ds) == 0 {
 		return LatencySummary{}
 	}
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	slices.Sort(ds)
 	pct := func(p float64) time.Duration {
 		i := int(p * float64(len(ds)-1))
 		return ds[i]
@@ -61,7 +61,16 @@ type MixedResult struct {
 	Duration    time.Duration
 	Search      LatencySummary
 	Insert      LatencySummary
-	Compactions int64 // compactions completed during the run
+	Compactions int64             // compactions completed during the run
+	SearchStats query.SearchStats // summed over all searches of the run
+}
+
+// PagesPerSearch returns the mean simulated disk pages touched per search.
+func (r MixedResult) PagesPerSearch() float64 {
+	if r.Search.Count == 0 {
+		return 0
+	}
+	return float64(r.SearchStats.PageReads) / float64(r.Search.Count)
 }
 
 // RunMixedWorkload hammers a dynamic index with a search/insert mix:
@@ -85,6 +94,7 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 	var opCursor, streamCursor, qCursor atomic.Int64
 	var mu sync.Mutex
 	var searchLat, insertLat []time.Duration
+	var aggStats query.SearchStats
 	var firstErr error
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -95,6 +105,7 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
 			eng := d.NewEngine()
 			var sl, il []time.Duration
+			var sst query.SearchStats
 			var err error
 			for {
 				if int(opCursor.Add(1)) > opt.Ops {
@@ -116,6 +127,7 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 					t0 := time.Now()
 					_, err = eng.SearchATSQ(q, opt.K)
 					sl = append(sl, time.Since(t0))
+					sst.Add(eng.LastStats())
 				}
 				if err != nil {
 					break
@@ -124,6 +136,7 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 			mu.Lock()
 			searchLat = append(searchLat, sl...)
 			insertLat = append(insertLat, il...)
+			aggStats.Add(sst)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -137,6 +150,7 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 		Search:      summarize(searchLat),
 		Insert:      summarize(insertLat),
 		Compactions: d.Stats().Compactions - before,
+		SearchStats: aggStats,
 	}
 	if firstErr != nil {
 		return res, firstErr
@@ -167,7 +181,7 @@ func (s *Suite) Mixed(w io.Writer) error {
 		tab := NewTable(
 			fmt.Sprintf("Mixed read/write — %s (%d base + %d streamed, %d workers)",
 				dsName, baseN, len(stream), 4),
-			"mix", "ops", "compactions",
+			"mix", "ops", "compactions", "pages/search",
 			"search p50", "p95", "p99", "max (ms)",
 			"insert p50", "p95", "max (ms)")
 		for _, readFrac := range []float64{0.95, 0.5} {
@@ -200,6 +214,7 @@ func (s *Suite) Mixed(w io.Writer) error {
 				fmt.Sprintf("%.0f/%.0f", readFrac*100, (1-readFrac)*100),
 				fmt.Sprint(res.Ops),
 				fmt.Sprint(res.Compactions),
+				cnt(res.PagesPerSearch()),
 				lms(res.Search.P50), lms(res.Search.P95), lms(res.Search.P99), lms(res.Search.Max),
 				lms(res.Insert.P50), lms(res.Insert.P95), lms(res.Insert.Max),
 			)

@@ -1,12 +1,23 @@
-// Package invindex provides sorted posting lists with set operations and a
-// delta+varint wire codec. Posting lists are the common currency of the GAT
-// components (HICL cell lists, ITL trajectory lists, APL point lists) and of
-// the IL baseline's per-activity trajectory lists.
+// Package invindex provides the posting containers shared by every index
+// structure in the repository:
+//
+//   - PostingList, a flat sorted []uint32 with merge/gallop set operations
+//     and a delta+varint wire codec — the iteration-friendly form used by
+//     ITL trajectory lists and APL point lists;
+//   - Set, a hybrid (roaring-style) container — per 64Ki-ID range either a
+//     sorted uint16 array or a packed bitmap — used by the HICL cell lists,
+//     the IL baseline and the delta layer's presence sets, where dense
+//     probes, sibling masks and container-skipping intersections dominate.
+//
+// The container threshold is 4096 entries per 64Ki range (the break-even
+// point between 2-byte array entries and the fixed 8 KiB bitmap).
 package invindex
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -18,7 +29,7 @@ type PostingList []uint32
 func FromUnsorted(ids []uint32) PostingList {
 	out := make(PostingList, len(ids))
 	copy(out, ids)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	dedup := out[:0]
 	for i, v := range out {
 		if i == 0 || v != out[i-1] {
@@ -68,12 +79,32 @@ func (p PostingList) Insert(id uint32) PostingList {
 	return p
 }
 
-// Intersect returns the elements common to p and q.
+// gallopRatio is the size disparity past which intersections gallop
+// (exponential search in the larger list) instead of merging linearly.
+const gallopRatio = 16
+
+// Intersect returns the elements common to p and q. When one list is much
+// shorter than the other it gallops through the larger list — O(m log(n/m))
+// instead of O(n+m) — which is the common HICL shape: a query activity's
+// list against a handful of sibling cells.
 func (p PostingList) Intersect(q PostingList) PostingList {
 	if len(p) > len(q) {
 		p, q = q, p
 	}
+	if len(p) == 0 {
+		return nil
+	}
 	var out PostingList
+	if len(q) >= gallopRatio*len(p) {
+		for _, v := range p {
+			i := gallopSearch([]uint32(q), v)
+			if i < len(q) && q[i] == v {
+				out = append(out, v)
+			}
+			q = q[i:]
+		}
+		return out
+	}
 	i, j := 0, 0
 	for i < len(p) && j < len(q) {
 		switch {
@@ -87,6 +118,21 @@ func (p PostingList) Intersect(q PostingList) PostingList {
 		}
 	}
 	return out
+}
+
+// gallopSearch returns the first index i with q[i] >= v, probing at
+// exponentially growing strides before binary-searching the final gallop
+// window — O(log d) where d is the answer's offset, instead of O(log n).
+// Shared by the flat-list and container (uint16) intersection paths.
+func gallopSearch[T cmp.Ordered](q []T, v T) int {
+	bound := 1
+	for bound < len(q) && q[bound] < v {
+		bound <<= 1
+	}
+	lo := bound >> 1
+	hi := min(bound+1, len(q))
+	i, _ := slices.BinarySearch(q[lo:hi], v)
+	return lo + i
 }
 
 // Union returns the elements present in either list.
@@ -119,7 +165,7 @@ func IntersectMany(lists []PostingList) PostingList {
 	}
 	ordered := make([]PostingList, len(lists))
 	copy(ordered, lists)
-	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	slices.SortStableFunc(ordered, func(a, b PostingList) int { return len(a) - len(b) })
 	out := ordered[0]
 	for _, l := range ordered[1:] {
 		if len(out) == 0 {

@@ -142,8 +142,14 @@ func TestIndex(t *testing.T) {
 	ix.Add(3, 7)
 	ix.Add(9, 1)
 	ix.Freeze()
-	if got := ix.Get(3); len(got) != 2 || got[0] != 2 || got[1] != 7 {
+	if got := ix.Get(3).Elements(); len(got) != 2 || got[0] != 2 || got[1] != 7 {
 		t.Fatalf("Get(3) = %v", got)
+	}
+	// Incremental re-freeze: additions after a Freeze land in the same sets.
+	ix.Add(3, 5)
+	ix.Freeze()
+	if got := ix.Get(3).Elements(); len(got) != 3 || got[1] != 5 {
+		t.Fatalf("Get(3) after re-freeze = %v", got)
 	}
 	if !ix.Has(9) || ix.Has(4) {
 		t.Fatal("Has misclassified")

@@ -12,6 +12,7 @@ package irtree
 import (
 	"container/heap"
 	"math"
+	"slices"
 	"sort"
 
 	"activitytraj/internal/geo"
@@ -134,8 +135,7 @@ func packInternal(level []*node, maxEntries int) []*node {
 				}
 			}
 			for a := range p.inv {
-				s := p.inv[a]
-				sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+				slices.Sort(p.inv[a])
 			}
 			p.bounds = boundsOf(p.rects)
 			parents = append(parents, p)
@@ -249,7 +249,7 @@ func matchingSlots(n *node, filter trajectory.ActivitySet) []int32 {
 	for _, a := range filter {
 		out = append(out, n.inv[a]...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	dedup := out[:0]
 	for i, v := range out {
 		if i == 0 || v != out[i-1] {

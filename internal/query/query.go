@@ -95,6 +95,16 @@ type SearchStats struct {
 	CacheHits       int // decoded-structure cache hits (HICL lists, APLs)
 	CacheMisses     int // decoded-structure cache misses
 	DeltaCandidates int // candidates served by the dynamic index's delta layer
+
+	// HeaderOnlyRejects counts candidates rejected from the APL header
+	// alone — no point postings were read or decoded for them. With the
+	// blocked APL format every APL rejection is header-only unless the
+	// body happened to be cached already.
+	HeaderOnlyRejects int
+	// BytesDecoded sums the segment bytes actually decoded for this search
+	// (posting blocks, coordinate points, HICL lists) — the work the lazy
+	// blocked layout avoids compared to eagerly decoding whole segments.
+	BytesDecoded int64
 }
 
 // Add accumulates other into s (used when averaging over a workload).
@@ -111,4 +121,6 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.CacheHits += other.CacheHits
 	s.CacheMisses += other.CacheMisses
 	s.DeltaCandidates += other.DeltaCandidates
+	s.HeaderOnlyRejects += other.HeaderOnlyRejects
+	s.BytesDecoded += other.BytesDecoded
 }

@@ -1,9 +1,10 @@
 package query
 
 import (
+	"cmp"
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 )
 
 // TopK maintains the k best (smallest-distance) results seen so far and the
@@ -75,11 +76,11 @@ func (t *TopK) Threshold() float64 {
 func (t *TopK) Results() []Result {
 	out := make([]Result, len(t.h))
 	copy(out, t.h)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
+	slices.SortFunc(out, func(a, b Result) int {
+		if a.Dist != b.Dist {
+			return cmp.Compare(a.Dist, b.Dist)
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

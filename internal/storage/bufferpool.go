@@ -151,6 +151,39 @@ func (bp *BufferPool) Get(id uint32) ([]byte, error) {
 	return fr.data[:], nil
 }
 
+// Prefetch loads pages [first, past) that are not already resident. It is a
+// readahead hint: loads count as physical reads (Misses) but not as logical
+// accesses (Touched/Hits), so per-fetch accounting stays comparable whether
+// or not a caller prefetches. Read errors are ignored — the subsequent Get
+// will surface them.
+func (bp *BufferPool) Prefetch(first, past uint32) {
+	for id := first; id < past; id++ {
+		s := bp.shardFor(id)
+		s.mu.Lock()
+		_, resident := s.frames[id]
+		s.mu.Unlock()
+		if resident {
+			continue
+		}
+		fr := &frame{id: id}
+		if err := bp.pager.ReadPage(id, fr.data[:]); err != nil {
+			return
+		}
+		bp.misses.Add(1)
+		s.mu.Lock()
+		if _, ok := s.frames[id]; !ok {
+			if s.lru.Len() >= s.capacity {
+				el := s.lru.Back()
+				delete(s.frames, el.Value.(*frame).id)
+				s.lru.Remove(el)
+				bp.evicted.Add(1)
+			}
+			s.frames[id] = s.lru.PushFront(fr)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Invalidate drops page id from the cache (used after rewrites).
 func (bp *BufferPool) Invalidate(id uint32) {
 	s := bp.shardFor(id)

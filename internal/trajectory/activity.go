@@ -5,7 +5,7 @@
 // so datasets can be stored and shipped between the CLI tools.
 package trajectory
 
-import "sort"
+import "slices"
 
 // ActivityID identifies an activity within a Vocabulary. Following the TAS
 // construction in Section IV, IDs are assigned contiguously in descending
@@ -27,7 +27,7 @@ func NewActivitySet(ids ...ActivityID) ActivitySet {
 // Normalize sorts the set in place and removes duplicates.
 func (s *ActivitySet) Normalize() {
 	v := *s
-	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	slices.Sort(v)
 	out := v[:0]
 	for i, id := range v {
 		if i == 0 || id != v[i-1] {
@@ -39,8 +39,8 @@ func (s *ActivitySet) Normalize() {
 
 // Contains reports whether id is a member of s.
 func (s ActivitySet) Contains(id ActivityID) bool {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
-	return i < len(s) && s[i] == id
+	_, ok := slices.BinarySearch(s, id)
+	return ok
 }
 
 // ContainsAll reports whether every element of other is a member of s.

@@ -1,8 +1,9 @@
 package trajectory
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Vocabulary is the pre-defined activity vocabulary A of the paper. It maps
@@ -44,11 +45,11 @@ func (b *VocabularyBuilder) Build() *Vocabulary {
 	for name, n := range b.counts {
 		entries = append(entries, entry{name, n})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].n != entries[j].n {
-			return entries[i].n > entries[j].n
+	slices.SortFunc(entries, func(a, b entry) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
-		return entries[i].name < entries[j].name
+		return cmp.Compare(a.name, b.name)
 	})
 	v := &Vocabulary{
 		names:  make([]string, len(entries)),
