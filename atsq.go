@@ -13,6 +13,7 @@ import (
 	"activitytraj/internal/geo"
 	"activitytraj/internal/queries"
 	"activitytraj/internal/query"
+	"activitytraj/internal/shard"
 	"activitytraj/internal/trajectory"
 )
 
@@ -89,6 +90,23 @@ type (
 	// Engine and CloneableEngine, so NewParallelEngine can serve it
 	// concurrently.
 	DynamicEngine = delta.Engine
+
+	// ShardedRouter partitions a corpus into K spatial shards (Z-order
+	// ranges over leaf cells), each owning its own store, GAT index and
+	// delta layer, and routes queries and mutations across them. See
+	// NewSharded.
+	ShardedRouter = shard.Router
+	// ShardedConfig tunes a ShardedRouter (shard count, partition
+	// granularity, per-shard dynamic-index options).
+	ShardedConfig = shard.Config
+	// ShardedStats snapshots a sharded index's shape.
+	ShardedStats = shard.Stats
+	// ShardStats describes one shard within ShardedStats.
+	ShardStats = shard.ShardStats
+	// ShardedEngine answers queries over a ShardedRouter with an exact
+	// scatter-gather top-k (planning + cross-shard bound sharing); it
+	// implements Engine and CloneableEngine.
+	ShardedEngine = shard.Engine
 )
 
 // NewActivitySet returns a normalized activity set.
@@ -147,6 +165,19 @@ func NewEngineForIndex(idx *GATIndex) Engine { return gat.NewEngine(idx) }
 // old generation. Use (*DynamicIndex).NewEngine for a serving engine.
 func NewDynamic(ds *Dataset, cfg DynamicConfig) (*DynamicIndex, error) {
 	return delta.NewDynamic(ds, cfg)
+}
+
+// NewSharded spatially partitions ds into cfg.Shards shards and builds one
+// dynamic GAT index per shard. Queries served through
+// (*ShardedRouter).NewEngine return exactly the results a single
+// unpartitioned index would — the scatter-gather merge shares its running
+// global k-th distance with every in-flight shard search, so the paper's
+// Algorithm-2 termination bound tightens across shard boundaries — while
+// inserts, deletes, and compactions proceed shard-locally. Global
+// trajectory IDs are assigned exactly as NewDynamic would for the same
+// mutation sequence.
+func NewSharded(ds *Dataset, cfg ShardedConfig) (*ShardedRouter, error) {
+	return shard.NewRouter(ds, cfg)
 }
 
 // NewParallelEngine wraps e in a pool of workers clones (workers <= 0

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end gate for the sharded serving layer: build the binaries, boot a
+# 4-shard atsqserve on a generated corpus, smoke every endpoint over HTTP,
+# and require the server's search results to be byte-identical to the
+# single-index atsqsearch engine on the same corpus and workload.
+#
+# Run from the repository root:  ./ci/e2e_sharded.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d)}"
+ADDR="127.0.0.1:18099"
+BASE="http://$ADDR"
+SHARDS=4
+
+echo "== build"
+go build -o "$WORK/bin/" ./cmd/atsqgen ./cmd/atsqsearch ./cmd/atsqserve
+
+echo "== generate corpus"
+"$WORK/bin/atsqgen" -preset la -scale 0.03 -seed 12 -out "$WORK/corpus.atrj"
+
+echo "== boot $SHARDS-shard server on $ADDR"
+"$WORK/bin/atsqserve" -data "$WORK/corpus.atrj" -shards "$SHARDS" -addr "$ADDR" \
+    >"$WORK/server.log" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+for _ in $(seq 1 60); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SRV" 2>/dev/null; then
+        echo "server died during startup:" >&2
+        cat "$WORK/server.log" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || {
+    echo "health check failed" >&2; cat "$WORK/server.log" >&2; exit 1; }
+
+echo "== differential: single-index engine vs $SHARDS-shard server (20 queries)"
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -engine gat \
+    -random 20 -seed 42 -k 9 -json >"$WORK/single.json" 2>/dev/null
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -random 20 -seed 42 -k 9 -json >"$WORK/sharded.json" 2>/dev/null
+[ -s "$WORK/single.json" ] && [ -s "$WORK/sharded.json" ] || {
+    echo "empty result files" >&2; exit 1; }
+if ! diff -u "$WORK/single.json" "$WORK/sharded.json"; then
+    echo "FAIL: sharded server results differ from single-index engine" >&2
+    exit 1
+fi
+echo "   $(wc -l <"$WORK/single.json") queries byte-identical"
+
+echo "== mutation smoke: insert -> searchable -> delete -> gone"
+INS=$(curl -fsS -X POST "$BASE/v1/insert" \
+    -d '{"points":[{"x":5,"y":5,"acts":[1,2]},{"x":5.1,"y":5.2,"acts":[3]}]}')
+echo "   insert: $INS"
+ID=$(echo "$INS" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+[ -n "$ID" ] || { echo "no id in insert reply" >&2; exit 1; }
+HIT=$(curl -fsS -X POST "$BASE/v1/search" \
+    -d '{"k":1,"points":[{"x":5,"y":5,"acts":[1,2]}]}')
+echo "$HIT" | grep -q "\"id\":$ID,\"dist\":0" || {
+    echo "inserted trajectory not served at distance 0: $HIT" >&2; exit 1; }
+curl -fsS -X POST "$BASE/v1/delete" -d "{\"id\":$ID}" | grep -q '"deleted":true' || {
+    echo "delete failed" >&2; exit 1; }
+GONE=$(curl -fsS -X POST "$BASE/v1/search" \
+    -d '{"k":1,"points":[{"x":5,"y":5,"acts":[1,2]}]}')
+if echo "$GONE" | grep -q "\"id\":$ID,"; then
+    echo "deleted trajectory still served: $GONE" >&2; exit 1
+fi
+
+echo "== stats + per-request stats smoke"
+STATS=$(curl -fsS "$BASE/v1/stats")
+echo "$STATS" | grep -q "\"Shards\":$SHARDS" || {
+    echo "bad stats: $STATS" >&2; exit 1; }
+echo "$HIT" | grep -q '"ShardsSearched"' || {
+    echo "search reply missing per-request stats: $HIT" >&2; exit 1; }
+
+echo "== graceful shutdown"
+kill -TERM "$SRV"
+for _ in $(seq 1 40); do kill -0 "$SRV" 2>/dev/null || break; sleep 0.25; done
+if kill -0 "$SRV" 2>/dev/null; then
+    echo "server did not exit after SIGTERM" >&2; exit 1
+fi
+grep -q "bye" "$WORK/server.log" || {
+    echo "no graceful-shutdown marker in log" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+}
+trap - EXIT
+
+echo "e2e-sharded: PASS"

@@ -34,13 +34,14 @@ func main() {
 	log.SetPrefix("atsqbench: ")
 
 	experiment := flag.String("experiment", "all",
-		"all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed")
+		"all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed|sharded")
 	scale := flag.Float64("scale", 0.2, "dataset scale relative to Table IV")
 	queriesN := flag.Int("queries", 15, "queries per configuration")
 	k := flag.Int("k", 9, "default result count (Table V)")
 	datasets := flag.String("datasets", "LA,NY", "comma-separated: LA,NY")
 	seed := flag.Int64("seed", 1, "workload seed")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts for the throughput experiment (default 1,2,4,8)")
+	shardsFlag := flag.String("shards", "", "comma-separated shard counts for the sharded experiment (default 1,2,4)")
 	out := flag.String("o", "", "also write output to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
@@ -109,18 +110,23 @@ func main() {
 		}
 	}
 
-	var workers []int
-	for _, part := range strings.Split(*workersFlag, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
+	parseCounts := func(flagName, spec string) []int {
+		var out []int
+		for _, part := range strings.Split(spec, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 1 {
+				fatalf("bad %s entry %q", flagName, part)
+			}
+			out = append(out, n)
 		}
-		n, err := strconv.Atoi(part)
-		if err != nil || n < 1 {
-			fatalf("bad -workers entry %q", part)
-		}
-		workers = append(workers, n)
+		return out
 	}
+	workers := parseCounts("-workers", *workersFlag)
+	shards := parseCounts("-shards", *shardsFlag)
 
 	suite := harness.NewSuite(harness.Options{
 		Scale:    *scale,
@@ -129,6 +135,7 @@ func main() {
 		Datasets: names,
 		Seed:     *seed,
 		Workers:  workers,
+		Shards:   shards,
 	})
 
 	fmt.Fprintf(w, "activity trajectory search benchmark — %s\n", time.Now().Format(time.RFC3339))

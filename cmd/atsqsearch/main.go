@@ -16,19 +16,30 @@
 // DynamicIndex.Insert while the -random workload runs interleaved,
 // reporting search/insert latency and compaction activity as the delta
 // layer fills and is folded into fresh base generations.
+//
+// With -server URL, queries are not answered locally at all: each one is
+// POSTed to a running atsqserve instance's /v1/search endpoint and the
+// reply is printed through the same output path, so `-json` output from a
+// local engine and from a server over the same corpus can be diffed
+// byte-for-byte (the CI end-to-end job does exactly that). -seed makes
+// -random workloads reproducible across such runs.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"activitytraj"
-	"activitytraj/internal/trajectory"
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/server"
 )
 
 func main() {
@@ -43,15 +54,30 @@ func main() {
 	ordered := flag.Bool("ordered", false, "run OATSQ instead of ATSQ")
 	queryStr := flag.String("query", "", `query: "x,y:act1,act2;x,y:act3"`)
 	random := flag.Int("random", 0, "generate this many random workload queries instead")
+	seed := flag.Int64("seed", 0, "workload seed for -random (0 = time-based)")
+	jsonOut := flag.Bool("json", false, "print one canonical JSON line per query instead of text")
+	serverURL := flag.String("server", "", "answer queries via a running atsqserve instance at this base URL instead of a local engine")
 	workers := flag.Int("workers", 1, "serve -random queries concurrently on this many engine clones (0 = GOMAXPROCS)")
 	stream := flag.Int("stream", 0, "hold out the last N trajectories and ingest them online (dynamic index) while the -random workload runs")
 	compactAt := flag.Int("compact-threshold", 0, "dynamic-index delta mutations before background compaction (0 = default, <0 = never)")
 	verbose := flag.Bool("v", false, "print per-result trajectory details")
 	flag.Parse()
 
-	ds := loadDataset(*data, *preset, *scale)
+	ds, err := dataset.LoadOrGenerate(*data, *preset, *scale)
+	if err != nil {
+		log.Fatalf("dataset: %v", err)
+	}
 	st := ds.Stats()
-	fmt.Printf("dataset %s: %d trajectories, %d points, %d distinct activities\n",
+	// In -json mode stdout carries only the canonical result lines (so two
+	// runs can be diffed byte-for-byte); commentary goes to stderr.
+	banner := func(format string, args ...any) {
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, format, args...)
+	}
+	banner("dataset %s: %d trajectories, %d points, %d distinct activities\n",
 		ds.Name, st.Trajectories, st.Points, st.DistinctActs)
 
 	if *stream > 0 {
@@ -70,18 +96,15 @@ func main() {
 		return
 	}
 
-	store, err := activitytraj.NewStore(ds)
-	if err != nil {
-		log.Fatalf("store: %v", err)
-	}
-	engine := buildEngine(*engineName, store)
-	fmt.Printf("engine %s built (%.1f MiB in memory)\n\n", engine.Name(), float64(engine.MemBytes())/(1<<20))
-
 	var qs []activitytraj.Query
 	switch {
 	case *random > 0:
+		wseed := *seed
+		if wseed == 0 {
+			wseed = time.Now().UnixNano()
+		}
 		qs, err = activitytraj.GenerateQueries(ds, activitytraj.WorkloadConfig{
-			NumQueries: *random, Seed: time.Now().UnixNano(),
+			NumQueries: *random, Seed: wseed,
 		})
 		if err != nil {
 			log.Fatalf("workload: %v", err)
@@ -96,6 +119,18 @@ func main() {
 		log.Fatal("provide -query or -random N")
 	}
 
+	if *serverURL != "" {
+		serveRemote(*serverURL, qs, *k, *ordered, *jsonOut, ds, banner)
+		return
+	}
+
+	store, err := activitytraj.NewStore(ds)
+	if err != nil {
+		log.Fatalf("store: %v", err)
+	}
+	engine := buildEngine(*engineName, store)
+	banner("engine %s built (%.1f MiB in memory)\n\n", engine.Name(), float64(engine.MemBytes())/(1<<20))
+
 	if *workers != 1 && len(qs) > 1 {
 		// Concurrent serving: fan the whole batch out over engine clones.
 		pe, err := activitytraj.NewParallelEngine(engine, *workers)
@@ -109,11 +144,15 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		for qi, q := range qs {
+			if *jsonOut {
+				emitJSON(qi, batches[qi])
+				continue
+			}
 			describeQuery(qi, q, ds.Vocab)
 			printResults(batches[qi], ds, *verbose)
 		}
 		stats := pe.LastStats()
-		fmt.Printf("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
+		banner("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
 			len(qs), pe.Workers(), elapsed.Round(time.Microsecond),
 			float64(len(qs))/elapsed.Seconds(),
 			stats.Candidates, stats.Scored, stats.HeaderOnlyRejects, stats.PageReads,
@@ -122,7 +161,6 @@ func main() {
 	}
 
 	for qi, q := range qs {
-		describeQuery(qi, q, ds.Vocab)
 		start := time.Now()
 		var results []activitytraj.Result
 		if *ordered {
@@ -130,10 +168,15 @@ func main() {
 		} else {
 			results, err = engine.SearchATSQ(q, *k)
 		}
+		elapsed := time.Since(start)
 		if err != nil {
 			log.Fatalf("search: %v", err)
 		}
-		elapsed := time.Since(start)
+		if *jsonOut {
+			emitJSON(qi, results)
+			continue
+		}
+		describeQuery(qi, q, ds.Vocab)
 		stats := engine.LastStats()
 		fmt.Printf("  %d results in %s (candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
 			len(results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored,
@@ -141,6 +184,79 @@ func main() {
 			stats.CacheHits, stats.CacheMisses)
 		printResults(results, ds, *verbose)
 	}
+}
+
+// jsonLine is the canonical per-query output of -json mode: results only,
+// no timing or statistics, so local-engine and -server runs over the same
+// corpus and workload are byte-identical when (and only when) the engines
+// agree.
+type jsonLine struct {
+	Query   int                 `json:"query"`
+	Results []server.ResultJSON `json:"results"`
+}
+
+func emitJSON(qi int, results []activitytraj.Result) {
+	line := jsonLine{Query: qi, Results: make([]server.ResultJSON, len(results))}
+	for i, r := range results {
+		line.Results[i] = server.ResultJSON{ID: uint32(r.ID), Dist: r.Dist}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(line); err != nil {
+		log.Fatalf("encode: %v", err)
+	}
+}
+
+// serveRemote answers the workload through a running atsqserve instance:
+// each query is POSTed to /v1/search and the reply flows through the same
+// output path as a local engine's results.
+func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOut bool, ds *activitytraj.Dataset, banner func(string, ...any)) {
+	baseURL = strings.TrimRight(baseURL, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+	start := time.Now()
+	for qi, q := range qs {
+		req := server.SearchRequest{K: k, Ordered: ordered}
+		for _, p := range q.Pts {
+			wire := server.QueryPointJSON{X: p.Loc.X, Y: p.Loc.Y}
+			for _, a := range p.Acts {
+				wire.Acts = append(wire.Acts, int(a))
+			}
+			req.Points = append(req.Points, wire)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			log.Fatalf("marshal query %d: %v", qi, err)
+		}
+		resp, err := client.Post(baseURL+"/v1/search", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatalf("query %d: %v", qi, err)
+		}
+		var sr server.SearchResponse
+		if resp.StatusCode != http.StatusOK {
+			var er server.ErrorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&er)
+			resp.Body.Close()
+			log.Fatalf("query %d: server status %d: %s", qi, resp.StatusCode, er.Error)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			resp.Body.Close()
+			log.Fatalf("query %d: decode: %v", qi, err)
+		}
+		resp.Body.Close()
+		results := make([]activitytraj.Result, len(sr.Results))
+		for i, r := range sr.Results {
+			results[i] = activitytraj.Result{ID: activitytraj.TrajID(r.ID), Dist: r.Dist}
+		}
+		if jsonOut {
+			emitJSON(qi, results)
+			continue
+		}
+		describeQuery(qi, q, ds.Vocab)
+		fmt.Printf("  %d results in %dus server-side (candidates=%d scored=%d shards=%d+%d skipped)\n",
+			len(results), sr.TookUS, sr.Stats.Candidates, sr.Stats.Scored,
+			sr.Stats.ShardsSearched, sr.Stats.ShardsSkipped)
+		printResults(results, ds, false)
+	}
+	banner("%d queries answered by %s in %s\n", len(qs), baseURL, time.Since(start).Round(time.Millisecond))
 }
 
 // streamIngest holds the last n trajectories out of the base build and
@@ -232,35 +348,6 @@ func printResults(results []activitytraj.Result, ds *activitytraj.Dataset, verbo
 		}
 	}
 	fmt.Println()
-}
-
-func loadDataset(path, preset string, scale float64) *activitytraj.Dataset {
-	if path != "" {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatalf("open: %v", err)
-		}
-		defer f.Close()
-		ds, err := trajectory.ReadDataset(f)
-		if err != nil {
-			log.Fatalf("decode: %v", err)
-		}
-		return ds
-	}
-	var cfg activitytraj.GeneratorConfig
-	switch strings.ToLower(preset) {
-	case "la":
-		cfg = activitytraj.PresetLA(scale)
-	case "ny":
-		cfg = activitytraj.PresetNY(scale)
-	default:
-		log.Fatalf("unknown preset %q", preset)
-	}
-	ds, err := activitytraj.GenerateDataset(cfg)
-	if err != nil {
-		log.Fatalf("generate: %v", err)
-	}
-	return ds
 }
 
 func buildEngine(name string, store *activitytraj.TrajStore) activitytraj.Engine {

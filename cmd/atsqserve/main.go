@@ -1,0 +1,100 @@
+// Command atsqserve serves ATSQ/OATSQ queries over HTTP from a sharded
+// activity-trajectory index: the corpus is spatially partitioned into
+// -shards Z-order range shards (each with its own store, GAT index and
+// delta layer), searched scatter-gather with cross-shard bound sharing, and
+// kept mutable through the insert/delete endpoints.
+//
+//	atsqserve -data la.atrj -shards 4 -addr :8080
+//	atsqserve -preset ny -scale 0.05 -shards 8
+//
+// Endpoints (JSON):
+//
+//	GET  /healthz    liveness + shard count
+//	POST /v1/search  {"k":9,"ordered":false,"points":[{"x":1.2,"y":3.4,"acts":[7],"names":["coffee"]}]}
+//	POST /v1/insert  {"points":[{"x":1.2,"y":3.4,"acts":[7]}]} -> {"id":N}
+//	POST /v1/delete  {"id":N}
+//	GET  /v1/stats   serving counters + per-shard index shape
+//
+// Every search reply carries its per-request SearchStats (candidates,
+// pages, cache traffic, shards searched/skipped). SIGINT/SIGTERM drain
+// in-flight requests before exit (graceful shutdown).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"activitytraj"
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/server"
+	"activitytraj/internal/shard"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("atsqserve: ")
+
+	data := flag.String("data", "", "dataset file from atsqgen (overrides -preset)")
+	preset := flag.String("preset", "ny", "generate a preset dataset: la or ny")
+	scale := flag.Float64("scale", 0.02, "preset scale")
+	shards := flag.Int("shards", shard.DefaultShards, "number of spatial shards")
+	workers := flag.Int("workers", 0, "concurrent searches served (0 = GOMAXPROCS)")
+	addr := flag.String("addr", ":8080", "listen address")
+	compactAt := flag.Int("compact-threshold", 0, "per-shard delta mutations before background compaction (0 = default, <0 = never)")
+	flag.Parse()
+
+	ds, err := dataset.LoadOrGenerate(*data, *preset, *scale)
+	if err != nil {
+		log.Fatalf("dataset: %v", err)
+	}
+	st := ds.Stats()
+	log.Printf("dataset %s: %d trajectories, %d points, %d distinct activities",
+		ds.Name, st.Trajectories, st.Points, st.DistinctActs)
+
+	buildStart := time.Now()
+	router, err := activitytraj.NewSharded(ds, activitytraj.ShardedConfig{
+		Shards: *shards,
+		Delta:  activitytraj.DynamicConfig{CompactThreshold: *compactAt},
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+	srv := server.New(router, server.Options{Workers: *workers, Vocab: ds.Vocab})
+	log.Printf("%d shards built in %s; serving on %s", router.NumShards(),
+		time.Since(buildStart).Round(time.Millisecond), *addr)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// A stalled reader must not hold a response open indefinitely (the
+		// handler returns its engine to the pool before writing, but the
+		// connection itself is still a resource).
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  120 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight requests.
+	log.Printf("shutting down (draining in-flight requests)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -95,6 +95,38 @@
 // a dynamic index concurrently exactly like a static one. Search cost over
 // the delta shows up in SearchStats.DeltaCandidates.
 //
+// # Sharded serving and cross-shard bound sharing
+//
+// NewSharded horizontally partitions a corpus into K spatial shards —
+// contiguous Z-order ranges over leaf cells, cut at near-equal trajectory
+// counts — each owning its own trajectory store, GAT index and delta
+// layer, so shards build, ingest and compact independently. The router's
+// engine answers a query scatter-gather: it plans against per-shard lower
+// bounds (each query point must match inside the shard's bounding
+// rectangle, so the summed minimum distances lower-bound any match
+// distance there), searches the intersecting shards concurrently, and
+// merges their result streams into one shared global top-k.
+//
+// The merge is where the paper's machinery pays off across machines-worth
+// of index: every in-flight shard search reads the shared top-k's running
+// k-th distance back as an extra pruning bound — the same MMD_k threshold
+// Algorithms 1 and 2 prune with locally, except now fed by sibling shards.
+// The shared bound is an upper bound on the final global k-th distance at
+// every moment, so per-candidate score abandoning and the termination test
+// (Dlb above the bound ends the shard's expansion) stay exact, and a shard
+// holding nothing close terminates after a few batches instead of
+// assembling k local results. Remaining shards whose region bound already
+// exceeds the global threshold are skipped outright
+// (SearchStats.ShardsSkipped); results are byte-identical to a single
+// unpartitioned index, which internal/enginetest pins differentially,
+// mutations included.
+//
+// Global trajectory IDs are dense and monotone across the router —
+// shard-local IDs translate through order-preserving maps, so (distance,
+// ID) tie-breaking agrees with the single-index ordering. Router.Insert
+// routes by the first point's leaf cell; Router.Delete routes to the
+// owning shard. cmd/atsqserve serves a sharded index over HTTP.
+//
 // # Cache tuning
 //
 // Three sharded LRU caches sit in front of the simulated disk and are

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"activitytraj/internal/trajectory"
+)
+
+// LoadOrGenerate is the dataset-acquisition path shared by the command-line
+// tools: when path is non-empty it reads an atsqgen-written dataset file,
+// otherwise it generates the named preset ("la" or "ny") at the given
+// scale.
+func LoadOrGenerate(path, preset string, scale float64) (*trajectory.Dataset, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open: %w", err)
+		}
+		defer f.Close()
+		ds, err := trajectory.ReadDataset(f)
+		if err != nil {
+			return nil, fmt.Errorf("decode %s: %w", path, err)
+		}
+		return ds, nil
+	}
+	var cfg Config
+	switch strings.ToLower(preset) {
+	case "la":
+		cfg = LA(scale)
+	case "ny":
+		cfg = NY(scale)
+	default:
+		return nil, fmt.Errorf("unknown preset %q (want la or ny)", preset)
+	}
+	return Generate(cfg)
+}

@@ -543,6 +543,16 @@ func (d *Dynamic) LastCompactErr() error {
 // It is immutable; compactions replace it.
 func (d *Dynamic) Dataset() *trajectory.Dataset { return d.gen.Load().ds }
 
+// ResetCaches puts the current generation's decoded-structure caches and
+// buffer pool in the cold state, so harness runs measure the index
+// identically regardless of run order.
+func (d *Dynamic) ResetCaches() {
+	gen := d.acquire()
+	defer gen.release()
+	gen.idx.ResetCache()
+	gen.ts.ResetPool()
+}
+
 // Engine serves searches over a Dynamic index. Like every engine in this
 // library it is single-goroutine (per-generation scratch is reused across
 // searches); it implements query.CloneableEngine, so wrap it with
@@ -553,11 +563,22 @@ type Engine struct {
 	d     *Dynamic
 	inner *gat.Engine
 	epoch uint64
+	sink  query.BoundSink
 	stats query.SearchStats
 }
 
 // NewEngine returns a serving engine over the dynamic index.
 func (d *Dynamic) NewEngine() *Engine { return &Engine{d: d} }
+
+// SetBoundSink attaches (nil detaches) a shared cross-search bound; it is
+// forwarded to the underlying GAT engine on every search, surviving the
+// generation swaps that rebuild the inner engine. See gat.Engine.SetBoundSink.
+func (e *Engine) SetBoundSink(s query.BoundSink) {
+	e.sink = s
+	if e.inner != nil {
+		e.inner.SetBoundSink(s)
+	}
+}
 
 // Name implements query.Engine.
 func (e *Engine) Name() string { return "GAT+delta" }
@@ -593,6 +614,7 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 	defer gen.release()
 	if e.inner == nil || e.epoch != gen.epoch {
 		e.inner = gat.NewEngineWithOverlay(gen.idx, gen.ov)
+		e.inner.SetBoundSink(e.sink)
 		e.epoch = gen.epoch
 	}
 	// Hold the active layer's read lock for the whole search so it sees one

@@ -1,0 +1,177 @@
+package enginetest
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"activitytraj/internal/dataset"
+	"activitytraj/internal/delta"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/shard"
+	"activitytraj/internal/trajectory"
+)
+
+// requireByteIdentical asserts the two result lists agree exactly — same
+// IDs, bit-identical distances. The sharded engine computes every distance
+// with the same matcher over the same coordinates as the single index, so
+// even float equality must hold; any divergence means the scatter-gather
+// merge or the cross-shard bound sharing pruned inexactly.
+func requireByteIdentical(t *testing.T, label string, want, got []query.Result) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: sharded returned %d results, single index %d\nsingle : %v\nsharded: %v",
+			label, len(got), len(want), want, got)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: result %d differs\nsingle : %v\nsharded: %v", label, i, want, got)
+		}
+	}
+}
+
+// TestShardedDifferentialLA is the acceptance gate for the sharded serving
+// layer: on the LA preset, a 4-shard scatter-gather engine (with planning
+// and cross-shard bound sharing active) must return byte-identical top-k
+// results to the unpartitioned dynamic engine — statically, with live
+// inserts and deletes applied through both, and again after compaction.
+func TestShardedDifferentialLA(t *testing.T) {
+	ds, err := dataset.Generate(dataset.LA(0.03))
+	if err != nil {
+		t.Fatalf("LA preset: %v", err)
+	}
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 12, Seed: 5})
+	if err != nil {
+		t.Fatalf("queries: %v", err)
+	}
+	baseN := len(ds.Trajs) * 4 / 5
+	base := ds.Sample(baseN)
+	base.Name = ds.Name
+	stream := ds.Trajs[baseN:]
+
+	single, err := delta.NewDynamic(base, delta.Config{CompactThreshold: -1})
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	router, err := shard.NewRouter(base, shard.Config{
+		Shards: 4,
+		Delta:  delta.Config{CompactThreshold: -1},
+	})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	oracle := single.NewEngine()
+	sharded := router.NewEngine()
+
+	compare := func(label string) {
+		t.Helper()
+		for qi, q := range qs {
+			for _, ordered := range []bool{false, true} {
+				var want, got []query.Result
+				var err1, err2 error
+				if ordered {
+					want, err1 = oracle.SearchOATSQ(q, 9)
+					got, err2 = sharded.SearchOATSQ(q, 9)
+				} else {
+					want, err1 = oracle.SearchATSQ(q, 9)
+					got, err2 = sharded.SearchATSQ(q, 9)
+				}
+				if err1 != nil || err2 != nil {
+					t.Fatalf("%s q%d ordered=%v: single err=%v sharded err=%v", label, qi, ordered, err1, err2)
+				}
+				requireByteIdentical(t, label, want, got)
+			}
+		}
+	}
+
+	compare("static")
+
+	// Live phase: stream the held-out trajectories through both indexes,
+	// interleaving deletes of existing IDs (the same sequence on both
+	// sides) and differential searches while the deltas are hot.
+	rng := rand.New(rand.NewSource(11))
+	for i, tr := range stream {
+		gid, err := router.Insert(trajectory.Trajectory{Pts: tr.Pts})
+		if err != nil {
+			t.Fatalf("router insert %d: %v", i, err)
+		}
+		oid, err := single.Insert(trajectory.Trajectory{Pts: tr.Pts})
+		if err != nil {
+			t.Fatalf("single insert %d: %v", i, err)
+		}
+		if gid != oid {
+			t.Fatalf("insert %d: router ID %d != single ID %d", i, gid, oid)
+		}
+		if i%7 == 3 {
+			victim := trajectory.TrajID(rng.Intn(int(gid)))
+			if err := router.Delete(victim); err != nil {
+				t.Fatalf("router delete %d: %v", victim, err)
+			}
+			if err := single.Delete(victim); err != nil {
+				t.Fatalf("single delete %d: %v", victim, err)
+			}
+		}
+		if i%25 == 10 {
+			compare("live")
+		}
+	}
+	compare("post-stream")
+
+	if err := router.CompactAll(); err != nil {
+		t.Fatalf("CompactAll: %v", err)
+	}
+	if err := single.CompactNow(); err != nil {
+		t.Fatalf("CompactNow: %v", err)
+	}
+	compare("compacted")
+}
+
+// TestShardedParallelStress serves a sharded engine through ParallelEngine
+// while inserts and deletes stream through the router — the concurrency
+// gate for the scatter-gather path (run under -race in CI). Results are
+// not compared here (mutations land mid-flight); the differential test
+// above owns exactness.
+func TestShardedParallelStress(t *testing.T) {
+	ds := testDataset(t)
+	baseN := len(ds.Trajs) * 3 / 4
+	base := ds.Sample(baseN)
+	base.Name = ds.Name
+	router, err := shard.NewRouter(base, shard.Config{
+		Shards: 4,
+		Delta:  delta.Config{CompactThreshold: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe := query.NewParallelEngine(router.NewEngine(), 4)
+	qs := workload(t, ds, 16)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, tr := range ds.Trajs[baseN:] {
+			if _, err := router.Insert(trajectory.Trajectory{Pts: tr.Pts}); err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+			if i%5 == 2 {
+				if err := router.Delete(trajectory.TrajID(i)); err != nil {
+					t.Errorf("delete %d: %v", i, err)
+					return
+				}
+			}
+		}
+	}()
+	for round := 0; round < 4; round++ {
+		if _, err := pe.SearchBatch(qs, 9, round%2 == 1); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	wg.Wait()
+	st := router.Stats()
+	if st.NextID != len(ds.Trajs) {
+		t.Fatalf("NextID = %d, want %d", st.NextID, len(ds.Trajs))
+	}
+}

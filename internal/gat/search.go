@@ -20,7 +20,10 @@ type Engine struct {
 	idx *Index
 	// ov, when non-nil, merges a mutable delta layer into every search; see
 	// DeltaOverlay and NewEngineWithOverlay.
-	ov    DeltaOverlay
+	ov DeltaOverlay
+	// sink, when non-nil, shares the top-k bound with cooperating searches
+	// over sibling shards; see SetBoundSink.
+	sink  query.BoundSink
 	ev    *evaluate.Evaluator
 	m     matcher.Matcher
 	stats query.SearchStats
@@ -35,6 +38,19 @@ func NewEngine(idx *Index) *Engine {
 	e.sc.e = e
 	return e
 }
+
+// SetBoundSink attaches (or, with nil, detaches) a shared bound for
+// cooperating searches: every scored result is offered to the sink, and the
+// engine prunes against min(local k-th distance, sink.Threshold()) — both
+// for the per-candidate scoring threshold and for the Algorithm-2
+// termination test. Because the sink's threshold is an upper bound on the
+// final global k-th distance (the global top-k over a superset can only be
+// tighter than any shard-local one), pruning stays exact: any candidate or
+// unseen trajectory pruned by the shared bound is strictly farther than the
+// final global k-th result. The sink must be safe for the concurrent use
+// the cooperating searches make of it; the engine itself remains
+// single-goroutine.
+func (e *Engine) SetBoundSink(s query.BoundSink) { e.sink = s }
 
 // Name implements query.Engine.
 func (e *Engine) Name() string { return "GAT" }
@@ -150,18 +166,21 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 			var out evaluate.Outcome
 			var err error
 			if ordered {
-				d, out, err = e.ev.ScoreOATSQ(q, tid, topk.Threshold(), &e.stats)
+				d, out, err = e.ev.ScoreOATSQ(q, tid, e.effThreshold(topk), &e.stats)
 			} else {
-				d, out, err = e.ev.ScoreATSQ(q, tid, topk.Threshold(), &e.stats)
+				d, out, err = e.ev.ScoreATSQ(q, tid, e.effThreshold(topk), &e.stats)
 			}
 			if err != nil {
 				return nil, err
 			}
 			if out == evaluate.Scored {
 				topk.Offer(query.Result{ID: tid, Dist: d})
+				if e.sink != nil {
+					e.sink.Offer(query.Result{ID: tid, Dist: d})
+				}
 			}
 		}
-		if topk.Threshold() < dlb {
+		if e.effThreshold(topk) < dlb {
 			break
 		}
 		if s.exhausted && len(cands) == 0 {
@@ -169,6 +188,22 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 		}
 	}
 	return topk.Results(), nil
+}
+
+// effThreshold returns the tightest exact pruning bound available: the
+// local k-th distance, further tightened by the shared global bound when a
+// sink is attached. Both are upper bounds on the final global k-th match
+// distance, so the minimum prunes exactly (the matcher abandons only when a
+// partial sum strictly exceeds the threshold, so candidates at exactly the
+// bound still score fully and tie-break by ID).
+func (e *Engine) effThreshold(topk *query.TopK) float64 {
+	th := topk.Threshold()
+	if e.sink != nil {
+		if g := e.sink.Threshold(); g < th {
+			th = g
+		}
+	}
+	return th
 }
 
 // initQueue seeds each query point's frontier with every level-1 cell
@@ -416,7 +451,8 @@ func (s *searcher) lowerBound() float64 {
 // Clone returns an independent engine over the same (immutable) index and
 // delta overlay, for concurrent query execution: each goroutine owns one
 // engine, while the index, its HICL cache, the trajectory store and its APL
-// cache are shared.
+// cache are shared. A bound sink is NOT inherited — it is a per-search
+// attachment the sharded router manages on each engine it owns.
 func (e *Engine) Clone() query.Engine { return NewEngineWithOverlay(e.idx, e.ov) }
 
 // ResetCaches empties the index's shared decoded-HICL cache so cold-cache

@@ -29,8 +29,13 @@ type Options struct {
 	Seed int64
 	// Workers is the worker-count sweep of the throughput experiment.
 	// WithDefaults sets it to 1, 2, 4, 8 when empty (matching the
-	// atsqbench -workers default).
+	// atsqbench -workers default). For the sharded experiment each entry
+	// is a TOTAL budget that divides across the shard fan-out; see
+	// ShardWorkers.
 	Workers []int
+	// Shards is the shard-count sweep of the sharded experiment.
+	// WithDefaults sets it to 1, 2, 4 when empty.
+	Shards []int
 }
 
 // WithDefaults fills unset options with the suite defaults.
@@ -52,6 +57,9 @@ func (o Options) WithDefaults() Options {
 	}
 	if len(o.Workers) == 0 {
 		o.Workers = []int{1, 2, 4, 8}
+	}
+	if len(o.Shards) == 0 {
+		o.Shards = []int{1, 2, 4}
 	}
 	return o
 }
@@ -469,6 +477,7 @@ func (s *Suite) All(w io.Writer) error {
 		{"ablations", s.Ablations},
 		{"throughput", s.Throughput},
 		{"mixed", s.Mixed},
+		{"sharded", s.Sharded},
 	}
 	for _, st := range steps {
 		fmt.Fprintf(w, "==== experiment: %s ====\n\n", st.name)
@@ -504,7 +513,9 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.Throughput(w)
 	case "mixed":
 		return s.Mixed(w)
+	case "sharded":
+		return s.Sharded(w)
 	default:
-		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed)", name)
+		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed|sharded)", name)
 	}
 }

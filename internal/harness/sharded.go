@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/shard"
+)
+
+// ShardWorkers converts a total worker budget into the engine-clone pool
+// size for a K-shard router: every search already fans out across up to K
+// shard goroutines, so the pool gets workers/K clones (at least one). This
+// is the division the sharded experiment applies so K shards × W workers
+// never oversubscribes the host — a 1-core CI runner with K=4, W=4 runs one
+// in-flight search fanned over 4 shards, not 16 goroutines.
+func ShardWorkers(workers, shards int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	clones := workers / shards
+	if clones < 1 {
+		clones = 1
+	}
+	return clones
+}
+
+// RunShardedWorkload executes qs against a fresh scatter-gather engine over
+// r, serving through a pool of ShardWorkers(workers, K) engine clones (see
+// ShardWorkers for why the budget divides). Shard caches are reset first so
+// runs are measured from a cold cache.
+func RunShardedWorkload(r *shard.Router, qs []query.Query, k int, ordered bool, workers int) (WorkloadResult, error) {
+	eng := r.NewEngine()
+	eng.ResetCaches()
+	pe := query.NewParallelEngine(eng, ShardWorkers(workers, r.NumShards()))
+	res := WorkloadResult{Method: eng.Name(), Queries: len(qs)}
+	start := time.Now()
+	_, err := pe.SearchBatch(qs, k, ordered)
+	res.TotalTime = time.Since(start)
+	res.Stats = pe.LastStats()
+	return res, err
+}
+
+// Sharded measures the sharded serving layer: the same ATSQ workload runs
+// against spatially partitioned GAT routers at each shard count of
+// Options.Shards, under every worker budget of Options.Workers (budgets
+// divide across shards — see ShardWorkers). Alongside throughput it reports
+// the planner's behaviour: how many shards an average query actually
+// touched versus skipped (region lower bound above the query's reachable
+// radius), and the per-search page traffic, which shrinks as shards not
+// contributing to the top-k terminate early on the shared global bound.
+func (s *Suite) Sharded(w io.Writer) error {
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		qs, err := s.workload(ds, queries.Config{Seed: s.opts.Seed + 83})
+		if err != nil {
+			return err
+		}
+		// Repeat the workload so multi-worker pools stay busy.
+		reps := qs
+		for len(reps) < 64 {
+			reps = append(reps, qs...)
+		}
+		tab := NewTable(
+			fmt.Sprintf("Sharded serving — ATSQ on %s (%d queries, worker budget divides across shards)", dsName, len(reps)),
+			"shards", "workers", "clones", "qps", "ms/query", "shards hit", "skipped", "pages/search")
+		for _, k := range s.opts.Shards {
+			r, err := shard.NewRouter(ds, shard.Config{Shards: k})
+			if err != nil {
+				return fmt.Errorf("harness: %d-shard router for %s: %w", k, dsName, err)
+			}
+			for _, workers := range s.opts.Workers {
+				res, err := RunShardedWorkload(r, reps, s.opts.K, false, workers)
+				if err != nil {
+					return err
+				}
+				nq := float64(res.Queries)
+				tab.AddRow(
+					fmt.Sprint(k),
+					fmt.Sprint(workers),
+					fmt.Sprint(ShardWorkers(workers, k)),
+					fmt.Sprintf("%.0f", nq/res.TotalTime.Seconds()),
+					ms(res.AvgMs()),
+					cnt(float64(res.Stats.ShardsSearched)/nq),
+					cnt(float64(res.Stats.ShardsSkipped)/nq),
+					cnt(res.AvgPageReads()),
+				)
+			}
+		}
+		tab.Write(w)
+	}
+	return nil
+}

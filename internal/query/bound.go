@@ -1,0 +1,64 @@
+package query
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// BoundSink is the cross-search bound-sharing contract: cooperating searches
+// (one per shard of a partitioned index) feed every scored result into a
+// shared sink and read back the tightest known global top-k threshold, so
+// each search's Algorithm-2 termination bound tightens as soon as ANY
+// cooperating search finds closer results. Implementations must be safe for
+// concurrent use; Threshold must be monotonically non-increasing over the
+// sink's lifetime — engines rely on that to prune exactly.
+type BoundSink interface {
+	// Offer submits one fully-scored result (infinite distances are
+	// ignored).
+	Offer(Result)
+	// Threshold returns the current global k-th smallest distance, +Inf
+	// until k results have been offered.
+	Threshold() float64
+}
+
+// SharedTopK is a concurrency-safe top-k collector implementing BoundSink:
+// the scatter-gather merge point of a sharded search. Every shard search
+// offers its scored results (with shard-local IDs translated to global ones
+// by the caller); the collector's running k-th distance is published through
+// an atomic so the hot-path Threshold read never takes the lock.
+type SharedTopK struct {
+	mu sync.Mutex
+	t  *TopK
+	th atomic.Uint64 // math.Float64bits of the current threshold
+}
+
+// NewSharedTopK returns an empty shared collector for the best k results.
+func NewSharedTopK(k int) *SharedTopK {
+	s := &SharedTopK{t: NewTopK(k)}
+	s.th.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+// Offer implements BoundSink.
+func (s *SharedTopK) Offer(r Result) {
+	if math.IsInf(r.Dist, 1) {
+		return
+	}
+	s.mu.Lock()
+	s.t.Offer(r)
+	s.th.Store(math.Float64bits(s.t.Threshold()))
+	s.mu.Unlock()
+}
+
+// Threshold implements BoundSink without locking.
+func (s *SharedTopK) Threshold() float64 {
+	return math.Float64frombits(s.th.Load())
+}
+
+// Results returns the collected global top-k in ascending (Dist, ID) order.
+func (s *SharedTopK) Results() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.Results()
+}

@@ -101,6 +101,13 @@ type SearchStats struct {
 	// blocked APL format every APL rejection is header-only unless the
 	// body happened to be cached already.
 	HeaderOnlyRejects int
+
+	// ShardsSearched counts the shards a sharded engine's router actually
+	// fanned the query out to; ShardsSkipped counts the shards its planner
+	// pruned (region lower bound above the query's reachable radius — the
+	// running global k-th distance). Zero for unsharded engines.
+	ShardsSearched int
+	ShardsSkipped  int
 	// BytesDecoded sums the segment bytes actually decoded for this search
 	// (posting blocks, coordinate points, HICL lists) — the work the lazy
 	// blocked layout avoids compared to eagerly decoding whole segments.
@@ -122,5 +129,7 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.CacheMisses += other.CacheMisses
 	s.DeltaCandidates += other.DeltaCandidates
 	s.HeaderOnlyRejects += other.HeaderOnlyRejects
+	s.ShardsSearched += other.ShardsSearched
+	s.ShardsSkipped += other.ShardsSkipped
 	s.BytesDecoded += other.BytesDecoded
 }

@@ -1,0 +1,339 @@
+// Package server implements the HTTP JSON query service over a sharded
+// activity-trajectory index: search, insert, delete and stats endpoints
+// plus a health probe, each search reporting its per-request SearchStats.
+// The cmd/atsqserve command is a thin main around this package; keeping the
+// handlers here makes them testable with httptest.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/shard"
+	"activitytraj/internal/trajectory"
+)
+
+// QueryPointJSON is one query or trajectory point on the wire. Activities
+// may be given as vocabulary IDs (acts) and/or names (names); the union is
+// used.
+type QueryPointJSON struct {
+	X     float64  `json:"x"`
+	Y     float64  `json:"y"`
+	Acts  []int    `json:"acts,omitempty"`
+	Names []string `json:"names,omitempty"`
+}
+
+// SearchRequest is the /v1/search body.
+type SearchRequest struct {
+	// K is the result count (default DefaultK).
+	K int `json:"k,omitempty"`
+	// Ordered selects OATSQ instead of ATSQ.
+	Ordered bool `json:"ordered,omitempty"`
+	// Points are the query locations with their desired activities.
+	Points []QueryPointJSON `json:"points"`
+}
+
+// ResultJSON is one top-k entry on the wire.
+type ResultJSON struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// SearchResponse is the /v1/search reply.
+type SearchResponse struct {
+	Results []ResultJSON      `json:"results"`
+	Stats   query.SearchStats `json:"stats"`
+	TookUS  int64             `json:"took_us"`
+}
+
+// InsertRequest is the /v1/insert body: the trajectory's points in order.
+type InsertRequest struct {
+	Points []QueryPointJSON `json:"points"`
+}
+
+// InsertResponse reports the assigned global trajectory ID.
+type InsertResponse struct {
+	ID uint32 `json:"id"`
+}
+
+// DeleteRequest is the /v1/delete body.
+type DeleteRequest struct {
+	ID uint32 `json:"id"`
+}
+
+// DeleteResponse acknowledges a delete.
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// ErrorResponse carries any non-2xx reply's message.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse is the /v1/stats reply.
+type StatsResponse struct {
+	UptimeSec float64     `json:"uptime_sec"`
+	Searches  int64       `json:"searches"`
+	Inserts   int64       `json:"inserts"`
+	Deletes   int64       `json:"deletes"`
+	Workers   int         `json:"workers"`
+	Index     shard.Stats `json:"index"`
+}
+
+// DefaultK is the result count used when a search request leaves K unset
+// (the Table V default shared with the rest of the library).
+const DefaultK = queries.DefaultK
+
+// Options tunes a Server.
+type Options struct {
+	// Workers sizes the engine pool — the number of searches served
+	// concurrently (each worker is one scatter-gather engine whose shard
+	// fan-out shares the underlying per-shard indexes). <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// Vocab resolves activity names in requests; nil restricts requests to
+	// numeric activity IDs.
+	Vocab *trajectory.Vocabulary
+}
+
+// Server serves ATSQ/OATSQ queries and mutations over a shard.Router.
+type Server struct {
+	router  *shard.Router
+	vocab   *trajectory.Vocabulary
+	engines chan *shard.Engine
+	workers int
+	started time.Time
+
+	searches atomic.Int64
+	inserts  atomic.Int64
+	deletes  atomic.Int64
+}
+
+// New builds a server over r with a pool of opts.Workers engines.
+func New(r *shard.Router, opts Options) *Server {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		router:  r,
+		vocab:   opts.Vocab,
+		engines: make(chan *shard.Engine, w),
+		workers: w,
+		started: time.Now(),
+	}
+	for i := 0; i < w; i++ {
+		s.engines <- r.NewEngine()
+	}
+	return s
+}
+
+// Handler returns the route table. Borrowed engines give each in-flight
+// search an exclusive engine (and so exact per-request SearchStats); the
+// channel pool applies backpressure past Workers concurrent searches.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/search", s.handleSearch)
+	mux.HandleFunc("/v1/insert", s.handleInsert)
+	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"shards": s.router.NumShards(),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	q, err := s.toQuery(req.Points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = DefaultK
+	}
+	e := <-s.engines
+	start := time.Now()
+	var rs []query.Result
+	if req.Ordered {
+		rs, err = e.SearchOATSQ(q, k)
+	} else {
+		rs, err = e.SearchATSQ(q, k)
+	}
+	took := time.Since(start)
+	stats := e.LastStats()
+	// Results and stats are copied out of the engine, so it can go back to
+	// the pool before the response write: a client stalling on the read
+	// side must not pin an engine (the pool is the serving capacity).
+	s.engines <- e
+	if err != nil {
+		// The query already validated in toQuery, so an engine failure here
+		// is a server-side fault, not a bad request.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.searches.Add(1)
+	resp := SearchResponse{
+		Results: make([]ResultJSON, len(rs)),
+		Stats:   stats,
+		TookUS:  took.Microseconds(),
+	}
+	for i, r := range rs {
+		resp.Results[i] = ResultJSON{ID: uint32(r.ID), Dist: r.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Points) == 0 {
+		// A point-less trajectory can never match and its global ID could
+		// never be reclaimed (IDs are dense and stable forever).
+		writeError(w, http.StatusBadRequest, fmt.Errorf("trajectory has no points"))
+		return
+	}
+	pts := make([]trajectory.Point, len(req.Points))
+	for i, p := range req.Points {
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: non-finite coordinates", i))
+			return
+		}
+		acts, err := s.toActs(p, true)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
+			return
+		}
+		pts[i] = trajectory.Point{Loc: pointOf(p), Acts: acts}
+	}
+	id, err := s.router.Insert(trajectory.Trajectory{Pts: pts})
+	if err != nil {
+		// Request-shaped problems were rejected above (coordinates, activity
+		// resolution); what remains is a router/index fault.
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.inserts.Add(1)
+	writeJSON(w, http.StatusOK, InsertResponse{ID: uint32(id)})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req DeleteRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if err := s.router.Delete(trajectory.TrajID(req.ID)); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.deletes.Add(1)
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSec: time.Since(s.started).Seconds(),
+		Searches:  s.searches.Load(),
+		Inserts:   s.inserts.Load(),
+		Deletes:   s.deletes.Load(),
+		Workers:   s.workers,
+		Index:     s.router.Stats(),
+	})
+}
+
+// readJSON decodes a POST body into dst, replying with the appropriate
+// error status itself when it returns false.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// toQuery converts wire points to a validated query.
+func (s *Server) toQuery(pts []QueryPointJSON) (query.Query, error) {
+	var q query.Query
+	for i, p := range pts {
+		acts, err := s.toActs(p, false)
+		if err != nil {
+			return q, fmt.Errorf("point %d: %w", i, err)
+		}
+		q.Pts = append(q.Pts, query.Point{Loc: pointOf(p), Acts: acts})
+	}
+	return q, q.Validate()
+}
+
+// toActs resolves a wire point's activity IDs and names into a normalized
+// set. Inserts must stay within the vocabulary (the index would reject them
+// later with a server-side status otherwise); searches may reference any ID
+// and simply match nothing.
+func (s *Server) toActs(p QueryPointJSON, forInsert bool) (trajectory.ActivitySet, error) {
+	ids := make([]trajectory.ActivityID, 0, len(p.Acts)+len(p.Names))
+	for _, a := range p.Acts {
+		if a < 0 {
+			return nil, fmt.Errorf("negative activity ID %d", a)
+		}
+		if forInsert && s.vocab != nil && a >= s.vocab.Size() {
+			return nil, fmt.Errorf("activity ID %d outside vocabulary (size %d)", a, s.vocab.Size())
+		}
+		ids = append(ids, trajectory.ActivityID(a))
+	}
+	for _, name := range p.Names {
+		if s.vocab == nil {
+			return nil, fmt.Errorf("activity names not supported (no vocabulary)")
+		}
+		id, ok := s.vocab.ID(name)
+		if !ok {
+			return nil, fmt.Errorf("activity %q not in vocabulary", name)
+		}
+		ids = append(ids, id)
+	}
+	return trajectory.NewActivitySet(ids...), nil
+}
+
+func pointOf(p QueryPointJSON) geo.Point {
+	return geo.Point{X: p.X, Y: p.Y}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}

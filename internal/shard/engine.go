@@ -1,0 +1,213 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+
+	"activitytraj/internal/delta"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// Engine serves exact global top-k queries over a Router's shards with a
+// scatter-gather search. Like every engine in this library it is
+// single-goroutine from the caller's side (it implements
+// query.CloneableEngine, so wrap it with query.NewParallelEngine for
+// concurrent serving); internally one search fans out across the planned
+// shards, each on its own per-shard delta engine.
+//
+// Planning and bound sharing: the per-shard lower bound Σ MinDist(q_i,
+// shard bounds) first selects the nearest shards (every shard the query's
+// envelope intersects has bound 0). Those searches run concurrently,
+// feeding one SharedTopK whose running k-th distance is broadcast back into
+// each in-flight search (BoundSink), tightening their Algorithm-2
+// termination bounds mid-flight. The remaining shards are then visited in
+// ascending bound order and launched only while their bound does not exceed
+// the global threshold — the query's reachable radius. Because the
+// threshold is monotone non-increasing and every skipped shard's bound
+// strictly exceeds it, skipped shards provably hold no top-k member, so
+// results are exactly the single-index engine's.
+type Engine struct {
+	r     *Router
+	subs  []*delta.Engine
+	stats query.SearchStats
+	plans []shardPlan // scratch, reused across searches
+	locs  []geo.Point // scratch: query point locations
+}
+
+type shardPlan struct {
+	si int
+	lb float64
+}
+
+// NewEngine returns a scatter-gather engine over the router's shards.
+func (r *Router) NewEngine() *Engine {
+	subs := make([]*delta.Engine, len(r.shards))
+	for i, sh := range r.shards {
+		subs[i] = sh.d.NewEngine()
+	}
+	return &Engine{r: r, subs: subs}
+}
+
+// Name implements query.Engine.
+func (e *Engine) Name() string { return fmt.Sprintf("GATx%d", len(e.r.shards)) }
+
+// MemBytes implements query.Engine: the sum of the shard indexes.
+func (e *Engine) MemBytes() int64 {
+	var n int64
+	for _, sub := range e.subs {
+		n += sub.MemBytes()
+	}
+	return n
+}
+
+// LastStats implements query.Engine: the summed statistics of the last
+// search's shard fan-out, plus the ShardsSearched/ShardsSkipped plan shape.
+func (e *Engine) LastStats() query.SearchStats { return e.stats }
+
+// SearchATSQ implements query.Engine over the sharded corpus.
+func (e *Engine) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
+	return e.search(q, k, false)
+}
+
+// SearchOATSQ implements query.Engine over the sharded corpus.
+func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	return e.search(q, k, true)
+}
+
+func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	locs := e.locs[:0]
+	for _, p := range q.Pts {
+		locs = append(locs, p.Loc)
+	}
+	e.locs = locs
+
+	plans := e.plans[:0]
+	minLB := math.Inf(1)
+	for si, sh := range e.r.shards {
+		lb := sh.queryLB(locs)
+		plans = append(plans, shardPlan{si: si, lb: lb})
+		if lb < minLB {
+			minLB = lb
+		}
+	}
+	e.plans = plans
+	slices.SortFunc(plans, func(a, b shardPlan) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return a.si - b.si
+		}
+	})
+
+	shared := query.NewSharedTopK(k)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		agg      query.SearchStats
+		firstErr error
+		searched int
+	)
+	run := func(si int) {
+		searched++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := e.searchShard(si, q, k, ordered, shared)
+			mu.Lock()
+			agg.Add(st)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}()
+	}
+
+	// Wave 1: every shard at the minimum bound (all intersecting shards
+	// when the query envelope overlaps any). Wave 2: the rest in ascending
+	// bound order, pruned against the now-populated global threshold; the
+	// bounds are sorted and the threshold only tightens, so the first
+	// over-threshold shard ends the scan.
+	i := 0
+	if !math.IsInf(minLB, 1) {
+		for ; i < len(plans) && plans[i].lb == minLB; i++ {
+			run(plans[i].si)
+		}
+		wg.Wait()
+		if firstErr == nil {
+			for ; i < len(plans); i++ {
+				if math.IsInf(plans[i].lb, 1) || plans[i].lb > shared.Threshold() {
+					break
+				}
+				run(plans[i].si)
+			}
+			wg.Wait()
+		}
+	}
+
+	agg.ShardsSearched = searched
+	agg.ShardsSkipped = len(plans) - searched
+	e.stats = agg
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return shared.Results(), nil
+}
+
+// searchShard runs one shard's search with the shared bound attached,
+// holding the shard's ID-map read lock for the duration so every
+// trajectory the search can observe has its global mapping in place.
+func (e *Engine) searchShard(si int, q query.Query, k int, ordered bool, shared *query.SharedTopK) (query.SearchStats, error) {
+	sh := e.r.shards[si]
+	sub := e.subs[si]
+	sh.idmu.RLock()
+	defer sh.idmu.RUnlock()
+	sub.SetBoundSink(&translatingSink{shared: shared, ids: sh.globalIDs})
+	defer sub.SetBoundSink(nil)
+	var err error
+	if ordered {
+		_, err = sub.SearchOATSQ(q, k)
+	} else {
+		_, err = sub.SearchATSQ(q, k)
+	}
+	return sub.LastStats(), err
+}
+
+// Clone implements query.CloneableEngine: an independent engine (fresh
+// per-shard sub-engines) over the same shared router.
+func (e *Engine) Clone() query.Engine { return e.r.NewEngine() }
+
+// ResetCaches puts every shard's decoded-structure caches and buffer pool
+// in the cold state (the harness calls this between measured runs).
+func (e *Engine) ResetCaches() {
+	for _, sh := range e.r.shards {
+		sh.d.ResetCaches()
+	}
+}
+
+var _ query.CloneableEngine = (*Engine)(nil)
+
+// translatingSink adapts a shard search's local result stream to the
+// shared global top-k: local IDs are translated through the shard's
+// (order-preserving) global-ID map before they reach the collector, so
+// cross-shard (distance, ID) tie-breaks are decided on global IDs.
+type translatingSink struct {
+	shared *query.SharedTopK
+	ids    []trajectory.TrajID
+}
+
+func (t *translatingSink) Offer(r query.Result) {
+	r.ID = t.ids[r.ID]
+	t.shared.Offer(r)
+}
+
+func (t *translatingSink) Threshold() float64 { return t.shared.Threshold() }

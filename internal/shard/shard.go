@@ -1,0 +1,404 @@
+// Package shard horizontally partitions an activity-trajectory corpus into
+// K spatial shards and serves exact global top-k queries over them with a
+// scatter-gather search.
+//
+// Partitioning is by Z-order range over leaf cells: every trajectory maps
+// to the leaf cell of its first point on a partition grid fitted to the
+// corpus, trajectories are ordered along the Z curve, and the curve is cut
+// into K contiguous ranges of near-equal trajectory count. Each shard owns
+// a full single-node stack — its own TrajStore, GAT index and delta layer
+// (a delta.Dynamic) — so shards ingest, search and compact independently.
+//
+// The Router keeps the shard map, assigns global trajectory IDs (local IDs
+// are per-shard dense; the mapping preserves order, so shard-local
+// (distance, ID) tie-breaks agree with global ones), and routes inserts and
+// deletes to the owning shard. Searches go through Engine: the query is
+// planned against per-shard lower bounds (the sum over query points of the
+// minimum distance to the shard's bounding rectangle lower-bounds any match
+// distance in the shard), the intersecting shards are searched
+// concurrently, and every shard search feeds one shared global top-k whose
+// running k-th distance is broadcast back into the in-flight searches
+// (gat.Engine.SetBoundSink) so their Algorithm-2 termination bounds tighten
+// mid-flight. Results are exactly those of a single-index engine over the
+// unpartitioned corpus — see internal/enginetest for the differential gate.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+	"sync"
+
+	"activitytraj/internal/delta"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/grid"
+	"activitytraj/internal/trajectory"
+)
+
+// Config tunes shard construction.
+type Config struct {
+	// Shards is K, the number of spatial partitions. 0 selects
+	// DefaultShards.
+	Shards int
+	// PartitionDepth is the grid level whose Z-order codes define shard
+	// ranges (the partition granularity, independent of each shard's own
+	// GAT grid). 0 selects DefaultPartitionDepth.
+	PartitionDepth int
+	// Delta configures each shard's dynamic index (base GAT/store options
+	// and the auto-compaction threshold).
+	Delta delta.Config
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultShards         = 4
+	DefaultPartitionDepth = 8
+)
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.PartitionDepth <= 0 {
+		c.PartitionDepth = DefaultPartitionDepth
+	}
+	if c.PartitionDepth > 15 {
+		c.PartitionDepth = 15
+	}
+	return c
+}
+
+// owner locates a global trajectory ID inside the shard map.
+type owner struct {
+	shard int32
+	local trajectory.TrajID
+}
+
+// Shard is one spatial partition: a dynamic GAT index over the shard's
+// sub-corpus plus the local→global ID mapping and the bounding rectangle of
+// every point the shard has ever held (grown on insert, never shrunk — a
+// stale-but-larger rectangle only weakens pruning, never correctness).
+type Shard struct {
+	d *delta.Dynamic
+	// zlo/zhi is the owned Z-code range [zlo, zhi) at the partition depth.
+	zlo, zhi uint32
+
+	// idmu guards globalIDs and the bounds. Searches hold the read lock for
+	// their whole duration so every trajectory they can observe has its
+	// global mapping in place; Insert holds the write lock across the
+	// delta-insert and the mapping append, making the two atomic to readers.
+	idmu      sync.RWMutex
+	globalIDs []trajectory.TrajID
+	bounds    geo.Rect
+	hasPoints bool
+}
+
+// Dynamic returns the shard's underlying dynamic index (stats, explicit
+// compaction). Mutations MUST go through the Router, which owns global ID
+// assignment.
+func (sh *Shard) Dynamic() *delta.Dynamic { return sh.d }
+
+// ZRange returns the shard's owned Z-code range [lo, hi) at the partition
+// depth.
+func (sh *Shard) ZRange() (lo, hi uint32) { return sh.zlo, sh.zhi }
+
+// Bounds returns the bounding rectangle of the shard's points and whether
+// the shard has ever held any point.
+func (sh *Shard) Bounds() (geo.Rect, bool) {
+	sh.idmu.RLock()
+	defer sh.idmu.RUnlock()
+	return sh.bounds, sh.hasPoints
+}
+
+// queryLB returns a lower bound on the match distance of ANY trajectory in
+// the shard: each query point must match some trajectory point, every point
+// of the shard lies inside bounds, and both Dmm and Dmom sum the
+// per-query-point distances, so Σ MinDist(q_i, bounds) lower-bounds both.
+// An empty shard bounds nothing and returns +Inf.
+func (sh *Shard) queryLB(pts []geo.Point) float64 {
+	sh.idmu.RLock()
+	defer sh.idmu.RUnlock()
+	if !sh.hasPoints {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += sh.bounds.MinDist(p)
+	}
+	return sum
+}
+
+func (sh *Shard) extend(pts []trajectory.Point) {
+	for _, p := range pts {
+		if !sh.hasPoints {
+			sh.bounds = geo.RectFromPoint(p.Loc)
+			sh.hasPoints = true
+			continue
+		}
+		sh.bounds = sh.bounds.ExtendPoint(p.Loc)
+	}
+}
+
+// Router owns the shard map: it builds the partitions, assigns global
+// trajectory IDs, routes mutations to the owning shard, and spawns
+// scatter-gather engines (NewEngine). All methods are safe for concurrent
+// use.
+type Router struct {
+	cfg   Config
+	pgrid *grid.Grid
+	// cuts[i] is the first Z code owned by shard i+1; shard for a code is
+	// the number of cuts at or below it.
+	cuts   []uint32
+	shards []*Shard
+
+	mu     sync.Mutex // serializes writers (global ID assignment, owners)
+	nextID int
+	owners []owner
+}
+
+// NewRouter partitions ds into cfg.Shards spatial shards and builds each
+// shard's store, GAT index and delta layer. The dataset must satisfy
+// (*Dataset).Validate and is treated as immutable afterwards.
+func NewRouter(ds *trajectory.Dataset, cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := ds.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: invalid dataset: %w", err)
+	}
+	r := &Router{cfg: cfg, nextID: len(ds.Trajs)}
+	if err := r.partition(ds); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// partition fits the partition grid, cuts the Z curve into cfg.Shards
+// ranges of near-equal trajectory count, and builds the per-shard indexes.
+func (r *Router) partition(ds *trajectory.Dataset) error {
+	bounds := ds.Bounds()
+	origin, side := grid.FitRegion(bounds, 0.01)
+	pg, err := grid.New(origin, side, r.cfg.PartitionDepth)
+	if err != nil {
+		return fmt.Errorf("shard: partition grid: %w", err)
+	}
+	r.pgrid = pg
+
+	// Z code of every trajectory's representative (first) point, then the
+	// corpus ordered along the curve.
+	zs := make([]uint32, len(ds.Trajs))
+	for i := range ds.Trajs {
+		zs[i] = r.repZ(ds.Trajs[i].Pts)
+	}
+	order := make([]int, len(ds.Trajs))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if zs[a] != zs[b] {
+			if zs[a] < zs[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+
+	// Cut at near-equal counts, advancing each cut to the next Z change so
+	// one leaf cell is never split across shards (insert routing is by Z).
+	k := r.cfg.Shards
+	r.cuts = make([]uint32, 0, k-1)
+	maxZ := uint32(1)<<(2*uint(r.cfg.PartitionDepth)) - 1
+	for i := 1; i < k; i++ {
+		at := i * len(order) / k
+		var cut uint32
+		if at >= len(order) {
+			cut = maxZ + 1 // past every code: the tail shards stay empty
+		} else {
+			cut = zs[order[at]]
+			// A cut equal to the previous shard's first code would empty
+			// this range retroactively; advance to the next distinct code.
+			for at > 0 && zs[order[at-1]] == cut {
+				at++
+				if at >= len(order) {
+					cut = maxZ + 1
+					break
+				}
+				cut = zs[order[at]]
+			}
+		}
+		if n := len(r.cuts); n > 0 && cut < r.cuts[n-1] {
+			cut = r.cuts[n-1]
+		}
+		r.cuts = append(r.cuts, cut)
+	}
+
+	// Assign trajectories by routing their representative code through the
+	// final cuts; iterating in global ID order keeps each shard's local IDs
+	// ascending in global ID, so local (distance, ID) tie-break order agrees
+	// with the global one.
+	members := make([][]int, k)
+	for gid := range ds.Trajs {
+		si := r.routeZ(zs[gid])
+		members[si] = append(members[si], gid)
+	}
+
+	r.shards = make([]*Shard, k)
+	r.owners = make([]owner, len(ds.Trajs))
+	for si := 0; si < k; si++ {
+		sh := &Shard{zlo: r.zlo(si), zhi: r.zhi(si, maxZ)}
+		sub := &trajectory.Dataset{
+			Name:  fmt.Sprintf("%s/shard%d", ds.Name, si),
+			Vocab: ds.Vocab,
+			Trajs: make([]trajectory.Trajectory, len(members[si])),
+		}
+		sh.globalIDs = make([]trajectory.TrajID, len(members[si]))
+		for li, gid := range members[si] {
+			sub.Trajs[li] = trajectory.Trajectory{ID: trajectory.TrajID(li), Pts: ds.Trajs[gid].Pts}
+			sh.globalIDs[li] = trajectory.TrajID(gid)
+			r.owners[gid] = owner{shard: int32(si), local: trajectory.TrajID(li)}
+			sh.extend(ds.Trajs[gid].Pts)
+		}
+		d, err := delta.NewDynamic(sub, r.cfg.Delta)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+		sh.d = d
+		r.shards[si] = sh
+	}
+	return nil
+}
+
+// repZ returns the partition-grid Z code of a trajectory's representative
+// (first) point; point-less trajectories map to code 0.
+func (r *Router) repZ(pts []trajectory.Point) uint32 {
+	if len(pts) == 0 {
+		return 0
+	}
+	return r.pgrid.CellAt(r.cfg.PartitionDepth, pts[0].Loc).Z
+}
+
+// routeZ returns the index of the shard owning leaf code z.
+func (r *Router) routeZ(z uint32) int {
+	return sort.Search(len(r.cuts), func(i int) bool { return r.cuts[i] > z })
+}
+
+func (r *Router) zlo(si int) uint32 {
+	if si == 0 {
+		return 0
+	}
+	return r.cuts[si-1]
+}
+
+func (r *Router) zhi(si int, maxZ uint32) uint32 {
+	if si == len(r.cuts) {
+		return maxZ + 1
+	}
+	return r.cuts[si]
+}
+
+// NumShards returns K.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Shard returns shard si (0 <= si < NumShards), for inspection.
+func (r *Router) Shard(si int) *Shard { return r.shards[si] }
+
+// Insert routes tr to the shard owning its first point's leaf cell,
+// inserts it there, and returns its assigned GLOBAL trajectory ID. Global
+// IDs are dense and monotone across the whole router — identical to the
+// IDs a single unpartitioned DynamicIndex would assign for the same insert
+// sequence. The Pts slice is retained; see delta.Dynamic.Insert for the
+// structural requirements.
+func (r *Router) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	si := r.routeZ(r.repZ(tr.Pts))
+	sh := r.shards[si]
+	sh.idmu.Lock()
+	local, err := sh.d.Insert(tr)
+	if err != nil {
+		sh.idmu.Unlock()
+		return 0, err
+	}
+	if int(local) != len(sh.globalIDs) {
+		sh.idmu.Unlock()
+		return 0, fmt.Errorf("shard %d: local ID %d out of step with mapping (%d entries); mutations bypassed the router", si, local, len(sh.globalIDs))
+	}
+	gid := trajectory.TrajID(r.nextID)
+	r.nextID++
+	sh.globalIDs = append(sh.globalIDs, gid)
+	sh.extend(tr.Pts)
+	sh.idmu.Unlock()
+	r.owners = append(r.owners, owner{shard: int32(si), local: local})
+	return gid, nil
+}
+
+// Delete tombstones the trajectory with the given GLOBAL ID in its owning
+// shard. Deleting an unknown ID is an error; re-deleting is a no-op.
+func (r *Router) Delete(gid trajectory.TrajID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(gid) >= len(r.owners) {
+		return fmt.Errorf("shard: delete of unknown trajectory %d", gid)
+	}
+	o := r.owners[gid]
+	return r.shards[o.shard].d.Delete(o.local)
+}
+
+// CompactAll synchronously compacts every shard's delta layer into a fresh
+// base generation (shards also auto-compact independently past their
+// Config.Delta.CompactThreshold).
+func (r *Router) CompactAll() error {
+	for si, sh := range r.shards {
+		if err := sh.d.CompactNow(); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// ShardStats describes one shard's shape.
+type ShardStats struct {
+	// ZLo/ZHi is the owned Z-code range [ZLo, ZHi) at the partition depth.
+	ZLo, ZHi uint32
+	// Trajectories counts IDs mapped to the shard (including tombstoned
+	// ones and compacted-away husks).
+	Trajectories int
+	// Bounds is the bounding rectangle of every point the shard has held;
+	// HasPoints is false for a never-populated shard (Bounds then zero).
+	Bounds    geo.Rect
+	HasPoints bool
+	// Delta is the shard's dynamic-index snapshot.
+	Delta delta.Stats
+}
+
+// Stats describes the router's current shape.
+type Stats struct {
+	// Shards is K.
+	Shards int
+	// NextID is one past the highest assigned global trajectory ID.
+	NextID int
+	// PerShard holds one entry per shard, in shard order.
+	PerShard []ShardStats
+}
+
+// Stats returns a snapshot of the sharded index's shape.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	next := r.nextID
+	r.mu.Unlock()
+	s := Stats{Shards: len(r.shards), NextID: next, PerShard: make([]ShardStats, len(r.shards))}
+	for si, sh := range r.shards {
+		sh.idmu.RLock()
+		ss := ShardStats{
+			ZLo:          sh.zlo,
+			ZHi:          sh.zhi,
+			Trajectories: len(sh.globalIDs),
+			Bounds:       sh.bounds,
+			HasPoints:    sh.hasPoints,
+		}
+		sh.idmu.RUnlock()
+		ss.Delta = sh.d.Stats()
+		s.PerShard[si] = ss
+	}
+	return s
+}
