@@ -45,11 +45,22 @@ type (
 	Query = query.Query
 	// QueryPoint is one query location.
 	QueryPoint = query.Point
+	// Request describes one search: the query, K, the ATSQ/OATSQ mode
+	// (Ordered), and per-request options (InitialBound, Region,
+	// WithMatches). Pass it to Engine.Search with a context for deadline
+	// and cancellation control.
+	Request = query.Request
+	// Response is one search's complete answer: results, in-band
+	// per-request SearchStats, requested match covers, and the Truncated
+	// cancellation marker.
+	Response = query.Response
 	// Result is one top-k answer entry.
 	Result = query.Result
 	// SearchStats itemizes the work a search performed.
 	SearchStats = query.SearchStats
-	// Engine answers ATSQ and OATSQ queries.
+	// Engine answers ATSQ and OATSQ queries through
+	// Search(ctx, Request); the SearchATSQ/SearchOATSQ/LastStats trio
+	// remains as deprecated shims.
 	Engine = query.Engine
 	// CloneableEngine is an Engine that can spawn independent copies over
 	// its immutable index, for concurrent serving. Every engine in this

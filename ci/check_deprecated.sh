@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Deprecated-API gate: the repository itself must not call the pre-context
+# query methods (SearchATSQ / SearchOATSQ / LastStats / SearchBatch)
+# anywhere outside their own shim definitions and _test.go files, which pin
+# the shims' behaviour on purpose. New code goes through
+# Search(ctx, Request) / SearchAll. staticcheck flags such calls too
+# (SA1019); this grep keeps the gate dependency-free and exact about the
+# allowed locations.
+#
+# Run from the repository root:  ./ci/check_deprecated.sh
+set -euo pipefail
+
+# Call sites look like `x.SearchATSQ(`; definitions are `func (e *T) SearchATSQ(`
+# and never match the dot-prefixed pattern. Comment lines are excluded —
+# the doc.go migration guide legitimately shows the old calls (staticcheck
+# does not flag comments either).
+pattern='\.(SearchATSQ|SearchOATSQ|LastStats|SearchBatch)\('
+
+bad=$(grep -rnE "$pattern" --include='*.go' --exclude='*_test.go' . |
+    grep -vE '^[^:]+:[0-9]+:[[:space:]]*//' || true)
+if [ -n "$bad" ]; then
+    echo "deprecated query API called outside shims and tests:" >&2
+    echo "$bad" >&2
+    echo "use Search(ctx, Request) / SearchAll instead" >&2
+    exit 1
+fi
+echo "check-deprecated: PASS (no non-test callers of the deprecated query API)"

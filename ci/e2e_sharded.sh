@@ -66,6 +66,34 @@ if echo "$GONE" | grep -q "\"id\":$ID,"; then
     echo "deleted trajectory still served: $GONE" >&2; exit 1
 fi
 
+echo "== deadline: ?timeout=1ns deterministically 504s"
+CODE=$(curl -sS -o "$WORK/timeout.json" -w '%{http_code}' -X POST \
+    "$BASE/v1/search?timeout=1ns" \
+    -d '{"k":3,"points":[{"x":5,"y":5,"acts":[1,2]}]}')
+if [ "$CODE" != "504" ]; then
+    echo "expected 504 for 1ns budget, got $CODE: $(cat "$WORK/timeout.json")" >&2
+    exit 1
+fi
+grep -q '"truncated":true' "$WORK/timeout.json" || {
+    echo "504 reply not marked truncated: $(cat "$WORK/timeout.json")" >&2; exit 1; }
+# The atsqsearch client sends -deadline as ?timeout= and reports the 504.
+if "$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -random 1 -seed 42 -k 3 -deadline 1ns >/dev/null 2>"$WORK/deadline.err"; then
+    echo "atsqsearch -deadline 1ns unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q "deadline exceeded (504)" "$WORK/deadline.err" || {
+    echo "atsqsearch did not report the 504 deadline:" >&2
+    cat "$WORK/deadline.err" >&2
+    exit 1
+}
+# A generous client deadline changes nothing: byte-identical to the run
+# without one.
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -random 20 -seed 42 -k 9 -json -deadline 30s >"$WORK/deadlined.json" 2>/dev/null
+diff -u "$WORK/sharded.json" "$WORK/deadlined.json" || {
+    echo "FAIL: -deadline 30s changed results" >&2; exit 1; }
+
 echo "== stats + per-request stats smoke"
 STATS=$(curl -fsS "$BASE/v1/stats")
 echo "$STATS" | grep -q "\"Shards\":$SHARDS" || {

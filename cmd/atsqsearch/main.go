@@ -23,18 +23,28 @@
 // local engine and from a server over the same corpus can be diffed
 // byte-for-byte (the CI end-to-end job does exactly that). -seed makes
 // -random workloads reproducible across such runs.
+//
+// -deadline caps each search: local engines run under a context with that
+// timeout (reporting the deadline error with the partial result count),
+// and -server runs forward it as the server's per-request ?timeout=
+// parameter, reporting a 504 reply distinctly.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"activitytraj"
@@ -58,6 +68,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print one canonical JSON line per query instead of text")
 	serverURL := flag.String("server", "", "answer queries via a running atsqserve instance at this base URL instead of a local engine")
 	workers := flag.Int("workers", 1, "serve -random queries concurrently on this many engine clones (0 = GOMAXPROCS)")
+	deadline := flag.Duration("deadline", 0, "per-query search budget (0 = none); local searches return a deadline error, -server runs send it as ?timeout= and report the 504")
 	stream := flag.Int("stream", 0, "hold out the last N trajectories and ingest them online (dynamic index) while the -random workload runs")
 	compactAt := flag.Int("compact-threshold", 0, "dynamic-index delta mutations before background compaction (0 = default, <0 = never)")
 	verbose := flag.Bool("v", false, "print per-result trajectory details")
@@ -120,7 +131,7 @@ func main() {
 	}
 
 	if *serverURL != "" {
-		serveRemote(*serverURL, qs, *k, *ordered, *jsonOut, ds, banner)
+		serveRemote(*serverURL, qs, *k, *ordered, *jsonOut, *deadline, ds, banner)
 		return
 	}
 
@@ -131,27 +142,51 @@ func main() {
 	engine := buildEngine(*engineName, store)
 	banner("engine %s built (%.1f MiB in memory)\n\n", engine.Name(), float64(engine.MemBytes())/(1<<20))
 
+	// withDeadline caps one search by the -deadline budget, if any.
+	withDeadline := func() (context.Context, context.CancelFunc) {
+		if *deadline > 0 {
+			return context.WithTimeout(context.Background(), *deadline)
+		}
+		return context.Background(), func() {}
+	}
+
 	if *workers != 1 && len(qs) > 1 {
 		// Concurrent serving: fan the whole batch out over engine clones.
 		pe, err := activitytraj.NewParallelEngine(engine, *workers)
 		if err != nil {
 			log.Fatalf("parallel: %v", err)
 		}
+		reqs := make([]activitytraj.Request, len(qs))
+		for i, q := range qs {
+			reqs[i] = activitytraj.Request{Query: q, K: *k, Ordered: *ordered}
+		}
 		start := time.Now()
-		batches, err := pe.SearchBatch(qs, *k, *ordered)
+		var resps []activitytraj.Response
+		if *deadline > 0 {
+			// -deadline is a PER-QUERY budget: each query gets its own
+			// context, fanned out over the pool (pe.Search borrows a clone,
+			// so the pool still provides the backpressure SearchAll would).
+			resps, err = searchEachWithDeadline(pe, reqs, *deadline)
+		} else {
+			resps, err = pe.SearchAll(context.Background(), reqs)
+		}
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Fatalf("search: %v (per-query deadline %s)", err, *deadline)
+			}
 			log.Fatalf("search: %v", err)
 		}
 		elapsed := time.Since(start)
+		var stats activitytraj.SearchStats
 		for qi, q := range qs {
+			stats.Add(resps[qi].Stats)
 			if *jsonOut {
-				emitJSON(qi, batches[qi])
+				emitJSON(qi, resps[qi].Results)
 				continue
 			}
 			describeQuery(qi, q, ds.Vocab)
-			printResults(batches[qi], ds, *verbose)
+			printResults(resps[qi].Results, ds, *verbose)
 		}
-		stats := pe.LastStats()
 		banner("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
 			len(qs), pe.Workers(), elapsed.Round(time.Microsecond),
 			float64(len(qs))/elapsed.Seconds(),
@@ -161,29 +196,68 @@ func main() {
 	}
 
 	for qi, q := range qs {
+		ctx, cancel := withDeadline()
 		start := time.Now()
-		var results []activitytraj.Result
-		if *ordered {
-			results, err = engine.SearchOATSQ(q, *k)
-		} else {
-			results, err = engine.SearchATSQ(q, *k)
-		}
+		resp, err := engine.Search(ctx, activitytraj.Request{Query: q, K: *k, Ordered: *ordered})
+		cancel()
 		elapsed := time.Since(start)
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Fatalf("search: query %d exceeded the %s deadline (%d partial results)", qi, *deadline, len(resp.Results))
+			}
 			log.Fatalf("search: %v", err)
 		}
 		if *jsonOut {
-			emitJSON(qi, results)
+			emitJSON(qi, resp.Results)
 			continue
 		}
 		describeQuery(qi, q, ds.Vocab)
-		stats := engine.LastStats()
+		stats := resp.Stats
 		fmt.Printf("  %d results in %s (candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
-			len(results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored,
+			len(resp.Results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored,
 			stats.HeaderOnlyRejects, stats.PageReads, stats.BytesDecoded/1024,
 			stats.CacheHits, stats.CacheMisses)
-		printResults(results, ds, *verbose)
+		printResults(resp.Results, ds, *verbose)
 	}
+}
+
+// searchEachWithDeadline answers each request under its own deadline-bound
+// context. Exactly pe.Workers() goroutines pull requests through a shared
+// cursor, so each query's timer starts when its search starts — a query
+// queued behind a full pool is never charged its wait. The first failure by
+// request index aborts the rest, mirroring SearchAll's contract.
+func searchEachWithDeadline(pe *activitytraj.ParallelEngine, reqs []activitytraj.Request, d time.Duration) ([]activitytraj.Response, error) {
+	resps := make([]activitytraj.Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var cursor atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < pe.Workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), d)
+				resps[i], errs[i] = pe.Search(ctx, reqs[i])
+				cancel()
+				if errs[i] != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return resps, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return resps, nil
 }
 
 // jsonLine is the canonical per-query output of -json mode: results only,
@@ -208,9 +282,15 @@ func emitJSON(qi int, results []activitytraj.Result) {
 
 // serveRemote answers the workload through a running atsqserve instance:
 // each query is POSTed to /v1/search and the reply flows through the same
-// output path as a local engine's results.
-func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOut bool, ds *activitytraj.Dataset, banner func(string, ...any)) {
+// output path as a local engine's results. A -deadline budget travels as
+// the server's per-request ?timeout= parameter; a 504 reply is reported as
+// the deadline error it is, distinct from any other server status.
+func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOut bool, deadline time.Duration, ds *activitytraj.Dataset, banner func(string, ...any)) {
 	baseURL = strings.TrimRight(baseURL, "/")
+	searchURL := baseURL + "/v1/search"
+	if deadline > 0 {
+		searchURL += "?timeout=" + url.QueryEscape(deadline.String())
+	}
 	client := &http.Client{Timeout: 60 * time.Second}
 	start := time.Now()
 	for qi, q := range qs {
@@ -226,11 +306,15 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 		if err != nil {
 			log.Fatalf("marshal query %d: %v", qi, err)
 		}
-		resp, err := client.Post(baseURL+"/v1/search", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(searchURL, "application/json", bytes.NewReader(body))
 		if err != nil {
 			log.Fatalf("query %d: %v", qi, err)
 		}
 		var sr server.SearchResponse
+		if resp.StatusCode == http.StatusGatewayTimeout {
+			resp.Body.Close()
+			log.Fatalf("query %d: server deadline exceeded (504) after the %s budget", qi, deadline)
+		}
 		if resp.StatusCode != http.StatusOK {
 			var er server.ErrorResponse
 			_ = json.NewDecoder(resp.Body).Decode(&er)
@@ -306,19 +390,14 @@ func streamIngest(ds *activitytraj.Dataset, n, nq, k int, ordered bool, compactA
 		if i%every == every-1 && searches < nq {
 			q := qs[searches]
 			t0 = time.Now()
-			var err error
-			if ordered {
-				_, err = eng.SearchOATSQ(q, k)
-			} else {
-				_, err = eng.SearchATSQ(q, k)
-			}
+			resp, err := eng.Search(context.Background(), activitytraj.Request{Query: q, K: k, Ordered: ordered})
 			lat := time.Since(t0)
 			searchTotal += lat
 			if err != nil {
 				log.Fatalf("search %d: %v", searches, err)
 			}
 			searches++
-			sst := eng.LastStats()
+			sst := resp.Stats
 			ist := d.Stats()
 			fmt.Printf("  [%4d/%d ingested] search %2d: %8s  (candidates=%d delta=%d epoch=%d compactions=%d)\n",
 				inserts, n, searches, lat.Round(time.Microsecond),

@@ -16,8 +16,14 @@
 //	GET  /v1/stats   serving counters + per-shard index shape
 //
 // Every search reply carries its per-request SearchStats (candidates,
-// pages, cache traffic, shards searched/skipped). SIGINT/SIGTERM drain
-// in-flight requests before exit (graceful shutdown).
+// pages, cache traffic, shards searched/skipped). Searches run under the
+// HTTP request's context — a client hanging up cancels the in-flight
+// scatter-gather fan-out — and accept a per-request `?timeout=DURATION`
+// budget that answers 504 Gateway Timeout (with the truncated partial
+// top-k) when it expires. The search body also takes the per-request
+// options `initial_bound`, `region` and `with_matches`; see
+// internal/server.SearchRequest. SIGINT/SIGTERM drain in-flight requests
+// before exit (graceful shutdown).
 package main
 
 import (

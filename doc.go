@@ -30,10 +30,62 @@
 //	    {Loc: activitytraj.Point{X: 12.5, Y: 30.1},
 //	     Acts: ds.Vocab.SetFromNames("act000001", "act000007")},
 //	}}
-//	results, _ := engine.SearchATSQ(q, 10)
+//	resp, _ := engine.Search(ctx, activitytraj.Request{Query: q, K: 10})
+//	for _, r := range resp.Results { ... }
 //
 // See the examples directory for complete programs and DESIGN.md /
 // EXPERIMENTS.md for the reproduction methodology.
+//
+// # The query API: Search(ctx, Request) -> Response
+//
+// Every engine answers through one entry point:
+//
+//	Search(ctx context.Context, req query.Request) (query.Response, error)
+//
+// Request folds the former SearchATSQ/SearchOATSQ pair into one call
+// (Ordered selects OATSQ) and carries the per-request options:
+//
+//   - InitialBound seeds the Algorithm-2 pruning threshold, as if a k-th
+//     result at that distance were already known. Results beyond it are
+//     pruned from the first batch on — the budgeted-search knob for
+//     latency-bounded serving. It composes with the sharded engine's
+//     cross-shard bound sharing: the effective threshold is always the
+//     minimum of the local k-th distance, the shared global bound, and
+//     InitialBound.
+//   - Region restricts matching spatially: only trajectory points inside
+//     the rectangle may satisfy query activities. The GAT engines prune
+//     out-of-region cells during the best-first expansion, the sharded
+//     planner skips non-intersecting shards, and the baselines post-filter
+//     candidate rows — all returning identical results.
+//   - WithMatches asks for Response.Matches: per result, per query point,
+//     the ascending trajectory point indexes of the minimal match behind
+//     the reported distance (order-compliant for Ordered requests). The
+//     covers are re-derived for the final top-k only, never per candidate.
+//
+// Response carries the results, the per-request SearchStats in-band (no
+// LastStats side channel — exact even under concurrent serving), and a
+// Truncated flag: when ctx is cancelled or its deadline expires, engines
+// return the partial top-k gathered so far with Truncated set, alongside
+// the context's error. Cancellation is honored between candidate batches —
+// the per-candidate hot path never reads the context — and an already
+// expired context returns before a single disk page is touched. The
+// sharded engine additionally cancels in-flight sibling shard searches the
+// moment its context is done or any shard fails.
+//
+// Migrating from the pre-context API:
+//
+//	rs, err := e.SearchATSQ(q, k)            // before
+//	resp, err := e.Search(ctx, activitytraj.Request{Query: q, K: k})
+//
+//	rs, err := e.SearchOATSQ(q, k)           // before
+//	resp, err := e.Search(ctx, activitytraj.Request{Query: q, K: k, Ordered: true})
+//
+//	st := e.LastStats()                      // before
+//	st := resp.Stats                         // per-request, in-band
+//
+// The old methods remain as thin deprecated shims with identical results,
+// so existing code keeps working; new code should not use them (CI gates
+// the repository itself on that).
 //
 // # Concurrency model
 //
@@ -52,11 +104,12 @@
 //     trajectory store and all caches; or
 //
 //   - use ParallelEngine, which owns a fixed pool of clones: single
-//     searches borrow a clone, and SearchBatch fans a whole batch out
-//     across the pool with an order-preserving result slice.
+//     searches borrow a clone, and SearchAll fans a whole request batch
+//     out across the pool with an order-preserving response slice,
+//     abandoning the remaining queue on the first failure or cancellation.
 //
 //     pe, _ := activitytraj.NewParallelEngine(engine, runtime.GOMAXPROCS(0))
-//     results, _ := pe.SearchBatch(queries, 10, false)
+//     resps, _ := pe.SearchAll(ctx, reqs)
 //
 // # Dynamic ingestion
 //
@@ -68,7 +121,7 @@
 //	eng := d.NewEngine()
 //	id, _ := d.Insert(activitytraj.Trajectory{Pts: pts}) // visible immediately
 //	_ = d.Delete(id)                                     // masked immediately
-//	results, _ := eng.SearchATSQ(q, 10)                  // exact over base ∪ delta
+//	resp, _ := eng.Search(ctx, activitytraj.Request{Query: q, K: 10}) // exact over base ∪ delta
 //
 // Writes land in an in-memory delta layer — a mutable mini-GAT (per-cell
 // inverted trajectory lists, an all-in-memory HICL, per-trajectory posting

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,14 +40,14 @@ func main() {
 	q := qs[0]
 
 	show := func(stage string) {
-		rs, err := eng.SearchATSQ(q, 3)
+		resp, err := eng.Search(context.Background(), activitytraj.Request{Query: q, K: 3})
 		if err != nil {
 			log.Fatalf("%s: search: %v", stage, err)
 		}
 		st := d.Stats()
 		fmt.Printf("%-22s epoch=%d base=%d delta=%d tombstones=%d compactions=%d\n",
 			stage+":", st.Epoch, st.BaseTrajectories, st.DeltaTrajectories, st.Tombstones, st.Compactions)
-		for i, r := range rs {
+		for i, r := range resp.Results {
 			fmt.Printf("    %d. trajectory %-5d %.3f km\n", i+1, r.ID, r.Dist)
 		}
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,19 +40,24 @@ func main() {
 		fmt.Printf("  q%d at (%.0f,%.0f): %s\n", i+1, p.Loc.X, p.Loc.Y, names(ds.Vocab, p.Acts))
 	}
 
-	results, err := engine.SearchATSQ(q, 3)
+	// Search(ctx, Request) is the query entry point: the context carries
+	// deadlines/cancellation, the request carries the query, K, the
+	// ATSQ/OATSQ mode and per-request options. WithMatches additionally
+	// reports WHICH trajectory points satisfied each query stop.
+	ctx := context.Background()
+	resp, err := engine.Search(ctx, activitytraj.Request{Query: q, K: 3, WithMatches: true})
 	if err != nil {
 		log.Fatalf("ATSQ: %v", err)
 	}
 	fmt.Println("\nATSQ (order-insensitive) ranking:")
-	printResults(ds, results)
+	printResults(ds, resp)
 
-	ordered, err := engine.SearchOATSQ(q, 3)
+	orderedResp, err := engine.Search(ctx, activitytraj.Request{Query: q, K: 3, Ordered: true, WithMatches: true})
 	if err != nil {
 		log.Fatalf("OATSQ: %v", err)
 	}
 	fmt.Println("\nOATSQ (order-sensitive) ranking:")
-	printResults(ds, ordered)
+	printResults(ds, orderedResp)
 
 	fmt.Println("\nTr1 hugs the query locations but lacks the requested activities")
 	fmt.Println("nearby, so the activity-aware search correctly prefers Tr2.")
@@ -106,13 +112,24 @@ func buildDataset(v *activitytraj.Vocabulary) *activitytraj.Dataset {
 	}
 }
 
-func printResults(ds *activitytraj.Dataset, rs []activitytraj.Result) {
-	if len(rs) == 0 {
+func printResults(ds *activitytraj.Dataset, resp activitytraj.Response) {
+	if len(resp.Results) == 0 {
 		fmt.Println("  (no matching trajectory)")
 		return
 	}
-	for rank, r := range rs {
+	for rank, r := range resp.Results {
 		fmt.Printf("  %d. Tr%d  distance %.2f km\n", rank+1, r.ID+1, r.Dist)
+		// Response.Matches[rank][qi] lists the trajectory point indexes
+		// that cover query point qi's activities.
+		if rank < len(resp.Matches) {
+			for qi, cover := range resp.Matches[rank] {
+				for _, pi := range cover {
+					p := ds.Trajs[r.ID].Pts[pi]
+					fmt.Printf("       q%d <- point %d at (%.1f,%.1f) %s\n",
+						qi+1, pi+1, p.Loc.X, p.Loc.Y, names(ds.Vocab, p.Acts))
+				}
+			}
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -45,11 +46,12 @@ func main() {
 	}
 
 	const k = 25
-	results, err := engine.SearchATSQ(q, k)
+	resp, err := engine.Search(context.Background(), activitytraj.Request{Query: q, K: k})
 	if err != nil {
 		log.Fatalf("search: %v", err)
 	}
-	stats := engine.LastStats()
+	results := resp.Results
+	stats := resp.Stats
 	fmt.Printf("\nfound %d similar trajectories (%d candidates, %d scored, %d disk pages)\n",
 		len(results), stats.Candidates, stats.Scored, stats.PageReads)
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -50,25 +51,30 @@ func main() {
 	fmt.Println("  2. museum + gallery near the arts quarter")
 	fmt.Println("  3. dinner + live music by the waterfront")
 
-	results, err := engine.SearchOATSQ(q, 5)
+	// WithMatches reports which check-ins satisfied each planned stop, so
+	// the itinerary below can mark them; the stats arrive in-band with the
+	// response rather than through a LastStats side channel.
+	resp, err := engine.Search(context.Background(), activitytraj.Request{
+		Query: q, K: 5, Ordered: true, WithMatches: true,
+	})
 	if err != nil {
 		log.Fatalf("OATSQ: %v", err)
 	}
-	stats := engine.LastStats()
+	results := resp.Results
 	fmt.Printf("\nTop %d order-compliant trajectories (of %d candidates examined):\n",
-		len(results), stats.Candidates)
+		len(results), resp.Stats.Candidates)
 	for rank, r := range results {
 		fmt.Printf("\n#%d — trajectory %d, match distance %.2f km\n", rank+1, r.ID, r.Dist)
-		printItinerary(ds, r.ID)
+		printItinerary(ds, r.ID, resp.Matches[rank])
 	}
 
 	// Contrast with the order-insensitive ranking.
-	atsq, err := engine.SearchATSQ(q, 5)
+	atsq, err := engine.Search(context.Background(), activitytraj.Request{Query: q, K: 5})
 	if err != nil {
 		log.Fatalf("ATSQ: %v", err)
 	}
 	fmt.Println("\nFor contrast, ATSQ (order ignored) top-5 distances:")
-	for rank, r := range atsq {
+	for rank, r := range atsq.Results {
 		marker := ""
 		if rank < len(results) && r.ID != results[rank].ID {
 			marker = "   <- differs from OATSQ"
@@ -124,14 +130,30 @@ func buildCity(seed int64) *activitytraj.Dataset {
 	return &activitytraj.Dataset{Name: "tripcity", Vocab: vocab, Trajs: trajs}
 }
 
-func printItinerary(ds *activitytraj.Dataset, id activitytraj.TrajID) {
+// printItinerary lists a trajectory's stops, marking which planned query
+// stop each check-in satisfied (from Response.Matches).
+func printItinerary(ds *activitytraj.Dataset, id activitytraj.TrajID, matches [][]int32) {
+	servedStop := map[int32][]int{}
+	for qi, cover := range matches {
+		for _, pi := range cover {
+			servedStop[pi] = append(servedStop[pi], qi+1)
+		}
+	}
 	tr := &ds.Trajs[id]
 	for pi, p := range tr.Pts {
 		names := make([]string, len(p.Acts))
 		for i, a := range p.Acts {
 			names[i] = ds.Vocab.Name(a)
 		}
-		fmt.Printf("    stop %d (%.1f, %.1f): %s\n", pi+1, p.Loc.X, p.Loc.Y, strings.Join(names, ", "))
+		mark := ""
+		if stops := servedStop[int32(pi)]; len(stops) > 0 {
+			parts := make([]string, len(stops))
+			for i, s := range stops {
+				parts[i] = fmt.Sprintf("plan stop %d", s)
+			}
+			mark = "   <- matches " + strings.Join(parts, ", ")
+		}
+		fmt.Printf("    stop %d (%.1f, %.1f): %s%s\n", pi+1, p.Loc.X, p.Loc.Y, strings.Join(names, ", "), mark)
 	}
 }
 

@@ -7,6 +7,8 @@
 package baseline
 
 import (
+	"context"
+
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/invindex"
 	"activitytraj/internal/query"
@@ -47,6 +49,8 @@ func (e *IL) Name() string { return "IL" }
 func (e *IL) MemBytes() int64 { return e.inv.MemBytes() }
 
 // LastStats implements query.Engine.
+//
+// Deprecated: read Response.Stats.
 func (e *IL) LastStats() query.SearchStats { return e.stats }
 
 // candidates intersects the per-activity sets for every activity in Q.Φ —
@@ -69,48 +73,76 @@ func (e *IL) candidates(q query.Query) []trajectory.TrajID {
 	return out
 }
 
-// SearchATSQ implements query.Engine. Per Section III-A the minimum match
-// distance is computed in full for every candidate (no threshold pruning),
-// which is why IL's cost is flat in k.
+// SearchATSQ implements query.Engine.
+//
+// Deprecated: use Search.
 func (e *IL) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
-	if err := q.Validate(); err != nil {
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k})
+	if err != nil {
 		return nil, err
 	}
-	e.stats = query.SearchStats{}
-	topk := query.NewTopK(k)
-	for _, tid := range e.candidates(q) {
-		e.stats.Candidates++
-		d, out, err := e.ev.ScoreATSQ(q, tid, matcherInf, &e.stats)
-		if err != nil {
-			return nil, err
-		}
-		if out == evaluate.Scored {
-			topk.Offer(query.Result{ID: tid, Dist: d})
-		}
-	}
-	return topk.Results(), nil
+	return resp.Results, nil
 }
 
-// SearchOATSQ implements query.Engine. Algorithm 4 takes the k-th smallest
-// Dmom found so far as its early-termination input, so the threshold is
-// threaded through here for every method alike.
+// SearchOATSQ implements query.Engine.
+//
+// Deprecated: use Search.
 func (e *IL) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
-	if err := q.Validate(); err != nil {
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k, Ordered: true})
+	if err != nil {
 		return nil, err
 	}
+	return resp.Results, nil
+}
+
+// Search implements query.Engine. Per Section III-A the ATSQ minimum match
+// distance is computed in full for every candidate (no top-k threshold
+// pruning, which is why IL's cost is flat in k); only the request's
+// explicit InitialBound, when set, caps it. OATSQ threads the k-th smallest
+// Dmom into Algorithm 4's early termination for every method alike.
+// Cancellation is checked every candidate batch (λ candidates); a region
+// filter post-filters candidate rows in the shared evaluator pipeline.
+func (e *IL) Search(ctx context.Context, req query.Request) (query.Response, error) {
+	q, ordered := req.Query, req.Ordered
+	if err := q.Validate(); err != nil {
+		return query.Response{}, err
+	}
 	e.stats = query.SearchStats{}
-	topk := query.NewTopK(k)
-	for _, tid := range e.candidates(q) {
+	if err := ctx.Err(); err != nil {
+		return query.Response{Truncated: true}, err
+	}
+	e.ev.SetRegion(req.Region)
+	bound := req.Bound()
+	topk := query.NewTopK(req.K)
+	for i, tid := range e.candidates(q) {
+		if i%DefaultLambda == 0 {
+			if err := ctx.Err(); err != nil {
+				return query.Response{Results: topk.Results(), Stats: e.stats, Truncated: true}, err
+			}
+		}
 		e.stats.Candidates++
-		d, out, err := e.ev.ScoreOATSQ(q, tid, topk.Threshold(), &e.stats)
+		var d float64
+		var out evaluate.Outcome
+		var err error
+		if ordered {
+			d, out, err = e.ev.ScoreOATSQ(q, tid, min(topk.Threshold(), bound), &e.stats)
+		} else {
+			d, out, err = e.ev.ScoreATSQ(q, tid, bound, &e.stats)
+		}
 		if err != nil {
-			return nil, err
+			return query.Response{Stats: e.stats}, err
 		}
 		if out == evaluate.Scored {
 			topk.Offer(query.Result{ID: tid, Dist: d})
 		}
 	}
-	return topk.Results(), nil
+	resp := query.Response{Results: topk.Results(), Stats: e.stats}
+	if req.WithMatches {
+		if err := e.ev.FillMatches(ctx, q, ordered, &resp, &e.stats); err != nil {
+			return resp, err
+		}
+	}
+	return resp, nil
 }
 
 // Clone returns an independent engine sharing the (immutable) inverted

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/irtree"
 	"activitytraj/internal/query"
@@ -51,6 +53,8 @@ func (e *IRT) Name() string { return "IRT" }
 func (e *IRT) MemBytes() int64 { return e.tree.MemBytes() }
 
 // LastStats implements query.Engine.
+//
+// Deprecated: read Response.Stats.
 func (e *IRT) LastStats() query.SearchStats { return e.stats }
 
 type irtIter struct{ it *irtree.NearestIter }
@@ -77,15 +81,32 @@ func (e *IRT) iters(q query.Query) []pointIter {
 }
 
 // SearchATSQ implements query.Engine.
+//
+// Deprecated: use Search.
 func (e *IRT) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
-	e.stats = query.SearchStats{}
-	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, false, &e.stats)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // SearchOATSQ implements query.Engine.
+//
+// Deprecated: use Search.
 func (e *IRT) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k, Ordered: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Search implements query.Engine; see spatialSearch for how the request's
+// options and cancellation are honored.
+func (e *IRT) Search(ctx context.Context, req query.Request) (query.Response, error) {
 	e.stats = query.SearchStats{}
-	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, true, &e.stats)
+	return spatialSearch(ctx, e.ev, e.iters, e.lambda, req, &e.stats)
 }
 
 // Clone returns an independent engine sharing the (immutable) IR-tree.

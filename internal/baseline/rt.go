@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/geo"
 	"activitytraj/internal/query"
@@ -52,6 +54,8 @@ func (e *RT) Name() string { return "RT" }
 func (e *RT) MemBytes() int64 { return e.tree.MemBytes() }
 
 // LastStats implements query.Engine.
+//
+// Deprecated: read Response.Stats.
 func (e *RT) LastStats() query.SearchStats { return e.stats }
 
 type rtIter struct{ it *rtree.NearestIter }
@@ -72,15 +76,32 @@ func (e *RT) iters(q query.Query) []pointIter {
 }
 
 // SearchATSQ implements query.Engine.
+//
+// Deprecated: use Search.
 func (e *RT) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
-	e.stats = query.SearchStats{}
-	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, false, &e.stats)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // SearchOATSQ implements query.Engine.
+//
+// Deprecated: use Search.
 func (e *RT) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k, Ordered: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// Search implements query.Engine; see spatialSearch for how the request's
+// options and cancellation are honored.
+func (e *RT) Search(ctx context.Context, req query.Request) (query.Response, error) {
 	e.stats = query.SearchStats{}
-	return spatialSearch(e.ev, e.iters(q), q, k, e.lambda, true, &e.stats)
+	return spatialSearch(ctx, e.ev, e.iters, e.lambda, req, &e.stats)
 }
 
 // Clone returns an independent engine sharing the (immutable) R-tree.

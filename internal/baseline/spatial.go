@@ -1,14 +1,13 @@
 package baseline
 
 import (
+	"context"
 	"math"
 
 	"activitytraj/internal/evaluate"
 	"activitytraj/internal/query"
 	"activitytraj/internal/trajectory"
 )
-
-var matcherInf = math.Inf(1)
 
 // DefaultLambda is the candidate batch size used by the spatial baselines
 // between termination tests, mirroring GAT's λ so batching is comparable.
@@ -40,30 +39,48 @@ func decodeTraj(payload int64) trajectory.TrajID {
 // incremental nearest-point iterator; every trajectory surfacing becomes a
 // candidate; the sum of the iterators' frontier distances lower-bounds the
 // best match distance — and hence, by Lemma 2, the minimum match distance —
-// of every unseen trajectory, giving the termination test.
+// of every unseen trajectory, giving the termination test. Cancellation is
+// checked once per λ-batch; the request's InitialBound caps the pruning
+// threshold and the termination radius, and its Region post-filters
+// candidate rows inside the evaluator (the caller installs it).
 func spatialSearch(
+	ctx context.Context,
 	ev *evaluate.Evaluator,
-	iters []pointIter,
-	q query.Query,
-	k int,
+	iters func(q query.Query) []pointIter,
 	lambda int,
-	ordered bool,
+	req query.Request,
 	stats *query.SearchStats,
-) ([]query.Result, error) {
+) (query.Response, error) {
+	q, ordered := req.Query, req.Ordered
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return query.Response{}, err
 	}
-	topk := query.NewTopK(k)
+	if err := ctx.Err(); err != nil {
+		return query.Response{Truncated: true}, err
+	}
+	ev.SetRegion(req.Region)
+	bound := req.Bound()
+	its := iters(q)
+	topk := query.NewTopK(req.K)
 	seen := make(map[trajectory.TrajID]struct{})
 
+	finish := func() {
+		for _, it := range its {
+			stats.NodesVisited += it.nodesVisited()
+		}
+	}
 	for {
+		if err := ctx.Err(); err != nil {
+			finish()
+			return query.Response{Results: topk.Results(), Stats: *stats, Truncated: true}, err
+		}
 		// Collect the next batch of candidate trajectories, always popping
 		// from the iterator with the nearest frontier (global best-first).
 		var cands []trajectory.TrajID
 		exhausted := false
 		for len(cands) < lambda {
 			bestI, bestD := -1, math.Inf(1)
-			for i, it := range iters {
+			for i, it := range its {
 				if d, ok := it.peek(); ok && d < bestD {
 					bestI, bestD = i, d
 				}
@@ -72,7 +89,7 @@ func spatialSearch(
 				exhausted = true
 				break
 			}
-			payload, _, ok := iters[bestI].next()
+			payload, _, ok := its[bestI].next()
 			if !ok {
 				continue
 			}
@@ -88,7 +105,7 @@ func spatialSearch(
 		// iterator means every trajectory with a point (matching, for IRT)
 		// near q_i has been seen, so the bound is +Inf.
 		dlb := 0.0
-		for _, it := range iters {
+		for _, it := range its {
 			d, ok := it.peek()
 			if !ok {
 				dlb = math.Inf(1)
@@ -103,26 +120,31 @@ func spatialSearch(
 			var out evaluate.Outcome
 			var err error
 			if ordered {
-				d, out, err = ev.ScoreOATSQ(q, tid, topk.Threshold(), stats)
+				d, out, err = ev.ScoreOATSQ(q, tid, min(topk.Threshold(), bound), stats)
 			} else {
-				d, out, err = ev.ScoreATSQ(q, tid, topk.Threshold(), stats)
+				d, out, err = ev.ScoreATSQ(q, tid, min(topk.Threshold(), bound), stats)
 			}
 			if err != nil {
-				return nil, err
+				finish()
+				return query.Response{Stats: *stats}, err
 			}
 			if out == evaluate.Scored {
 				topk.Offer(query.Result{ID: tid, Dist: d})
 			}
 		}
-		if topk.Threshold() < dlb {
+		if min(topk.Threshold(), bound) < dlb {
 			break
 		}
 		if exhausted && len(cands) == 0 {
 			break
 		}
 	}
-	for _, it := range iters {
-		stats.NodesVisited += it.nodesVisited()
+	finish()
+	resp := query.Response{Results: topk.Results(), Stats: *stats}
+	if req.WithMatches {
+		if err := ev.FillMatches(ctx, q, ordered, &resp, stats); err != nil {
+			return resp, err
+		}
 	}
-	return topk.Results(), nil
+	return resp, nil
 }

@@ -1,6 +1,7 @@
 package delta
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -597,39 +598,69 @@ func (e *Engine) MemBytes() int64 {
 }
 
 // LastStats implements query.Engine.
+//
+// Deprecated: read Response.Stats.
 func (e *Engine) LastStats() query.SearchStats { return e.stats }
 
 // SearchATSQ implements query.Engine over base ∪ delta.
+//
+// Deprecated: use Search.
 func (e *Engine) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
-	return e.search(q, k, false)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // SearchOATSQ implements query.Engine over base ∪ delta.
+//
+// Deprecated: use Search.
 func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
-	return e.search(q, k, true)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k, Ordered: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
-func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
+// acquireInner pins the current generation and lazily (re)builds the inner
+// GAT engine after a compaction swap, re-attaching the bound sink. The
+// caller must release() the returned generation when done, and hold the
+// active layer's read lock while reading through e.inner so it sees one
+// consistent delta state (frozen layers receive no writes).
+func (e *Engine) acquireInner() *generation {
 	gen := e.d.acquire()
-	defer gen.release()
 	if e.inner == nil || e.epoch != gen.epoch {
 		e.inner = gat.NewEngineWithOverlay(gen.idx, gen.ov)
 		e.inner.SetBoundSink(e.sink)
 		e.epoch = gen.epoch
 	}
-	// Hold the active layer's read lock for the whole search so it sees one
-	// consistent delta state; frozen layers receive no writes.
+	return gen
+}
+
+// Search implements query.Engine over base ∪ delta: the request runs on
+// the current generation's inner GAT engine (rebuilt lazily after every
+// compaction swap), which honors ctx between candidate batches.
+func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response, error) {
+	gen := e.acquireInner()
+	defer gen.release()
 	gen.active.mu.RLock()
 	defer gen.active.mu.RUnlock()
-	var rs []query.Result
-	var err error
-	if ordered {
-		rs, err = e.inner.SearchOATSQ(q, k)
-	} else {
-		rs, err = e.inner.SearchATSQ(q, k)
-	}
-	e.stats = e.inner.LastStats()
-	return rs, err
+	resp, err := e.inner.Search(ctx, req)
+	e.stats = resp.Stats
+	return resp, err
+}
+
+// Matches re-derives the matched trajectory point indexes for one known
+// result of q (see gat.Engine.MatchesFor); id is local to this index.
+// Fetch traffic is added to stats.
+func (e *Engine) Matches(q query.Query, id trajectory.TrajID, ordered bool, region *geo.Rect, stats *query.SearchStats) ([][]int32, error) {
+	gen := e.acquireInner()
+	defer gen.release()
+	gen.active.mu.RLock()
+	defer gen.active.mu.RUnlock()
+	return e.inner.MatchesFor(q, id, ordered, region, stats)
 }
 
 // Clone implements query.CloneableEngine.

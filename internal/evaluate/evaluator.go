@@ -1,6 +1,8 @@
 package evaluate
 
 import (
+	"context"
+	"errors"
 	"slices"
 
 	"activitytraj/internal/geo"
@@ -69,6 +71,12 @@ type Evaluator struct {
 	curAPL *APL
 	aplFn  func(a trajectory.ActivityID) []uint32
 
+	// region, when non-nil, restricts matching spatially: candidate rows
+	// are filtered to trajectory points inside it right after row build, so
+	// out-of-region points can never satisfy a query activity. Engines set
+	// it per search (SetRegion).
+	region *geo.Rect
+
 	rb        matcher.RowBuilder
 	coordsBuf []geo.Point
 	blobBuf   []byte
@@ -100,6 +108,33 @@ func (e *Evaluator) SetDelta(d DeltaSource) {
 		e.deltaFn = func(a trajectory.ActivityID) []uint32 {
 			return e.delta.Postings(e.deltaID, a)
 		}
+	}
+}
+
+// SetRegion attaches (nil detaches) the spatial match filter for the next
+// searches: only trajectory points inside r may match query points. Engines
+// call this at the start of every search with the request's Region, so a
+// previous request's filter can never leak.
+func (e *Evaluator) SetRegion(r *geo.Rect) { e.region = r }
+
+// filterRegion drops out-of-region points from every row, in place. coords
+// is indexable by the rows' trajectory point indexes.
+func (e *Evaluator) filterRegion(rows []matcher.QueryRow, coords []geo.Point) {
+	for ri := range rows {
+		row := &rows[ri]
+		w := 0
+		for i, idx := range row.Idx {
+			if !e.region.ContainsPoint(coords[idx]) {
+				continue
+			}
+			row.Idx[w] = idx
+			row.Dist[w] = row.Dist[i]
+			row.Mask[w] = row.Mask[i]
+			w++
+		}
+		row.Idx = row.Idx[:w]
+		row.Dist = row.Dist[:w]
+		row.Mask = row.Mask[:w]
 	}
 }
 
@@ -197,7 +232,68 @@ func (e *Evaluator) prepare(q query.Query, id trajectory.TrajID, stats *query.Se
 		}
 	}
 	rows := e.rb.Build(q.Pts, e.aplFn, coords)
+	if e.region != nil {
+		e.filterRegion(rows, coords)
+	}
 	return rows, e.ts.NumPoints(id), Scored, nil
+}
+
+// MatchSets re-derives, for an already-scored result, which trajectory
+// points of id form its minimal match: one ascending index list per query
+// point. It re-runs the candidate pipeline (fetch traffic is charged to
+// stats), so it is meant for the final top-k only, never per candidate. The
+// returned slices are freshly allocated. A candidate that no longer
+// validates (it should not happen for a trajectory a search just scored)
+// returns nil.
+func (e *Evaluator) MatchSets(q query.Query, id trajectory.TrajID, ordered bool, stats *query.SearchStats) ([][]int32, error) {
+	rows, n, out, err := e.prepare(q, id, stats)
+	if out != Scored || err != nil {
+		return nil, err
+	}
+	var covers [][]int32
+	if ordered {
+		_, covers = e.m.MinOrderMatchCover(n, rows)
+	} else {
+		_, covers = e.m.MinMatchCover(rows)
+	}
+	return covers, nil
+}
+
+// MatchSetsAll answers Request.WithMatches for a whole result slice: one
+// MatchSets call per result, honoring ctx between results. The returned
+// slice is parallel to rs; on error it carries whatever was resolved so
+// far.
+func (e *Evaluator) MatchSetsAll(ctx context.Context, q query.Query, ordered bool, rs []query.Result, stats *query.SearchStats) ([][][]int32, error) {
+	out := make([][][]int32, len(rs))
+	for i := range rs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		m, err := e.MatchSets(q, rs[i].ID, ordered, stats)
+		if err != nil {
+			return out, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// FillMatches is the WithMatches epilogue every engine shares: resolve the
+// covers for resp.Results, install them with the updated stats, and — when
+// the context expired or was cancelled mid-fill — mark the response
+// Truncated so partially-filled matches are never presented as a complete
+// answer.
+func (e *Evaluator) FillMatches(ctx context.Context, q query.Query, ordered bool, resp *query.Response, stats *query.SearchStats) error {
+	ms, err := e.MatchSetsAll(ctx, q, ordered, resp.Results, stats)
+	resp.Matches = ms
+	resp.Stats = *stats
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			resp.Truncated = true
+		}
+		return err
+	}
+	return nil
 }
 
 // mergeUnique appends the ascending union of the ascending lists to dst.
@@ -308,6 +404,9 @@ func (e *Evaluator) prepareDelta(q query.Query, id trajectory.TrajID, all trajec
 	coords := e.delta.Coords(id)
 	e.deltaID = id
 	rows := e.rb.Build(q.Pts, e.deltaFn, coords)
+	if e.region != nil {
+		e.filterRegion(rows, coords)
+	}
 	return rows, len(coords), Scored, nil
 }
 

@@ -1,9 +1,11 @@
 package gat
 
 import (
+	"context"
 	"math"
 
 	"activitytraj/internal/evaluate"
+	"activitytraj/internal/geo"
 	"activitytraj/internal/grid"
 	"activitytraj/internal/invindex"
 	"activitytraj/internal/matcher"
@@ -23,11 +25,16 @@ type Engine struct {
 	ov DeltaOverlay
 	// sink, when non-nil, shares the top-k bound with cooperating searches
 	// over sibling shards; see SetBoundSink.
-	sink  query.BoundSink
-	ev    *evaluate.Evaluator
-	m     matcher.Matcher
-	stats query.SearchStats
-	sc    searcher
+	sink query.BoundSink
+	// bound and region are the current request's per-search options,
+	// installed by Search: bound seeds the pruning threshold (+Inf when
+	// unset), region restricts matching spatially (nil when unset).
+	bound  float64
+	region *geo.Rect
+	ev     *evaluate.Evaluator
+	m      matcher.Matcher
+	stats  query.SearchStats
+	sc     searcher
 }
 
 // NewEngine returns a search engine over a built index.
@@ -59,19 +66,33 @@ func (e *Engine) Name() string { return "GAT" }
 func (e *Engine) MemBytes() int64 { return e.idx.MemBytes() }
 
 // LastStats implements query.Engine.
+//
+// Deprecated: read Response.Stats.
 func (e *Engine) LastStats() query.SearchStats { return e.stats }
 
 // SearchATSQ implements query.Engine (Algorithm 1 with Dmm).
+//
+// Deprecated: use Search.
 func (e *Engine) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
-	return e.search(q, k, false)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // SearchOATSQ implements query.Engine. Candidate retrieval and the lower
 // bound are unchanged — by Lemma 3 Dmm lower-bounds Dmom, so the same
 // termination test applies; validation adds the MIB order filter and the
 // distance is Algorithm 4's Dmom.
+//
+// Deprecated: use Search.
 func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
-	return e.search(q, k, true)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k, Ordered: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // searcher holds the per-query state of Algorithm 1 in engine-owned scratch
@@ -89,7 +110,13 @@ type searcher struct {
 	// ov is the engine's overlay for the duration of one search, nil when
 	// absent or currently empty — probing an empty delta on every cell
 	// expansion would tax the static hot path for nothing.
-	ov        DeltaOverlay
+	ov DeltaOverlay
+	// region mirrors the request's spatial filter for the duration of one
+	// search: cells disjoint from it never enter a frontier, so only
+	// trajectories with an in-region relevant point are retrieved — exact
+	// under the filter's semantics because the evaluator drops out-of-
+	// region points from every candidate row before matching.
+	region    *geo.Rect
 	pqs       []pointQueue
 	seen      []uint32
 	gen       uint32
@@ -104,6 +131,7 @@ type searcher struct {
 // begin readies the scratch for a new search.
 func (s *searcher) begin(q query.Query) {
 	s.q = q
+	s.region = s.e.region
 	s.ov = s.e.ov
 	if s.ov != nil && s.ov.Empty() {
 		s.ov = nil
@@ -137,18 +165,35 @@ func (s *searcher) begin(q query.Query) {
 	s.exhausted = false
 }
 
-func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
+// Search implements query.Engine: Algorithm 1 with the Dmm distance, or —
+// with req.Ordered — the Dmom distance behind the same retrieval and
+// termination bound (Lemma 3). Cancellation is honored between λ-batches
+// (the per-candidate hot path never reads the context), and an already
+// cancelled or expired ctx returns before any disk page is touched. On
+// cancellation the partial top-k collected so far is returned with
+// Response.Truncated set, alongside ctx's error.
+func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response, error) {
+	q, ordered := req.Query, req.Ordered
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return query.Response{}, err
 	}
 	e.stats = query.SearchStats{}
+	if err := ctx.Err(); err != nil {
+		return query.Response{Truncated: true}, err
+	}
+	e.bound = req.Bound()
+	e.region = req.Region
+	e.ev.SetRegion(req.Region)
 	s := &e.sc
 	s.begin(q)
 	s.initQueue()
 
-	topk := query.NewTopK(k)
+	topk := query.NewTopK(req.K)
 	baseN := e.idx.ts.NumTrajs()
 	for {
+		if err := ctx.Err(); err != nil {
+			return query.Response{Results: topk.Results(), Stats: e.stats, Truncated: true}, err
+		}
 		cands := s.retrieveBatch(e.idx.cfg.Lambda)
 		e.stats.Batches++
 		dlb := s.lowerBound()
@@ -171,7 +216,7 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 				d, out, err = e.ev.ScoreATSQ(q, tid, e.effThreshold(topk), &e.stats)
 			}
 			if err != nil {
-				return nil, err
+				return query.Response{Stats: e.stats}, err
 			}
 			if out == evaluate.Scored {
 				topk.Offer(query.Result{ID: tid, Dist: d})
@@ -187,15 +232,35 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 			break
 		}
 	}
-	return topk.Results(), nil
+	resp := query.Response{Results: topk.Results(), Stats: e.stats}
+	if req.WithMatches {
+		// The evaluator re-reads each result trajectory once and the
+		// matcher re-derives the argmin covers behind the reported
+		// distance; the fetch traffic is part of the request.
+		if err := e.ev.FillMatches(ctx, q, ordered, &resp, &e.stats); err != nil {
+			return resp, err
+		}
+	}
+	return resp, nil
+}
+
+// MatchesFor re-derives the per-query-point matched trajectory point
+// indexes for a single known result of the last search's query — the hook
+// the sharded engine uses to answer WithMatches after its scatter-gather
+// merge, with id local to this engine's index. Fetch traffic is added to
+// stats.
+func (e *Engine) MatchesFor(q query.Query, id trajectory.TrajID, ordered bool, region *geo.Rect, stats *query.SearchStats) ([][]int32, error) {
+	e.ev.SetRegion(region)
+	return e.ev.MatchSets(q, id, ordered, stats)
 }
 
 // effThreshold returns the tightest exact pruning bound available: the
-// local k-th distance, further tightened by the shared global bound when a
-// sink is attached. Both are upper bounds on the final global k-th match
-// distance, so the minimum prunes exactly (the matcher abandons only when a
-// partial sum strictly exceeds the threshold, so candidates at exactly the
-// bound still score fully and tie-break by ID).
+// local k-th distance, tightened by the shared global bound when a sink is
+// attached and by the request's InitialBound when set. All three are upper
+// bounds on the distance any reportable result may have, so the minimum
+// prunes exactly (the matcher abandons only when a partial sum strictly
+// exceeds the threshold, so candidates at exactly the bound still score
+// fully and tie-break by ID).
 func (e *Engine) effThreshold(topk *query.TopK) float64 {
 	th := topk.Threshold()
 	if e.sink != nil {
@@ -203,7 +268,17 @@ func (e *Engine) effThreshold(topk *query.TopK) float64 {
 			th = g
 		}
 	}
+	if e.bound < th {
+		th = e.bound
+	}
 	return th
+}
+
+// cellVisible reports whether the request's region filter (if any) lets a
+// cell contribute matches: a cell disjoint from the region holds no point
+// that may match, so its whole subtree is pruned from the frontier.
+func (s *searcher) cellVisible(cell grid.Cell) bool {
+	return s.region == nil || s.e.idx.g.CellRect(cell).Intersects(*s.region)
 }
 
 // initQueue seeds each query point's frontier with every level-1 cell
@@ -212,6 +287,9 @@ func (s *searcher) initQueue() {
 	g := s.e.idx.g
 	for qi, qp := range s.q.Pts {
 		for _, cell := range g.TopCells() {
+			if !s.cellVisible(cell) {
+				continue
+			}
 			mask := s.cellMask(cell, qp.Acts)
 			if mask == 0 {
 				continue
@@ -379,6 +457,9 @@ func (s *searcher) retrieveBatch(lambda int) []trajectory.TrajID {
 					continue
 				}
 				child := children[ci]
+				if !s.cellVisible(child) {
+					continue
+				}
 				s.pqs[qi].push(nearCell{dist: g.MinDist(qp.Loc, child), cell: child, mask: mask})
 			}
 			continue

@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -121,21 +122,16 @@ func resetCaches(ts *evaluate.TrajStore, e query.Engine) {
 // from a cold cache regardless of run order.
 func RunWorkload(ts *evaluate.TrajStore, e query.Engine, qs []query.Query, k int, ordered bool) (WorkloadResult, error) {
 	resetCaches(ts, e)
+	ctx := context.Background()
 	res := WorkloadResult{Method: e.Name(), Queries: len(qs)}
 	for qi, q := range qs {
 		start := time.Now()
-		var err error
-		if ordered {
-			_, err = e.SearchOATSQ(q, k)
-		} else {
-			_, err = e.SearchATSQ(q, k)
-		}
+		resp, err := e.Search(ctx, query.Request{Query: q, K: k, Ordered: ordered})
 		res.TotalTime += time.Since(start)
 		if err != nil {
 			return res, fmt.Errorf("harness: %s query %d: %w", e.Name(), qi, err)
 		}
-		st := e.LastStats()
-		res.Stats.Add(st)
+		res.Stats.Add(resp.Stats)
 	}
 	return res, nil
 }

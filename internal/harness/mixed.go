@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -97,6 +98,7 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 	var aggStats query.SearchStats
 	var firstErr error
 	var wg sync.WaitGroup
+	ctx := context.Background()
 	start := time.Now()
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
@@ -125,9 +127,10 @@ func RunMixedWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []que
 				if !insert {
 					q := qs[int(qCursor.Add(1)-1)%len(qs)]
 					t0 := time.Now()
-					_, err = eng.SearchATSQ(q, opt.K)
+					var resp query.Response
+					resp, err = eng.Search(ctx, query.Request{Query: q, K: opt.K})
 					sl = append(sl, time.Since(t0))
-					sst.Add(eng.LastStats())
+					sst.Add(resp.Stats)
 				}
 				if err != nil {
 					break

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"time"
 
 	"activitytraj/internal/evaluate"
@@ -23,9 +24,15 @@ func RunWorkloadParallel(ts *evaluate.TrajStore, e CloneableEngine, qs []query.Q
 	resetCaches(ts, e)
 	pe := query.NewParallelEngine(e, workers)
 	res := WorkloadResult{Method: e.Name(), Queries: len(qs)}
+	reqs := make([]query.Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = query.Request{Query: q, K: k, Ordered: ordered}
+	}
 	start := time.Now()
-	_, err := pe.SearchBatch(qs, k, ordered)
+	resps, err := pe.SearchAll(context.Background(), reqs)
 	res.TotalTime = time.Since(start)
-	res.Stats = pe.LastStats()
+	for _, r := range resps {
+		res.Stats.Add(r.Stats)
+	}
 	return res, err
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -36,10 +37,16 @@ func RunShardedWorkload(r *shard.Router, qs []query.Query, k int, ordered bool, 
 	eng.ResetCaches()
 	pe := query.NewParallelEngine(eng, ShardWorkers(workers, r.NumShards()))
 	res := WorkloadResult{Method: eng.Name(), Queries: len(qs)}
+	reqs := make([]query.Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = query.Request{Query: q, K: k, Ordered: ordered}
+	}
 	start := time.Now()
-	_, err := pe.SearchBatch(qs, k, ordered)
+	resps, err := pe.SearchAll(context.Background(), reqs)
 	res.TotalTime = time.Since(start)
-	res.Stats = pe.LastStats()
+	for _, rp := range resps {
+		res.Stats.Add(rp.Stats)
+	}
 	return res, err
 }
 

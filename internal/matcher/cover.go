@@ -1,0 +1,226 @@
+package matcher
+
+import "slices"
+
+// Cover extraction: recompute a match's distance together with WHICH
+// trajectory points form it. The search hot path never tracks covers (the
+// subset DP of Algorithm 3 keeps costs only); these functions re-derive the
+// argmin for the handful of final top-k results when Request.WithMatches is
+// set, so they are free to allocate.
+
+// coverState is one subset-DP entry with enough parent information to walk
+// an optimal cover back: reaching mask costs cost, by adding point pt (an
+// index into the row) to the cover of prev.
+type coverState struct {
+	cost float64
+	prev uint32
+	pt   int32
+}
+
+// windowCover runs the 0/1 set-cover DP over the row's points in positions
+// [lo, hi) of the row (NOT trajectory positions) and returns the minimum
+// cost of covering the full activity set plus the covering row positions.
+// Each point is relaxed once against a snapshot of the table, so a point
+// enters a cover at most once; with non-negative distances that loses
+// nothing against the unbounded relaxation the search uses, so the cost
+// equals MinPointMatch over the same points. Returns (Inf, nil) when no
+// cover exists.
+func windowCover(nq int, row *QueryRow, lo, hi int) (float64, []int32) {
+	if nq <= 0 {
+		return 0, nil
+	}
+	if nq > maxArrayActs {
+		return windowCoverMap(nq, row, lo, hi)
+	}
+	full := uint32(1)<<uint(nq) - 1
+	size := 1 << uint(nq)
+	dp := make([]coverState, size)
+	for i := 1; i < size; i++ {
+		dp[i].cost = Inf
+	}
+	snap := make([]coverState, size)
+	for r := lo; r < hi; r++ {
+		mask := row.Mask[r] & full
+		if mask == 0 {
+			continue
+		}
+		d := row.Dist[r]
+		copy(snap, dp)
+		for s := 0; s < size; s++ {
+			if snap[s].cost == Inf {
+				continue
+			}
+			t := uint32(s) | mask
+			if nv := snap[s].cost + d; nv < dp[t].cost {
+				dp[t] = coverState{cost: nv, prev: uint32(s), pt: int32(r)}
+			}
+		}
+	}
+	if dp[full].cost == Inf {
+		return Inf, nil
+	}
+	var picked []int32
+	for m := full; m != 0; {
+		st := dp[m]
+		picked = append(picked, st.pt)
+		m = st.prev
+	}
+	slices.Sort(picked)
+	return dp[full].cost, slices.Compact(picked)
+}
+
+// windowCoverMap is windowCover for very wide query activity sets
+// (nq > maxArrayActs), with the dense table replaced by a map.
+func windowCoverMap(nq int, row *QueryRow, lo, hi int) (float64, []int32) {
+	full := uint32(1)<<uint(nq) - 1
+	dp := map[uint32]coverState{0: {}}
+	for r := lo; r < hi; r++ {
+		mask := row.Mask[r] & full
+		if mask == 0 {
+			continue
+		}
+		d := row.Dist[r]
+		snap := make(map[uint32]coverState, len(dp))
+		for k, v := range dp {
+			snap[k] = v
+		}
+		for s, st := range snap {
+			t := s | mask
+			if cur, ok := dp[t]; !ok || st.cost+d < cur.cost {
+				dp[t] = coverState{cost: st.cost + d, prev: s, pt: int32(r)}
+			}
+		}
+	}
+	st, ok := dp[full]
+	if !ok {
+		return Inf, nil
+	}
+	var picked []int32
+	for m := full; m != 0; {
+		s := dp[m]
+		picked = append(picked, s.pt)
+		m = s.prev
+	}
+	slices.Sort(picked)
+	return st.cost, slices.Compact(picked)
+}
+
+// rowIndexes maps row positions back to the trajectory point indexes the
+// caller reports.
+func rowIndexes(row *QueryRow, positions []int32) []int32 {
+	out := make([]int32, len(positions))
+	for i, r := range positions {
+		out[i] = row.Idx[r]
+	}
+	return out
+}
+
+// MinMatchCover recomputes Dmm together with its covers: for every query
+// point, the ascending trajectory point indexes of a minimum point match.
+// The summed distance equals MinMatch(rows, Inf); (Inf, nil) when no match
+// exists.
+func (m *Matcher) MinMatchCover(rows []QueryRow) (float64, [][]int32) {
+	covers := make([][]int32, len(rows))
+	var sum float64
+	for i := range rows {
+		row := &rows[i]
+		d, picked := windowCover(row.NumActs, row, 0, len(row.Idx))
+		if d == Inf {
+			return Inf, nil
+		}
+		sum += d
+		covers[i] = rowIndexes(row, picked)
+	}
+	return sum, covers
+}
+
+// MinOrderMatchCover recomputes Dmom together with order-compliant covers:
+// covers[i] holds query point i's matched trajectory point indexes, and
+// every index of covers[i] is >= the largest index of covers[i-1]'s window
+// start, per Definition 7 (consecutive matches may share one boundary
+// point). The summed distance over all covers equals MinOrderMatch(n, rows,
+// Inf); (Inf, nil) when no order-sensitive match exists. n is the candidate
+// trajectory's point count.
+func (m *Matcher) MinOrderMatchCover(n int, rows []QueryRow) (float64, [][]int32) {
+	if len(rows) == 0 {
+		return 0, [][]int32{}
+	}
+	if n == 0 {
+		return Inf, nil
+	}
+	// Full G matrix of Algorithm 4: g[i][j] is the best cost of matching
+	// query points 0..i-1 with every match confined to Tr[0..j] and query
+	// point i-1's match ending at or before j.
+	g := make([][]float64, len(rows)+1)
+	g[0] = make([]float64, n)
+	for i, row := range rows {
+		cur := make([]float64, n)
+		prev := g[i]
+		for j := 0; j < n; j++ {
+			cur[j] = Inf
+		}
+		m.fillOrderRow(n, &row, prev, cur)
+		g[i+1] = cur
+	}
+	if g[len(rows)][n-1] == Inf {
+		return Inf, nil
+	}
+
+	// Backtrack: at level i with window end j, re-derive the window start
+	// k = rel[r] minimizing G(i-1,k) + Dmpm(q_i, Tr[k..j]) and extract that
+	// window's cover; the previous level's matches end at or before k.
+	covers := make([][]int32, len(rows))
+	j := n - 1
+	const eps = 1e-9
+	for i := len(rows) - 1; i >= 0; i-- {
+		row := &rows[i]
+		if row.NumActs == 0 {
+			covers[i] = []int32{}
+			continue // vacuous requirement: no points, j unchanged
+		}
+		hi := upperBound(row.Idx, int32(j))
+		target := g[i+1][j]
+		found := false
+		for r := hi - 1; r >= 0 && !found; r-- {
+			k := row.Idx[r]
+			if g[i][k] == Inf {
+				break // Lemma 4: earlier starts are Inf too
+			}
+			d, picked := windowCover(row.NumActs, row, r, hi)
+			if d == Inf {
+				continue
+			}
+			if v := g[i][k] + d; v <= target+eps {
+				covers[i] = rowIndexes(row, picked)
+				j = int(k)
+				found = true
+			}
+		}
+		if !found {
+			// Float noise kept every decomposition above target; fall back
+			// to the best decomposition seen (exactness of the returned
+			// indexes matters more than the eps).
+			best, bestR := Inf, -1
+			var bestPick []int32
+			for r := hi - 1; r >= 0; r-- {
+				k := row.Idx[r]
+				if g[i][k] == Inf {
+					break
+				}
+				d, picked := windowCover(row.NumActs, row, r, hi)
+				if d == Inf {
+					continue
+				}
+				if v := g[i][k] + d; v < best {
+					best, bestR, bestPick = v, r, picked
+				}
+			}
+			if bestR < 0 {
+				return Inf, nil
+			}
+			covers[i] = rowIndexes(row, bestPick)
+			j = int(row.Idx[bestR])
+		}
+	}
+	return g[len(rows)][n-1], covers
+}

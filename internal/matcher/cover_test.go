@@ -1,0 +1,148 @@
+package matcher
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomRows builds random candidate rows over a trajectory of n points:
+// each query point gets a random subset of positions with random masks and
+// distances, mirroring what RowBuilder produces (ascending indexes).
+func randomCoverRows(rng *rand.Rand, nq, nrows, n int) []QueryRow {
+	rows := make([]QueryRow, nrows)
+	for i := range rows {
+		row := QueryRow{NumActs: nq}
+		for p := 0; p < n; p++ {
+			if rng.Float64() < 0.4 {
+				continue
+			}
+			mask := uint32(rng.Intn(1<<uint(nq)-1) + 1)
+			row.Idx = append(row.Idx, int32(p))
+			row.Dist = append(row.Dist, float64(rng.Intn(50))/4)
+			row.Mask = append(row.Mask, mask)
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// coverCost sums the distances of the covering points and verifies the
+// cover actually covers the full activity set with in-row indexes.
+func coverCost(t *testing.T, row QueryRow, cover []int32) float64 {
+	t.Helper()
+	full := uint32(1)<<uint(row.NumActs) - 1
+	var mask uint32
+	var cost float64
+	for _, idx := range cover {
+		found := false
+		for r, ri := range row.Idx {
+			if ri == idx {
+				mask |= row.Mask[r]
+				cost += row.Dist[r]
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("cover references index %d not in row", idx)
+		}
+	}
+	if mask&full != full {
+		t.Fatalf("cover %v has mask %b, does not cover %b", cover, mask, full)
+	}
+	return cost
+}
+
+// TestMinMatchCoverAgreesWithMinMatch: the extracted covers must exist for
+// every finite Dmm, cover each query point's activity set, and sum to
+// exactly the distance MinMatch computes.
+func TestMinMatchCoverAgreesWithMinMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var m Matcher
+	for trial := 0; trial < 300; trial++ {
+		nq := 1 + rng.Intn(4)
+		rows := randomCoverRows(rng, nq, 1+rng.Intn(3), 2+rng.Intn(8))
+		want := m.MinMatch(rows, Inf)
+		got, covers := m.MinMatchCover(rows)
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got, 1) || covers != nil {
+				t.Fatalf("trial %d: MinMatch=Inf but cover returned %v %v", trial, got, covers)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: cover dist %v != MinMatch %v", trial, got, want)
+		}
+		var sum float64
+		for i, row := range rows {
+			sum += coverCost(t, row, covers[i])
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("trial %d: summed cover cost %v != Dmm %v (covers %v)", trial, sum, want, covers)
+		}
+	}
+}
+
+// TestMinOrderMatchCoverAgreesWithMinOrderMatch: the order-sensitive covers
+// must reproduce Dmom exactly, each cover must cover its query point, and
+// consecutive covers must comply with the query order (cover i's window may
+// share at most its first point with cover i-1's end, per Definition 7).
+func TestMinOrderMatchCoverAgreesWithMinOrderMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var m Matcher
+	for trial := 0; trial < 300; trial++ {
+		nq := 1 + rng.Intn(3)
+		n := 2 + rng.Intn(8)
+		rows := randomCoverRows(rng, nq, 1+rng.Intn(3), n)
+		want := m.MinOrderMatch(n, rows, Inf)
+		got, covers := m.MinOrderMatchCover(n, rows)
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got, 1) || covers != nil {
+				t.Fatalf("trial %d: Dmom=Inf but cover returned %v %v", trial, got, covers)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: cover dist %v != Dmom %v", trial, got, want)
+		}
+		var sum float64
+		prevMax := int32(0)
+		for i, row := range rows {
+			sum += coverCost(t, row, covers[i])
+			if len(covers[i]) == 0 {
+				continue
+			}
+			// Order compliance (Definition 7): every index of cover i is at
+			// least the previous cover's maximum index (consecutive matches
+			// may share exactly that boundary point). Covers are ascending,
+			// so checking the first element suffices.
+			if covers[i][0] < prevMax {
+				t.Fatalf("trial %d: cover %d starts at %d before cover %d's end %d — order violated",
+					trial, i, covers[i][0], i-1, prevMax)
+			}
+			prevMax = covers[i][len(covers[i])-1]
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("trial %d: summed cover cost %v != Dmom %v (covers %v)", trial, sum, want, covers)
+		}
+	}
+}
+
+// TestCoverVacuousRow: a query point with no activity requirement gets an
+// empty cover and contributes nothing.
+func TestCoverVacuousRow(t *testing.T) {
+	var m Matcher
+	rows := []QueryRow{
+		{NumActs: 0},
+		{NumActs: 1, Idx: []int32{2}, Dist: []float64{1.5}, Mask: []uint32{1}},
+	}
+	d, covers := m.MinMatchCover(rows)
+	if d != 1.5 || len(covers) != 2 || len(covers[0]) != 0 || len(covers[1]) != 1 || covers[1][0] != 2 {
+		t.Fatalf("got %v %v", d, covers)
+	}
+	do, coversO := m.MinOrderMatchCover(4, rows)
+	if do != 1.5 || len(coversO) != 2 || len(coversO[0]) != 0 || len(coversO[1]) != 1 || coversO[1][0] != 2 {
+		t.Fatalf("ordered: got %v %v", do, coversO)
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,7 +21,7 @@ type CloneableEngine interface {
 // ParallelEngine serves queries across a fixed pool of engine clones, one
 // per worker, so throughput scales with cores while each clone keeps its
 // allocation-free scratch. It implements Engine (single queries borrow a
-// clone from the pool) and adds SearchBatch for fan-out over a whole batch.
+// clone from the pool) and adds SearchAll for fan-out over a whole batch.
 // All methods are safe for concurrent use.
 type ParallelEngine struct {
 	name    string
@@ -29,7 +30,7 @@ type ParallelEngine struct {
 	pool    chan Engine
 
 	mu    sync.Mutex
-	stats SearchStats // aggregate of the last SearchBatch / single search
+	stats SearchStats // aggregate of the last SearchAll / single search
 }
 
 // NewParallelEngine builds a pool of workers clones of e. workers <= 0
@@ -64,58 +65,70 @@ func (p *ParallelEngine) MemBytes() int64 { return p.mem }
 // Workers returns the pool size.
 func (p *ParallelEngine) Workers() int { return p.workers }
 
-// LastStats implements Engine: the summed statistics of the last
-// SearchBatch (or single search).
+// LastStats returns the summed statistics of the last COMPLETED SearchAll
+// (or single search), read under a mutex. With searches in flight the value
+// is approximate by construction — it cannot say which request it describes.
+//
+// Deprecated: read Response.Stats, which is exact per request.
 func (p *ParallelEngine) LastStats() SearchStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
 }
 
-// SearchATSQ implements Engine by borrowing one clone from the pool.
-func (p *ParallelEngine) SearchATSQ(q Query, k int) ([]Result, error) {
-	return p.searchOne(q, k, false)
-}
-
-// SearchOATSQ implements Engine by borrowing one clone from the pool.
-func (p *ParallelEngine) SearchOATSQ(q Query, k int) ([]Result, error) {
-	return p.searchOne(q, k, true)
-}
-
-func (p *ParallelEngine) searchOne(q Query, k int, ordered bool) ([]Result, error) {
-	e := <-p.pool
-	defer func() { p.pool <- e }()
-	var rs []Result
-	var err error
-	if ordered {
-		rs, err = e.SearchOATSQ(q, k)
-	} else {
-		rs, err = e.SearchATSQ(q, k)
+// Search implements Engine by borrowing one clone from the pool (waiting
+// honors ctx: a request cancelled while queued never runs at all).
+func (p *ParallelEngine) Search(ctx context.Context, req Request) (Response, error) {
+	select {
+	case e := <-p.pool:
+		defer func() { p.pool <- e }()
+		resp, err := e.Search(ctx, req)
+		p.mu.Lock()
+		p.stats = resp.Stats
+		p.mu.Unlock()
+		return resp, err
+	case <-ctx.Done():
+		return Response{Truncated: true}, ctx.Err()
 	}
+}
+
+// SearchATSQ implements Engine by borrowing one clone from the pool.
+//
+// Deprecated: use Search.
+func (p *ParallelEngine) SearchATSQ(q Query, k int) ([]Result, error) {
+	resp, err := p.Search(context.Background(), Request{Query: q, K: k})
 	if err != nil {
 		return nil, err
 	}
-	st := e.LastStats()
-	p.mu.Lock()
-	p.stats = st
-	p.mu.Unlock()
-	return rs, nil
+	return resp.Results, nil
 }
 
-// SearchBatch answers qs[i] into the i-th result slot, fanning the batch
-// out over the worker pool. Queries are handed to workers through a single
-// atomic cursor, so a slow query never stalls the rest of the batch. On
-// error the first failure (by query index) is reported and the remaining
-// queries are abandoned. LastStats afterwards returns the summed statistics
-// of all completed searches.
-func (p *ParallelEngine) SearchBatch(qs []Query, k int, ordered bool) ([][]Result, error) {
-	out := make([][]Result, len(qs))
-	if len(qs) == 0 {
+// SearchOATSQ implements Engine by borrowing one clone from the pool.
+//
+// Deprecated: use Search.
+func (p *ParallelEngine) SearchOATSQ(q Query, k int) ([]Result, error) {
+	resp, err := p.Search(context.Background(), Request{Query: q, K: k, Ordered: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// SearchAll answers reqs[i] into the i-th response slot, fanning the batch
+// out over the worker pool. Requests are handed to workers through a single
+// atomic cursor, so a slow query never stalls the rest of the batch. On the
+// first failure (by request index) the remaining requests are abandoned;
+// likewise, once ctx is cancelled no further request starts and the
+// in-flight ones return early at their next batch boundary. LastStats
+// afterwards returns the summed statistics of all completed searches.
+func (p *ParallelEngine) SearchAll(ctx context.Context, reqs []Request) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
 		return out, nil
 	}
 	workers := p.workers
-	if workers > len(qs) {
-		workers = len(qs)
+	if workers > len(reqs) {
+		workers = len(reqs)
 	}
 
 	var cursor atomic.Int64
@@ -136,23 +149,19 @@ func (p *ParallelEngine) SearchBatch(qs []Query, k int, ordered bool) ([][]Resul
 			defer func() { p.pool <- e }()
 			errs[w].qi = -1
 			var local SearchStats
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				qi := int(cursor.Add(1)) - 1
-				if qi >= len(qs) {
+				if qi >= len(reqs) {
 					break
 				}
-				var err error
-				if ordered {
-					out[qi], err = e.SearchOATSQ(qs[qi], k)
-				} else {
-					out[qi], err = e.SearchATSQ(qs[qi], k)
-				}
+				resp, err := e.Search(ctx, reqs[qi])
+				out[qi] = resp
+				local.Add(resp.Stats)
 				if err != nil {
 					errs[w] = werr{qi: qi, err: err}
 					failed.Store(true)
 					break
 				}
-				local.Add(e.LastStats())
 			}
 			aggMu.Lock()
 			agg.Add(local)
@@ -173,5 +182,26 @@ func (p *ParallelEngine) SearchBatch(qs []Query, k int, ordered bool) ([][]Resul
 	if first.err != nil {
 		return out, fmt.Errorf("query %d: %w", first.qi, first.err)
 	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	return out, nil
+}
+
+// SearchBatch answers qs[i] into the i-th result slot, fanning the batch
+// out over the worker pool.
+//
+// Deprecated: use SearchAll, which carries per-request options, a context,
+// and in-band statistics.
+func (p *ParallelEngine) SearchBatch(qs []Query, k int, ordered bool) ([][]Result, error) {
+	reqs := make([]Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = Request{Query: q, K: k, Ordered: ordered}
+	}
+	resps, err := p.SearchAll(context.Background(), reqs)
+	out := make([][]Result, len(qs))
+	for i, r := range resps {
+		out[i] = r.Results
+	}
+	return out, err
 }

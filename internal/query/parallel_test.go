@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -23,15 +24,25 @@ func (f *fakeEngine) Clone() Engine   { return &fakeEngine{calls: f.calls, failA
 func (f *fakeEngine) LastStats() SearchStats {
 	return f.stats
 }
-func (f *fakeEngine) SearchATSQ(q Query, k int) ([]Result, error) {
+func (f *fakeEngine) Search(ctx context.Context, req Request) (Response, error) {
+	if err := ctx.Err(); err != nil {
+		return Response{Truncated: true}, err
+	}
 	f.calls.Add(1)
-	x := q.Pts[0].Loc.X
+	x := req.Query.Pts[0].Loc.X
 	if f.failAt != 0 && x == f.failAt {
 		f.stats = SearchStats{}
-		return nil, fmt.Errorf("query %v failed", x)
+		return Response{}, fmt.Errorf("query %v failed", x)
 	}
 	f.stats = SearchStats{Candidates: 1, Scored: 1}
-	return []Result{{ID: 0, Dist: x}}, nil
+	return Response{Results: []Result{{ID: 0, Dist: x}}, Stats: f.stats}, nil
+}
+func (f *fakeEngine) SearchATSQ(q Query, k int) ([]Result, error) {
+	resp, err := f.Search(context.Background(), Request{Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 func (f *fakeEngine) SearchOATSQ(q Query, k int) ([]Result, error) { return f.SearchATSQ(q, k) }
 

@@ -75,7 +75,10 @@ func (q Query) Validate() error {
 	return nil
 }
 
-// Result is one entry of a top-k answer.
+// Result is one entry of a top-k answer. It is deliberately a comparable
+// struct (differential tests compare result slices element-wise with ==);
+// the per-result match covers requested via Request.WithMatches therefore
+// live in Response.Matches, parallel to Results.
 type Result struct {
 	ID   trajectory.TrajID
 	Dist float64

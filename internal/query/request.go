@@ -1,0 +1,115 @@
+package query
+
+import (
+	"context"
+	"math"
+
+	"activitytraj/internal/geo"
+)
+
+// Request describes one search: the query itself, the result count, the
+// ATSQ/OATSQ mode, and the per-request options every engine honors. The
+// zero value of each option selects the engine's default behaviour, so
+// Request{Query: q, K: k} is exactly the classic SearchATSQ call.
+type Request struct {
+	// Query is the sequence of query locations with desired activities.
+	Query Query
+	// K is the number of results wanted (values < 1 are treated as 1).
+	K int
+	// Ordered selects the order-sensitive OATSQ distance Dmom instead of
+	// the minimum match distance Dmm (folding the former SearchATSQ /
+	// SearchOATSQ pair into one entry point).
+	Ordered bool
+
+	// InitialBound, when > 0, seeds the Algorithm-2 pruning threshold: the
+	// search behaves as if a k-th result at this distance were already
+	// known, so candidates and shards strictly beyond it are pruned from
+	// the first batch on. It composes with any engine-attached BoundSink —
+	// the effective threshold is the minimum of the local k-th distance,
+	// the shared global bound and InitialBound. Results farther than
+	// InitialBound are excluded, so fewer than K results may return; the
+	// results within the bound are exact.
+	InitialBound float64
+
+	// Region, when non-nil, restricts matching spatially: only trajectory
+	// points inside Region may satisfy query activities, and trajectories
+	// with no qualifying match are excluded. The GAT engines prune
+	// out-of-region cells during candidate retrieval and the sharded
+	// planner skips non-intersecting shards; the baselines post-filter
+	// candidate rows. All engines return identical results for the same
+	// Region.
+	Region *geo.Rect
+
+	// WithMatches asks for Result.Matches: for every result, the per-query-
+	// point trajectory point indexes forming the minimal match the reported
+	// distance is built from. Computing them re-reads the k result
+	// trajectories once after the search, so it adds a small per-result
+	// cost but never touches the per-candidate hot path.
+	WithMatches bool
+}
+
+// Bound returns the effective initial pruning threshold: InitialBound when
+// set (> 0), +Inf otherwise.
+func (r Request) Bound() float64 {
+	if r.InitialBound > 0 {
+		return r.InitialBound
+	}
+	return math.Inf(1)
+}
+
+// Response is one search's complete answer.
+type Response struct {
+	// Results is the top-k in ascending (Dist, ID) order.
+	Results []Result
+	// Matches, filled only when Request.WithMatches is set, is parallel to
+	// Results: Matches[i][p] holds the ascending trajectory point indexes
+	// of Results[i] forming query point p's part of the minimal match
+	// behind Results[i].Dist (empty for a query point with no activity
+	// requirement; for Ordered requests the covers comply with the query
+	// order, consecutive covers possibly sharing one boundary point).
+	Matches [][][]int32
+	// Stats itemizes where this search's work went. It is per-request and
+	// in-band: no LastStats side channel, no clone-state ambiguity under
+	// concurrent serving.
+	Stats SearchStats
+	// Truncated is true when the search stopped early because its context
+	// was cancelled or its deadline expired. Results then holds whatever
+	// the search had fully scored so far (possibly nothing) and the
+	// accompanying error is the context's.
+	Truncated bool
+}
+
+// Engine is the contract every search method implements. The primary entry
+// point is Search; the SearchATSQ/SearchOATSQ/LastStats trio is the
+// pre-context API, kept as thin shims so existing callers and differential
+// tests keep working unchanged.
+//
+// Engines are single-goroutine unless documented otherwise (ParallelEngine
+// and the HTTP server wrap them in clone pools for concurrent serving).
+type Engine interface {
+	// Name returns the short method name used in experiment output
+	// ("GAT", "IL", "RT", "IRT", ...).
+	Name() string
+	// Search answers req, honoring ctx: cancellation is checked between
+	// candidate batches (never per candidate, keeping the hot path clean),
+	// and an already-expired context returns before any disk page is
+	// touched. On cancellation the Response carries the partial results
+	// with Truncated set, alongside ctx's error.
+	Search(ctx context.Context, req Request) (Response, error)
+	// SearchATSQ answers an activity trajectory similarity query.
+	//
+	// Deprecated: use Search with Request{Query: q, K: k}.
+	SearchATSQ(q Query, k int) ([]Result, error)
+	// SearchOATSQ answers the order-sensitive variant.
+	//
+	// Deprecated: use Search with Request{Query: q, K: k, Ordered: true}.
+	SearchOATSQ(q Query, k int) ([]Result, error)
+	// LastStats reports where the previous search's work went.
+	//
+	// Deprecated: read Response.Stats instead; it is exact per request
+	// even under concurrent serving, which LastStats cannot be.
+	LastStats() SearchStats
+	// MemBytes reports the engine's in-memory index footprint (excluding
+	// the shared on-disk trajectory store).
+	MemBytes() int64
+}

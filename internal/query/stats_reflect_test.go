@@ -1,0 +1,54 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSearchStatsAddCoversEveryField walks SearchStats with reflection and
+// proves Add accumulates EVERY numeric field: a counter added to the struct
+// but forgotten in Add would silently vanish from workload averages (it
+// happened to almost happen with BytesDecoded/ShardsSkipped). The test
+// fills each field of the addend with a distinct value, adds it onto a
+// receiver holding 1 everywhere, and requires each result field to be the
+// exact sum — any dropped, swapped or double-added field fails.
+func TestSearchStatsAddCoversEveryField(t *testing.T) {
+	var dst, src SearchStats
+	dv := reflect.ValueOf(&dst).Elem()
+	sv := reflect.ValueOf(&src).Elem()
+	n := dv.NumField()
+	if n == 0 {
+		t.Fatal("SearchStats has no fields")
+	}
+	for i := 0; i < n; i++ {
+		f := dv.Type().Field(i)
+		switch f.Type.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			dv.Field(i).SetInt(1)
+			sv.Field(i).SetInt(int64(100 + i)) // distinct per field: catches swaps
+		default:
+			t.Fatalf("SearchStats.%s has kind %v; teach this test (and Add) about it", f.Name, f.Type.Kind())
+		}
+	}
+	dst.Add(src)
+	for i := 0; i < n; i++ {
+		f := dv.Type().Field(i)
+		got := dv.Field(i).Int()
+		want := int64(1 + 100 + i)
+		if got != want {
+			t.Errorf("SearchStats.Add drops or corrupts %s: got %d, want %d (is the field missing from Add?)",
+				f.Name, got, want)
+		}
+	}
+}
+
+// TestSearchStatsAddZeroIdentity pins Add's identity: adding a zero value
+// changes nothing (so repeated aggregation is safe).
+func TestSearchStatsAddZeroIdentity(t *testing.T) {
+	a := SearchStats{Candidates: 3, PageReads: 7, BytesDecoded: 11}
+	b := a
+	a.Add(SearchStats{})
+	if a != b {
+		t.Fatalf("Add(zero) changed stats: %+v -> %+v", b, a)
+	}
+}

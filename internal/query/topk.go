@@ -84,21 +84,3 @@ func (t *TopK) Results() []Result {
 	})
 	return out
 }
-
-// Engine is the contract every search method (GAT and the three baselines)
-// implements. Engines are not safe for concurrent use; the harness runs one
-// workload per engine at a time.
-type Engine interface {
-	// Name returns the short method name used in experiment output
-	// ("GAT", "IL", "RT", "IRT").
-	Name() string
-	// SearchATSQ answers an activity trajectory similarity query.
-	SearchATSQ(q Query, k int) ([]Result, error)
-	// SearchOATSQ answers the order-sensitive variant.
-	SearchOATSQ(q Query, k int) ([]Result, error)
-	// LastStats reports where the previous search's work went.
-	LastStats() SearchStats
-	// MemBytes reports the engine's in-memory index footprint (excluding
-	// the shared on-disk trajectory store).
-	MemBytes() int64
-}

@@ -3,10 +3,18 @@
 // plus a health probe, each search reporting its per-request SearchStats.
 // The cmd/atsqserve command is a thin main around this package; keeping the
 // handlers here makes them testable with httptest.
+//
+// Every search runs under the HTTP request's context, so a client hanging
+// up cancels the in-flight scatter-gather search; a per-request
+// `?timeout=DURATION` query parameter additionally caps the search budget,
+// answering 504 Gateway Timeout when it expires — distinct from 400 (bad
+// request) and 500 (engine fault).
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -31,6 +39,14 @@ type QueryPointJSON struct {
 	Names []string `json:"names,omitempty"`
 }
 
+// RectJSON is an axis-aligned rectangle on the wire.
+type RectJSON struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
 // SearchRequest is the /v1/search body.
 type SearchRequest struct {
 	// K is the result count (default DefaultK).
@@ -39,12 +55,24 @@ type SearchRequest struct {
 	Ordered bool `json:"ordered,omitempty"`
 	// Points are the query locations with their desired activities.
 	Points []QueryPointJSON `json:"points"`
+	// InitialBound, when > 0, seeds the pruning threshold: results farther
+	// than it are excluded (see query.Request.InitialBound).
+	InitialBound float64 `json:"initial_bound,omitempty"`
+	// Region, when present, restricts matching to trajectory points inside
+	// the rectangle (see query.Request.Region).
+	Region *RectJSON `json:"region,omitempty"`
+	// WithMatches asks for each result's matched trajectory point indexes,
+	// one list per query point.
+	WithMatches bool `json:"with_matches,omitempty"`
 }
 
 // ResultJSON is one top-k entry on the wire.
 type ResultJSON struct {
 	ID   uint32  `json:"id"`
 	Dist float64 `json:"dist"`
+	// Matches is present only when the request set with_matches: one
+	// ascending list of matched trajectory point indexes per query point.
+	Matches [][]int32 `json:"matches,omitempty"`
 }
 
 // SearchResponse is the /v1/search reply.
@@ -52,6 +80,9 @@ type SearchResponse struct {
 	Results []ResultJSON      `json:"results"`
 	Stats   query.SearchStats `json:"stats"`
 	TookUS  int64             `json:"took_us"`
+	// Truncated is true when the reply carries partial results of a search
+	// cut short (only on the 504 deadline path).
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // InsertRequest is the /v1/insert body: the trajectory's points in order.
@@ -157,6 +188,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// StatusClientClosedRequest is the non-standard status (nginx's 499)
+// reported when the client hung up mid-search; the reply is rarely
+// observable, but handler tests and access logs distinguish it from a
+// server-side fault.
+const StatusClientClosedRequest = 499
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req SearchRequest
 	if !s.readJSON(w, r, &req) {
@@ -167,40 +204,90 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	k := req.K
-	if k <= 0 {
-		k = DefaultK
+	// The search runs under the HTTP request's context (a client hanging up
+	// cancels the scatter-gather fan-out), optionally capped by a
+	// per-request ?timeout= budget.
+	ctx := r.Context()
+	if tstr := r.URL.Query().Get("timeout"); tstr != "" {
+		d, err := time.ParseDuration(tstr)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration", tstr))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
 	}
-	e := <-s.engines
+	sreq := query.Request{
+		Query:        q,
+		K:            req.K,
+		Ordered:      req.Ordered,
+		InitialBound: req.InitialBound,
+		WithMatches:  req.WithMatches,
+	}
+	if sreq.K <= 0 {
+		sreq.K = DefaultK
+	}
+	if req.Region != nil {
+		rect := geo.NewRect(req.Region.MinX, req.Region.MinY, req.Region.MaxX, req.Region.MaxY)
+		sreq.Region = &rect
+	}
+	// Borrowing from the engine pool honors the request context too: a
+	// budget spent queueing behind busy engines 504s immediately instead
+	// of parking the handler until an engine frees, and a hung-up client
+	// leaves the queue right away.
+	var e *shard.Engine
+	select {
+	case e = <-s.engines:
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeJSON(w, http.StatusGatewayTimeout, searchResponseJSON(query.Response{Truncated: true}, 0))
+		} else {
+			writeError(w, StatusClientClosedRequest, ctx.Err())
+		}
+		return
+	}
 	start := time.Now()
-	var rs []query.Result
-	if req.Ordered {
-		rs, err = e.SearchOATSQ(q, k)
-	} else {
-		rs, err = e.SearchATSQ(q, k)
-	}
+	qresp, err := e.Search(ctx, sreq)
 	took := time.Since(start)
-	stats := e.LastStats()
-	// Results and stats are copied out of the engine, so it can go back to
-	// the pool before the response write: a client stalling on the read
-	// side must not pin an engine (the pool is the serving capacity).
+	// The response was copied out of the engine, so it can go back to the
+	// pool before the response write: a client stalling on the read side
+	// must not pin an engine (the pool is the serving capacity).
 	s.engines <- e
 	if err != nil {
-		// The query already validated in toQuery, so an engine failure here
-		// is a server-side fault, not a bad request.
-		writeError(w, http.StatusInternalServerError, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request budget ran out: 504, with whatever partial
+			// top-k the search had gathered (Truncated marks it).
+			writeJSON(w, http.StatusGatewayTimeout, searchResponseJSON(qresp, took))
+		case errors.Is(err, context.Canceled):
+			writeError(w, StatusClientClosedRequest, err)
+		default:
+			// The query already validated in toQuery, so an engine failure
+			// here is a server-side fault, not a bad request.
+			writeError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	s.searches.Add(1)
+	writeJSON(w, http.StatusOK, searchResponseJSON(qresp, took))
+}
+
+// searchResponseJSON converts an engine response to the wire shape.
+func searchResponseJSON(qresp query.Response, took time.Duration) SearchResponse {
 	resp := SearchResponse{
-		Results: make([]ResultJSON, len(rs)),
-		Stats:   stats,
-		TookUS:  took.Microseconds(),
+		Results:   make([]ResultJSON, len(qresp.Results)),
+		Stats:     qresp.Stats,
+		TookUS:    took.Microseconds(),
+		Truncated: qresp.Truncated,
 	}
-	for i, r := range rs {
+	for i, r := range qresp.Results {
 		resp.Results[i] = ResultJSON{ID: uint32(r.ID), Dist: r.Dist}
+		if i < len(qresp.Matches) {
+			resp.Results[i].Matches = qresp.Matches[i]
+		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {

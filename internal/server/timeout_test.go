@@ -1,0 +1,139 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/queries"
+)
+
+// TestSearchTimeout504 pins the deadline path: a search whose per-request
+// ?timeout= budget has no chance of being met answers 504 Gateway Timeout
+// with a Truncated reply — distinct from the 400 a malformed request gets
+// and from a 500 engine fault.
+func TestSearchTimeout504(t *testing.T) {
+	s, ds := testServer(t, 4)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(searchReqOf(qs[0], 9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 1ns is deterministically expired by the time the engine checks it.
+	resp, err := http.Post(ts.URL+"/v1/search?timeout=1ns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	var sr SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatalf("decode 504 body: %v", err)
+	}
+	if !sr.Truncated {
+		t.Fatalf("504 reply not marked truncated: %+v", sr)
+	}
+	if sr.Stats.PageReads != 0 {
+		t.Fatalf("expired budget still read %d pages", sr.Stats.PageReads)
+	}
+
+	// A generous budget answers 200 as usual; a malformed one is a 400.
+	resp2, err := http.Post(ts.URL+"/v1/search?timeout=30s", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("30s budget: status %d, want 200", resp2.StatusCode)
+	}
+	for _, bad := range []string{"nope", "-5s", "0s"} {
+		resp3, err := http.Post(ts.URL+"/v1/search?timeout="+bad, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp3.Body.Close()
+		if resp3.StatusCode != http.StatusBadRequest {
+			t.Fatalf("timeout=%s: status %d, want 400", bad, resp3.StatusCode)
+		}
+	}
+}
+
+// TestSearchWithMatchesAndOptionsOnWire: with_matches returns per-result
+// covers whose point distances rebuild the reported distance; region and
+// initial_bound round-trip through JSON and filter like the engine-level
+// options they map to.
+func TestSearchWithMatchesAndOptionsOnWire(t *testing.T) {
+	s, ds := testServer(t, 4)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	qs, err := queries.Generate(ds, queries.Config{NumQueries: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range qs {
+		req := searchReqOf(q, 5, false)
+		req.WithMatches = true
+		got := post[SearchResponse](t, ts, "/v1/search", req, http.StatusOK)
+		if len(got.Results) == 0 {
+			continue
+		}
+		for ri, r := range got.Results {
+			if len(r.Matches) != len(q.Pts) {
+				t.Fatalf("q%d result %d: %d covers for %d query points", qi, ri, len(r.Matches), len(q.Pts))
+			}
+			var sum float64
+			for pi, qp := range q.Pts {
+				for _, idx := range r.Matches[pi] {
+					sum += geo.Dist(qp.Loc, ds.Trajs[r.ID].Pts[idx].Loc)
+				}
+			}
+			if math.Abs(sum-r.Dist) > 1e-9*(1+r.Dist) {
+				t.Fatalf("q%d result %d: cover distance %v != %v", qi, ri, sum, r.Dist)
+			}
+		}
+
+		// initial_bound at the median distance keeps exactly the prefix.
+		bound := got.Results[len(got.Results)/2].Dist
+		if bound > 0 {
+			breq := searchReqOf(q, 5, false)
+			breq.InitialBound = bound
+			bgot := post[SearchResponse](t, ts, "/v1/search", breq, http.StatusOK)
+			want := 0
+			for _, r := range got.Results {
+				if r.Dist <= bound {
+					want++
+				}
+			}
+			if len(bgot.Results) != want {
+				t.Fatalf("q%d: initial_bound %v kept %d results, want %d", qi, bound, len(bgot.Results), want)
+			}
+		}
+
+		// An all-covering region changes nothing; a far-away one empties.
+		rreq := searchReqOf(q, 5, false)
+		rreq.Region = &RectJSON{MinX: -1e6, MinY: -1e6, MaxX: 1e6, MaxY: 1e6}
+		rgot := post[SearchResponse](t, ts, "/v1/search", rreq, http.StatusOK)
+		if len(rgot.Results) != len(got.Results) {
+			t.Fatalf("q%d: all-covering region changed result count %d -> %d", qi, len(got.Results), len(rgot.Results))
+		}
+		rreq.Region = &RectJSON{MinX: 1e5, MinY: 1e5, MaxX: 1e5 + 1, MaxY: 1e5 + 1}
+		rgot = post[SearchResponse](t, ts, "/v1/search", rreq, http.StatusOK)
+		if len(rgot.Results) != 0 {
+			t.Fatalf("q%d: far-away region still returned %d results", qi, len(rgot.Results))
+		}
+	}
+}

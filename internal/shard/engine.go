@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"slices"
@@ -66,21 +68,48 @@ func (e *Engine) MemBytes() int64 {
 
 // LastStats implements query.Engine: the summed statistics of the last
 // search's shard fan-out, plus the ShardsSearched/ShardsSkipped plan shape.
+//
+// Deprecated: read Response.Stats.
 func (e *Engine) LastStats() query.SearchStats { return e.stats }
 
 // SearchATSQ implements query.Engine over the sharded corpus.
+//
+// Deprecated: use Search.
 func (e *Engine) SearchATSQ(q query.Query, k int) ([]query.Result, error) {
-	return e.search(q, k, false)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // SearchOATSQ implements query.Engine over the sharded corpus.
+//
+// Deprecated: use Search.
 func (e *Engine) SearchOATSQ(q query.Query, k int) ([]query.Result, error) {
-	return e.search(q, k, true)
+	resp, err := e.Search(context.Background(), query.Request{Query: q, K: k, Ordered: true})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
-func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, error) {
+// Search implements query.Engine over the sharded corpus. Planning honors
+// the request's options: shards whose bounding rectangle misses req.Region
+// are skipped outright, req.InitialBound caps the reachable radius from the
+// first wave on (composing with the tightening global threshold), and ctx
+// flows into every shard search — once it is cancelled or a shard fails,
+// the sibling in-flight searches are cancelled too and return at their next
+// batch boundary. On cancellation the global results gathered so far come
+// back with Truncated set, alongside ctx's error.
+func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response, error) {
+	q, k, ordered := req.Query, req.K, req.Ordered
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return query.Response{}, err
+	}
+	e.stats = query.SearchStats{}
+	if err := ctx.Err(); err != nil {
+		return query.Response{Truncated: true}, err
 	}
 	locs := e.locs[:0]
 	for _, p := range q.Pts {
@@ -92,6 +121,13 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 	minLB := math.Inf(1)
 	for si, sh := range e.r.shards {
 		lb := sh.queryLB(locs)
+		if req.Region != nil {
+			// A shard disjoint from the region holds no point that may
+			// match; plan it as unreachable.
+			if b, ok := sh.Bounds(); !ok || !b.Intersects(*req.Region) {
+				lb = math.Inf(1)
+			}
+		}
 		plans = append(plans, shardPlan{si: si, lb: lb})
 		if lb < minLB {
 			minLB = lb
@@ -109,7 +145,21 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 		}
 	})
 
+	// Sub-searches share a derived context: the first failure (or the
+	// caller hanging up) cancels every in-flight sibling shard search. The
+	// join wrapper keeps the caller's cancellation visible to the polling
+	// sub-searches directly (WithCancel alone propagates through a watcher
+	// goroutine, a delay the per-batch Err() polls would not see).
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sctx := joinedCtx{Context: cctx, parent: ctx}
+
+	bound := req.Bound()
 	shared := query.NewSharedTopK(k)
+	subReq := query.Request{
+		Query: q, K: k, Ordered: ordered,
+		InitialBound: req.InitialBound, Region: req.Region,
+	}
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -122,30 +172,37 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st, err := e.searchShard(si, q, k, ordered, shared)
+			st, err := e.searchShard(sctx, si, subReq, shared)
 			mu.Lock()
 			agg.Add(st)
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				cancel()
 			}
 			mu.Unlock()
 		}()
 	}
+	// effTh is the query's current reachable radius: the running global
+	// k-th distance capped by the request's initial bound.
+	effTh := func() float64 { return min(shared.Threshold(), bound) }
 
 	// Wave 1: every shard at the minimum bound (all intersecting shards
-	// when the query envelope overlaps any). Wave 2: the rest in ascending
-	// bound order, pruned against the now-populated global threshold; the
-	// bounds are sorted and the threshold only tightens, so the first
-	// over-threshold shard ends the scan.
+	// when the query envelope overlaps any), unless the initial bound
+	// already rules them out. Wave 2: the rest in ascending bound order,
+	// pruned against the now-populated global threshold; the bounds are
+	// sorted and the threshold only tightens, so the first over-threshold
+	// shard ends the scan.
 	i := 0
-	if !math.IsInf(minLB, 1) {
+	if !math.IsInf(minLB, 1) && minLB <= bound {
 		for ; i < len(plans) && plans[i].lb == minLB; i++ {
 			run(plans[i].si)
 		}
 		wg.Wait()
-		if firstErr == nil {
+		if firstErr == nil && sctx.Err() == nil {
 			for ; i < len(plans); i++ {
-				if math.IsInf(plans[i].lb, 1) || plans[i].lb > shared.Threshold() {
+				if math.IsInf(plans[i].lb, 1) || plans[i].lb > effTh() {
 					break
 				}
 				run(plans[i].si)
@@ -157,29 +214,74 @@ func (e *Engine) search(q query.Query, k int, ordered bool) ([]query.Result, err
 	agg.ShardsSearched = searched
 	agg.ShardsSkipped = len(plans) - searched
 	e.stats = agg
-	if firstErr != nil {
-		return nil, firstErr
+	if firstErr == nil {
+		// Cancellation between the waves skips wave-2 shards that may hold
+		// better matches; the merge is then incomplete and must be reported
+		// truncated, never as an exact success.
+		firstErr = ctx.Err()
 	}
-	return shared.Results(), nil
+	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) && ctx.Err() != nil {
+			// The cancellation came from the caller, not a shard fault:
+			// report the caller's error with the partial merge.
+			firstErr = ctx.Err()
+		}
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			return query.Response{Results: shared.Results(), Stats: e.stats, Truncated: true}, firstErr
+		}
+		return query.Response{Stats: e.stats}, firstErr
+	}
+	resp := query.Response{Results: shared.Results(), Stats: e.stats}
+	if req.WithMatches {
+		ms, err := e.fillMatches(ctx, q, ordered, req.Region, resp.Results)
+		resp.Matches = ms
+		resp.Stats = e.stats
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Cancelled mid-fill: the matches are incomplete even though
+				// the result set itself is final.
+				resp.Truncated = true
+			}
+			return resp, err
+		}
+	}
+	return resp, nil
 }
 
 // searchShard runs one shard's search with the shared bound attached,
 // holding the shard's ID-map read lock for the duration so every
 // trajectory the search can observe has its global mapping in place.
-func (e *Engine) searchShard(si int, q query.Query, k int, ordered bool, shared *query.SharedTopK) (query.SearchStats, error) {
+func (e *Engine) searchShard(ctx context.Context, si int, req query.Request, shared *query.SharedTopK) (query.SearchStats, error) {
 	sh := e.r.shards[si]
 	sub := e.subs[si]
 	sh.idmu.RLock()
 	defer sh.idmu.RUnlock()
 	sub.SetBoundSink(&translatingSink{shared: shared, ids: sh.globalIDs})
 	defer sub.SetBoundSink(nil)
-	var err error
-	if ordered {
-		_, err = sub.SearchOATSQ(q, k)
-	} else {
-		_, err = sub.SearchATSQ(q, k)
+	resp, err := sub.Search(ctx, req)
+	return resp.Stats, err
+}
+
+// fillMatches answers Request.WithMatches after the scatter-gather merge:
+// each global result is routed back to its owning shard, whose sub-engine
+// re-derives the matched point indexes from the shard-local trajectory.
+func (e *Engine) fillMatches(ctx context.Context, q query.Query, ordered bool, region *geo.Rect, rs []query.Result) ([][][]int32, error) {
+	out := make([][][]int32, len(rs))
+	for i := range rs {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		si, local, ok := e.r.Owner(rs[i].ID)
+		if !ok {
+			return out, fmt.Errorf("shard: result trajectory %d has no owner", rs[i].ID)
+		}
+		m, err := e.subs[si].Matches(q, local, ordered, region, &e.stats)
+		if err != nil {
+			return out, err
+		}
+		out[i] = m
 	}
-	return sub.LastStats(), err
+	return out, nil
 }
 
 // Clone implements query.CloneableEngine: an independent engine (fresh
@@ -195,6 +297,24 @@ func (e *Engine) ResetCaches() {
 }
 
 var _ query.CloneableEngine = (*Engine)(nil)
+
+// joinedCtx derives a cancellable context whose Err() also polls the
+// parent lazily: sub-searches observe the caller's cancellation at their
+// very next batch-boundary check, with no propagation goroutine in
+// between. Done() is the derived context's channel — the engine's internal
+// cancel fires it; selectors additionally watching the parent should
+// select on the parent's Done themselves.
+type joinedCtx struct {
+	context.Context // the engine-owned cancel context (Done, Deadline, Value)
+	parent          context.Context
+}
+
+func (j joinedCtx) Err() error {
+	if err := j.parent.Err(); err != nil {
+		return err
+	}
+	return j.Context.Err()
+}
 
 // translatingSink adapts a shard search's local result stream to the
 // shared global top-k: local IDs are translated through the shard's

@@ -299,6 +299,19 @@ func (r *Router) zhi(si int, maxZ uint32) uint32 {
 // NumShards returns K.
 func (r *Router) NumShards() int { return len(r.shards) }
 
+// Owner locates a global trajectory ID: the owning shard's index and the
+// trajectory's shard-local ID. ok is false for IDs the router never
+// assigned.
+func (r *Router) Owner(gid trajectory.TrajID) (shard int, local trajectory.TrajID, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(gid) >= len(r.owners) {
+		return 0, 0, false
+	}
+	o := r.owners[gid]
+	return int(o.shard), o.local, true
+}
+
 // Shard returns shard si (0 <= si < NumShards), for inspection.
 func (r *Router) Shard(si int) *Shard { return r.shards[si] }
 
