@@ -15,6 +15,7 @@ import (
 	"activitytraj/internal/query"
 	"activitytraj/internal/shard"
 	"activitytraj/internal/trajectory"
+	"activitytraj/internal/wal"
 )
 
 // Core data model re-exports. The aliases make the internal packages'
@@ -118,7 +119,36 @@ type (
 	// scatter-gather top-k (planning + cross-shard bound sharing); it
 	// implements Engine and CloneableEngine.
 	ShardedEngine = shard.Engine
+
+	// Durability configures write-ahead durability for a dynamic or sharded
+	// index: the data directory, the WAL fsync policy, and segment sizing.
+	// Set it in DynamicConfig / ShardedConfig and open the index with
+	// OpenDynamic / OpenSharded.
+	Durability = delta.Durability
+	// SyncMode selects how eagerly the WAL fsyncs (SyncAlways, SyncGroup,
+	// SyncOff).
+	SyncMode = wal.SyncMode
+	// DynamicRecoveryInfo summarizes what OpenDynamic replayed.
+	DynamicRecoveryInfo = delta.RecoveryInfo
+	// ShardedRecoveryInfo summarizes what OpenSharded replayed across the
+	// routing journal and every shard.
+	ShardedRecoveryInfo = shard.RecoveryInfo
 )
+
+// WAL sync policies for Durability.Sync: SyncAlways fsyncs every mutation
+// before acknowledging it (no acknowledged write is ever lost), SyncGroup
+// coalesces concurrent commits into one fsync (group commit), and SyncOff
+// leaves flushing to the OS (process crashes lose nothing that reached the
+// page cache; machine crashes may lose a recent suffix).
+const (
+	SyncAlways = wal.SyncAlways
+	SyncGroup  = wal.SyncGroup
+	SyncOff    = wal.SyncOff
+)
+
+// ParseSyncMode parses a WAL sync policy name: "always", "group" (also
+// "batch") or "off" (also "never"); the empty string is SyncAlways.
+func ParseSyncMode(s string) (SyncMode, error) { return wal.ParseSyncMode(s) }
 
 // NewActivitySet returns a normalized activity set.
 func NewActivitySet(ids ...ActivityID) ActivitySet { return trajectory.NewActivitySet(ids...) }
@@ -189,6 +219,31 @@ func NewDynamic(ds *Dataset, cfg DynamicConfig) (*DynamicIndex, error) {
 // mutation sequence.
 func NewSharded(ds *Dataset, cfg ShardedConfig) (*ShardedRouter, error) {
 	return shard.NewRouter(ds, cfg)
+}
+
+// OpenDynamic is NewDynamic with durability: when cfg.Durability.Dir is
+// set, every Insert/Delete is logged to a checksummed WAL before it is
+// applied and acknowledged, compactions persist a snapshot and prune the
+// log, and reopening the same directory (with the same bootstrap dataset)
+// replays whatever a crash left behind — the recovered index is
+// byte-identical, search for search, to one that never crashed, holding a
+// consistent prefix of the acknowledged mutation stream. A torn tail from
+// a mid-write crash is detected by checksum and truncated. With an empty
+// Durability.Dir it is exactly NewDynamic. Close the index with
+// (*DynamicIndex).Close so the WAL is sealed.
+func OpenDynamic(bootstrap *Dataset, cfg DynamicConfig) (*DynamicIndex, DynamicRecoveryInfo, error) {
+	return delta.OpenOrCreate(bootstrap, cfg)
+}
+
+// OpenSharded is NewSharded with durability: cfg.Durability names a data
+// directory under which each shard keeps its own WAL and snapshots and the
+// router keeps a routing journal, so a crashed or killed server reopens to
+// a consistent prefix of the acknowledged mutation stream with global IDs
+// assigned exactly as the uncrashed run would have. The bootstrap dataset
+// must be the same on every open — it is the base the journal and WALs
+// replay onto. Close the router with (*ShardedRouter).Close.
+func OpenSharded(bootstrap *Dataset, cfg ShardedConfig) (*ShardedRouter, ShardedRecoveryInfo, error) {
+	return shard.OpenOrCreate(bootstrap, cfg)
 }
 
 // NewParallelEngine wraps e in a pool of workers clones (workers <= 0

@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# End-to-end crash-recovery gate for the durable serving stack: boot
+# atsqserve with a -data-dir, stream inserts at it, SIGKILL the process
+# mid-ingest (no shutdown hooks run), restart it on the same directory, and
+# require that
+#   1. every acknowledged insert survived the crash (searchable at
+#      distance 0 under its own ID),
+#   2. the recovered server is byte-identical, query for query, to an
+#      uncrashed reference server holding the same mutation prefix,
+#   3. /healthz reports the recovery and the server keeps serving
+#      mutations afterwards.
+#
+# Run from the repository root:  ./ci/e2e_crash.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+ADDR="127.0.0.1:18109"
+BASE="http://$ADDR"
+REF_ADDR="127.0.0.1:18110"
+REF_BASE="http://$REF_ADDR"
+SHARDS=3
+DATA="$WORK/data"
+NINSERTS=200
+KILL_AFTER=40   # acked inserts before the SIGKILL
+
+echo "== build"
+go build -o "$WORK/bin/" ./cmd/atsqgen ./cmd/atsqsearch ./cmd/atsqserve
+
+echo "== generate corpus"
+"$WORK/bin/atsqgen" -preset la -scale 0.03 -seed 12 -out "$WORK/corpus.atrj"
+
+# Deterministic insert stream: line i holds "insert-body<TAB>probe-body".
+# Coordinates are unique per insert, so a distance-0 hit under the acked ID
+# proves that exact trajectory survived.
+awk -v n="$NINSERTS" 'BEGIN {
+    for (i = 0; i < n; i++) {
+        x = 0.5 + i * 0.11; y = 0.4 + i * 0.117;
+        ins = sprintf("{\"points\":[{\"x\":%.3f,\"y\":%.3f,\"acts\":[1,2]},{\"x\":%.3f,\"y\":%.3f,\"acts\":[3]}]}", x, y, x + 0.05, y + 0.07);
+        probe = sprintf("{\"k\":1,\"points\":[{\"x\":%.3f,\"y\":%.3f,\"acts\":[1,2]}]}", x, y);
+        printf "%s\t%s\n", ins, probe;
+    }
+}' >"$WORK/inserts.tsv"
+
+wait_healthy() { # $1 = base url, $2 = pid, $3 = log
+    for _ in $(seq 1 120); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "$2" 2>/dev/null; then
+            echo "server died during startup:" >&2; cat "$3" >&2; exit 1
+        fi
+        sleep 0.25
+    done
+    echo "server never became healthy" >&2; cat "$3" >&2; exit 1
+}
+
+echo "== boot durable $SHARDS-shard server on $ADDR (-data-dir, -sync always)"
+"$WORK/bin/atsqserve" -data "$WORK/corpus.atrj" -shards "$SHARDS" -addr "$ADDR" \
+    -data-dir "$DATA" -sync always >"$WORK/server.log" 2>&1 &
+SRV=$!
+trap 'kill -9 "$SRV" 2>/dev/null || true; kill -9 "${REF:-0}" 2>/dev/null || true; kill "${FEED:-0}" 2>/dev/null || true' EXIT
+wait_healthy "$BASE" "$SRV" "$WORK/server.log"
+BASE_N=$(curl -fsS "$BASE/v1/stats" | sed -n 's/.*"NextID":\([0-9]*\).*/\1/p')
+[ -n "$BASE_N" ] || { echo "no NextID in stats" >&2; exit 1; }
+
+echo "== stream inserts, SIGKILL after $KILL_AFTER acks"
+: >"$WORK/acked.tsv"
+(
+    while IFS=$'\t' read -r ins probe; do
+        resp=$(curl -sS -X POST "$BASE/v1/insert" -d "$ins" 2>/dev/null) || break
+        id=$(echo "$resp" | sed -n 's/.*"id":\([0-9]*\).*/\1/p')
+        [ -n "$id" ] || break
+        printf '%s\t%s\n' "$id" "$probe" >>"$WORK/acked.tsv"
+    done <"$WORK/inserts.tsv"
+) &
+FEED=$!
+for _ in $(seq 1 400); do
+    [ "$(wc -l <"$WORK/acked.tsv")" -ge "$KILL_AFTER" ] && break
+    kill -0 "$FEED" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$SRV" 2>/dev/null || true   # uncleanly, mid-ingest
+wait "$SRV" 2>/dev/null || true
+kill "$FEED" 2>/dev/null || true
+wait "$FEED" 2>/dev/null || true
+ACKED=$(wc -l <"$WORK/acked.tsv")
+[ "$ACKED" -ge 1 ] || { echo "no insert was acknowledged before the kill" >&2; exit 1; }
+echo "   killed with $ACKED acknowledged inserts"
+
+echo "== restart on the same -data-dir"
+"$WORK/bin/atsqserve" -data "$WORK/corpus.atrj" -shards "$SHARDS" -addr "$ADDR" \
+    -data-dir "$DATA" -sync always >"$WORK/server2.log" 2>&1 &
+SRV=$!
+wait_healthy "$BASE" "$SRV" "$WORK/server2.log"
+grep -q "recovered $DATA" "$WORK/server2.log" || {
+    echo "restart did not report recovery:" >&2; cat "$WORK/server2.log" >&2; exit 1; }
+curl -fsS "$BASE/healthz" | grep -q '"recovery"' || {
+    echo "healthz does not report the recovery" >&2; exit 1; }
+
+echo "== every acknowledged insert survived"
+while IFS=$'\t' read -r id probe; do
+    hit=$(curl -fsS -X POST "$BASE/v1/search" -d "$probe")
+    echo "$hit" | grep -q "\"id\":$id,\"dist\":0" || {
+        echo "acked insert $id lost after crash: $hit" >&2; exit 1; }
+done <"$WORK/acked.tsv"
+echo "   all $ACKED acked inserts searchable at distance 0"
+
+# The recovered corpus is the base plus the first m inserts of the stream
+# (acked <= m <= attempted): replay exactly that prefix into a fresh
+# in-memory reference server and require byte-identical search results.
+NEXT=$(curl -fsS "$BASE/v1/stats" | sed -n 's/.*"NextID":\([0-9]*\).*/\1/p')
+M=$((NEXT - BASE_N))
+[ "$M" -ge "$ACKED" ] || { echo "recovered $M inserts < $ACKED acked" >&2; exit 1; }
+echo "== differential: recovered server vs uncrashed reference ($M inserts, 20 queries)"
+"$WORK/bin/atsqserve" -data "$WORK/corpus.atrj" -shards "$SHARDS" -addr "$REF_ADDR" \
+    >"$WORK/ref.log" 2>&1 &
+REF=$!
+wait_healthy "$REF_BASE" "$REF" "$WORK/ref.log"
+head -n "$M" "$WORK/inserts.tsv" | while IFS=$'\t' read -r ins probe; do
+    curl -fsS -X POST "$REF_BASE/v1/insert" -d "$ins" >/dev/null
+done
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -random 20 -seed 42 -k 9 -json >"$WORK/recovered.json" 2>/dev/null
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$REF_BASE" \
+    -random 20 -seed 42 -k 9 -json >"$WORK/reference.json" 2>/dev/null
+[ -s "$WORK/recovered.json" ] && [ -s "$WORK/reference.json" ] || {
+    echo "empty result files" >&2; exit 1; }
+if ! diff -u "$WORK/reference.json" "$WORK/recovered.json"; then
+    echo "FAIL: recovered server differs from the uncrashed reference" >&2
+    exit 1
+fi
+echo "   $(wc -l <"$WORK/recovered.json") queries byte-identical"
+
+echo "== recovered server still accepts mutations"
+INS=$(curl -fsS -X POST "$BASE/v1/insert" \
+    -d '{"points":[{"x":28,"y":28,"acts":[1]}]}')
+echo "$INS" | grep -q '"id":' || { echo "post-recovery insert failed: $INS" >&2; exit 1; }
+
+echo "== graceful shutdown seals the WALs"
+kill -TERM "$SRV"
+for _ in $(seq 1 40); do kill -0 "$SRV" 2>/dev/null || break; sleep 0.25; done
+if kill -0 "$SRV" 2>/dev/null; then
+    echo "server did not exit after SIGTERM" >&2; exit 1
+fi
+grep -q "bye" "$WORK/server2.log" || {
+    echo "no graceful-shutdown marker in log" >&2; cat "$WORK/server2.log" >&2; exit 1; }
+
+echo "== third boot after the clean shutdown stays consistent"
+"$WORK/bin/atsqserve" -data "$WORK/corpus.atrj" -shards "$SHARDS" -addr "$ADDR" \
+    -data-dir "$DATA" -sync always >"$WORK/server3.log" 2>&1 &
+SRV=$!
+wait_healthy "$BASE" "$SRV" "$WORK/server3.log"
+NEXT3=$(curl -fsS "$BASE/v1/stats" | sed -n 's/.*"NextID":\([0-9]*\).*/\1/p')
+[ "$NEXT3" -eq $((NEXT + 1)) ] || {
+    echo "third boot NextID $NEXT3, want $((NEXT + 1))" >&2; exit 1; }
+kill -9 "$SRV" 2>/dev/null || true
+kill -9 "$REF" 2>/dev/null || true
+trap - EXIT
+
+echo "e2e-crash: PASS"

@@ -37,7 +37,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"os"
@@ -69,6 +71,7 @@ func main() {
 	serverURL := flag.String("server", "", "answer queries via a running atsqserve instance at this base URL instead of a local engine")
 	workers := flag.Int("workers", 1, "serve -random queries concurrently on this many engine clones (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "per-query search budget (0 = none); local searches return a deadline error, -server runs send it as ?timeout= and report the 504")
+	retries := flag.Int("retries", 3, "max retries per -server query on transient failures (connection errors, 502/503), with capped exponential backoff")
 	stream := flag.Int("stream", 0, "hold out the last N trajectories and ingest them online (dynamic index) while the -random workload runs")
 	compactAt := flag.Int("compact-threshold", 0, "dynamic-index delta mutations before background compaction (0 = default, <0 = never)")
 	verbose := flag.Bool("v", false, "print per-result trajectory details")
@@ -131,7 +134,7 @@ func main() {
 	}
 
 	if *serverURL != "" {
-		serveRemote(*serverURL, qs, *k, *ordered, *jsonOut, *deadline, ds, banner)
+		serveRemote(*serverURL, qs, *k, *ordered, *jsonOut, *deadline, *retries, ds, banner)
 		return
 	}
 
@@ -285,7 +288,11 @@ func emitJSON(qi int, results []activitytraj.Result) {
 // output path as a local engine's results. A -deadline budget travels as
 // the server's per-request ?timeout= parameter; a 504 reply is reported as
 // the deadline error it is, distinct from any other server status.
-func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOut bool, deadline time.Duration, ds *activitytraj.Dataset, banner func(string, ...any)) {
+// Transient failures — transport errors such as connection refused/reset
+// while the server restarts, and 502/503 replies — are retried up to
+// -retries times with capped exponential backoff; searches are read-only,
+// so a retry after an ambiguous failure never double-applies anything.
+func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOut bool, deadline time.Duration, retries int, ds *activitytraj.Dataset, banner func(string, ...any)) {
 	baseURL = strings.TrimRight(baseURL, "/")
 	searchURL := baseURL + "/v1/search"
 	if deadline > 0 {
@@ -306,7 +313,9 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 		if err != nil {
 			log.Fatalf("marshal query %d: %v", qi, err)
 		}
-		resp, err := client.Post(searchURL, "application/json", bytes.NewReader(body))
+		resp, err := postRetry(client, searchURL, body, retries, func(format string, args ...any) {
+			log.Printf("query %d: %s", qi, fmt.Sprintf(format, args...))
+		})
 		if err != nil {
 			log.Fatalf("query %d: %v", qi, err)
 		}
@@ -341,6 +350,42 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 		printResults(results, ds, false)
 	}
 	banner("%d queries answered by %s in %s\n", len(qs), baseURL, time.Since(start).Round(time.Millisecond))
+}
+
+// postRetry POSTs body to url, retrying transient failures up to retries
+// extra attempts. Retryable: any transport-level error (connection refused
+// while the server boots, connection reset mid-restart) and the 502/503
+// statuses a proxy or a recovering/degraded server answers. Anything else
+// — 200, 400, 404, 504 — returns immediately for the caller to interpret.
+// Backoff doubles from 100ms up to a 2s cap, with full jitter so a batch
+// of clients hammered off a restarting server does not reconverge in
+// lockstep.
+func postRetry(client *http.Client, url string, body []byte, retries int, warnf func(string, ...any)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err == nil && resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			// Drain so the connection can be reused, then retry the status.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server status %d (%s)", resp.StatusCode, http.StatusText(resp.StatusCode))
+		}
+		if attempt >= retries {
+			if retries > 0 {
+				return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt+1)
+			}
+			return nil, lastErr
+		}
+		backoff := min(100*time.Millisecond<<attempt, 2*time.Second)
+		sleep := rand.N(backoff + 1)
+		warnf("transient failure (%v); retry %d/%d in %s", lastErr, attempt+1, retries, sleep.Round(time.Millisecond))
+		time.Sleep(sleep)
+	}
 }
 
 // streamIngest holds the last n trajectories out of the base build and

@@ -6,10 +6,18 @@
 //
 //	atsqserve -data la.atrj -shards 4 -addr :8080
 //	atsqserve -preset ny -scale 0.05 -shards 8
+//	atsqserve -data la.atrj -data-dir /var/lib/atsq -sync group
+//
+// With -data-dir, mutations are durable: every insert/delete is logged to
+// a per-shard write-ahead log (and a routing journal) before it is
+// acknowledged, per the -sync policy (always | group | off). Killing the
+// process — even uncleanly, mid-write — and restarting it with the same
+// corpus and -data-dir replays the logs and serves exactly the
+// acknowledged mutations; /healthz reports what the boot recovered.
 //
 // Endpoints (JSON):
 //
-//	GET  /healthz    liveness + shard count
+//	GET  /healthz    liveness + shard count + recovery/compaction health
 //	POST /v1/search  {"k":9,"ordered":false,"points":[{"x":1.2,"y":3.4,"acts":[7],"names":["coffee"]}]}
 //	POST /v1/insert  {"points":[{"x":1.2,"y":3.4,"acts":[7]}]} -> {"id":N}
 //	POST /v1/delete  {"id":N}
@@ -54,6 +62,8 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent searches served (0 = GOMAXPROCS)")
 	addr := flag.String("addr", ":8080", "listen address")
 	compactAt := flag.Int("compact-threshold", 0, "per-shard delta mutations before background compaction (0 = default, <0 = never)")
+	dataDir := flag.String("data-dir", "", "durable data directory (per-shard WALs, snapshots, routing journal); mutations survive crashes and are replayed on boot — supply the same -data/-preset corpus every boot, it is the recovery bootstrap")
+	syncMode := flag.String("sync", "always", "WAL fsync policy with -data-dir: always|group|off")
 	flag.Parse()
 
 	ds, err := dataset.LoadOrGenerate(*data, *preset, *scale)
@@ -65,14 +75,42 @@ func main() {
 		ds.Name, st.Trajectories, st.Points, st.DistinctActs)
 
 	buildStart := time.Now()
-	router, err := activitytraj.NewSharded(ds, activitytraj.ShardedConfig{
+	cfg := activitytraj.ShardedConfig{
 		Shards: *shards,
 		Delta:  activitytraj.DynamicConfig{CompactThreshold: *compactAt},
-	})
-	if err != nil {
-		log.Fatalf("build: %v", err)
 	}
-	srv := server.New(router, server.Options{Workers: *workers, Vocab: ds.Vocab})
+	var router *activitytraj.ShardedRouter
+	var recovery *activitytraj.ShardedRecoveryInfo
+	if *dataDir != "" {
+		mode, err := activitytraj.ParseSyncMode(*syncMode)
+		if err != nil {
+			log.Fatalf("-sync: %v", err)
+		}
+		cfg.Durability = activitytraj.Durability{Dir: *dataDir, Sync: mode}
+		r, ri, err := activitytraj.OpenSharded(ds, cfg)
+		if err != nil {
+			log.Fatalf("open %s: %v", *dataDir, err)
+		}
+		router = r
+		recovery = &ri
+		var replayed int64
+		for _, sri := range ri.Shards {
+			replayed += sri.Replayed
+		}
+		log.Printf("recovered %s: %d journal records, %d shard WAL records replayed (sync=%s)",
+			*dataDir, ri.JournalReplayed, replayed, mode)
+		if ri.Torn || ri.Synthesized > 0 || ri.JournalRebuilt {
+			log.Printf("crash repair: torn=%v synthesized=%d journal_rebuilt=%v",
+				ri.Torn, ri.Synthesized, ri.JournalRebuilt)
+		}
+	} else {
+		r, err := activitytraj.NewSharded(ds, cfg)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		router = r
+	}
+	srv := server.New(router, server.Options{Workers: *workers, Vocab: ds.Vocab, Recovery: recovery})
 	log.Printf("%d shards built in %s; serving on %s", router.NumShards(),
 		time.Since(buildStart).Round(time.Millisecond), *addr)
 
@@ -101,6 +139,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatalf("shutdown: %v", err)
+	}
+	// Seal the WALs (sync + close) so the next boot sees a clean tail; a
+	// no-op without -data-dir.
+	if err := router.Close(); err != nil {
+		log.Fatalf("close: %v", err)
 	}
 	log.Printf("bye")
 }

@@ -180,6 +180,54 @@
 // routes by the first point's leaf cell; Router.Delete routes to the
 // owning shard. cmd/atsqserve serves a sharded index over HTTP.
 //
+// # Durability and crash recovery
+//
+// Dynamic and sharded indexes are in-memory by default: a crash loses
+// every mutation since boot. OpenDynamic / OpenSharded add write-ahead
+// durability under a data directory:
+//
+//	cfg := activitytraj.ShardedConfig{Shards: 4}
+//	cfg.Durability = activitytraj.Durability{Dir: "/var/lib/atsq", Sync: activitytraj.SyncGroup}
+//	r, info, _ := activitytraj.OpenSharded(ds, cfg)   // replays whatever a crash left
+//	defer r.Close()                                   // seals the logs
+//
+// The lifecycle is WAL → snapshot → prune. Every Insert/Delete is encoded
+// into a checksummed, length-prefixed log record and appended to the
+// write-ahead log BEFORE it is applied, and acknowledged only after the
+// record is durable per the sync policy. When a compaction folds the delta
+// into a fresh base generation, the generation is also persisted as a
+// snapshot named by the last log sequence it covers, the manifest is
+// committed atomically (write-temp, fsync, rename), and log segments the
+// snapshot covers are pruned. Reopening the directory loads the manifest's
+// snapshot and replays the remaining log suffix — record sequence numbers
+// are strictly contiguous, so a gap or a mid-log checksum failure is
+// corruption and refuses to open, while a torn tail (a crash mid-append,
+// detected by length/checksum at the end of the final segment) is expected
+// and truncated. The recovered index holds a consistent prefix of the
+// attempted mutation stream that includes every acknowledged mutation, and
+// searches on it are byte-identical to an index that never crashed with
+// that prefix applied; trajectory IDs are re-derived from replay order, so
+// they too match exactly.
+//
+// Durability.Sync trades acknowledgment latency for crash-loss guarantees:
+//
+//   - SyncAlways (default): fsync before every acknowledgment. No
+//     acknowledged mutation is ever lost, at one fsync per mutation.
+//   - SyncGroup: concurrent commits coalesce into one fsync (group
+//     commit, with a short gather window). Same guarantee as SyncAlways
+//     for every acknowledged write, amortized across writers.
+//   - SyncOff: appends reach the OS page cache only. A process crash
+//     loses nothing; a machine crash may lose a recently-acknowledged
+//     suffix (recovery still yields a consistent prefix).
+//
+// A WAL write or sync failure is fail-stop: the index keeps serving reads
+// but refuses further mutations, so memory can never run ahead of what the
+// log can replay. Sharded durability composes per shard — each shard owns
+// its WAL and snapshots, and the router adds a routing journal so global
+// ID assignment replays deterministically; cmd/atsqserve exposes all of it
+// via -data-dir and -sync, and ci/e2e_crash.sh kills a serving process
+// mid-ingest and diffs the recovered server against an uncrashed twin.
+//
 // # Cache tuning
 //
 // Three sharded LRU caches sit in front of the simulated disk and are

@@ -13,6 +13,7 @@ import (
 	"activitytraj/internal/query"
 	"activitytraj/internal/sketch"
 	"activitytraj/internal/trajectory"
+	"activitytraj/internal/wal"
 )
 
 // Config tunes a Dynamic index.
@@ -29,6 +30,10 @@ type Config struct {
 	// DefaultCompactThreshold; negative disables auto-compaction (call
 	// CompactNow explicitly).
 	CompactThreshold int
+	// Durability persists mutations to a write-ahead log and compactions to
+	// snapshots for crash recovery. The zero value disables it; a durable
+	// index must be opened with OpenOrCreate, not NewDynamic.
+	Durability Durability
 }
 
 // DefaultCompactThreshold is the default delta-mutation count that triggers
@@ -218,13 +223,28 @@ type Dynamic struct {
 	// atomic.Value never sees two different concrete error types.
 	compactErr atomic.Value // of errBox
 
+	// log, when non-nil, receives every mutation before it applies (see
+	// Durability); fsys is the filesystem snapshots are written through.
+	// walBuf is the record-encoding scratch buffer, guarded by mu.
+	log    *wal.Log
+	fsys   wal.FS
+	walBuf []byte
+
 	gen atomic.Pointer[generation]
 }
 
 // NewDynamic builds a dynamic index over ds. The dataset is the initial
 // base generation; it must satisfy (*Dataset).Validate and is treated as
-// immutable afterwards.
+// immutable afterwards. An index with Config.Durability set must be opened
+// with OpenOrCreate instead, so pre-crash state is never silently ignored.
 func NewDynamic(ds *trajectory.Dataset, cfg Config) (*Dynamic, error) {
+	if cfg.Durability.Dir != "" {
+		return nil, fmt.Errorf("delta: durable indexes must be opened with OpenOrCreate")
+	}
+	return newDynamicBase(ds, cfg)
+}
+
+func newDynamicBase(ds *trajectory.Dataset, cfg Config) (*Dynamic, error) {
 	if cfg.Store.FilePath != "" {
 		return nil, fmt.Errorf("delta: file-backed stores are not supported (compaction rebuilds the store)")
 	}
@@ -292,12 +312,34 @@ func (d *Dynamic) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
 		return 0, err
 	}
 	d.mu.Lock()
+	// Log before apply: a mutation the WAL rejected never reaches memory,
+	// so the on-disk record stream is always a superset of the in-memory
+	// state — recovery replays a prefix of it and can never miss an
+	// acknowledged write.
+	var seq uint64
+	if d.log != nil {
+		d.walBuf = encodeInsertBody(d.walBuf[:0], tr.Pts)
+		var err error
+		if seq, err = d.log.Append(recInsert, d.walBuf); err != nil {
+			d.mu.Unlock()
+			return 0, err
+		}
+	}
 	gen := d.gen.Load()
 	id := trajectory.TrajID(d.nextID)
 	d.nextID++
 	tr.ID = id
 	gen.active.insert(id, tr)
 	d.mu.Unlock()
+	if d.log != nil {
+		// Durability wait happens outside d.mu so concurrent writers share
+		// one fsync (group commit). An error here means the mutation is
+		// applied but unacknowledged: it may or may not survive a crash,
+		// which is exactly what returning an error promises.
+		if err := d.log.Commit(seq); err != nil {
+			return 0, err
+		}
+	}
 	d.maybeCompact(gen)
 	return id, nil
 }
@@ -320,11 +362,27 @@ func (d *Dynamic) Delete(id trajectory.TrajID) error {
 	// away into a base husk.
 	if gen.ov.Tombstoned(id) ||
 		(int(id) < len(gen.ds.Trajs) && len(gen.ds.Trajs[id].Pts) == 0) {
+		// No state change: idempotent re-deletes are not logged, so retries
+		// never bloat the WAL or the replayed tombstone count.
 		d.mu.Unlock()
 		return nil
 	}
+	var seq uint64
+	if d.log != nil {
+		d.walBuf = encodeDeleteBody(d.walBuf[:0], id)
+		var err error
+		if seq, err = d.log.Append(recDelete, d.walBuf); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+	}
 	gen.active.delete(id)
 	d.mu.Unlock()
+	if d.log != nil {
+		if err := d.log.Commit(seq); err != nil {
+			return err
+		}
+	}
 	d.maybeCompact(gen)
 	return nil
 }
@@ -406,6 +464,13 @@ func (d *Dynamic) CompactNow() error {
 	gen1 := newGeneration(cur.epoch+1, cur.ds, cur.ts, cur.idx, frozen, fresh)
 	d.gen.Store(gen1)
 	cur.retire()
+	// WAL appends happen under d.mu, so the log's last seq here is exactly
+	// the last mutation captured by base+frozen: the snapshot built from
+	// them covers every record up to and including lastSeq.
+	var lastSeq uint64
+	if d.log != nil {
+		lastSeq = d.log.LastSeq()
+	}
 	d.mu.Unlock()
 
 	// Phase 2: rebuild the base from the old dataset plus the frozen layer
@@ -453,6 +518,15 @@ func (d *Dynamic) CompactNow() error {
 		idx.ResetCache()
 		ts.ResetPool()
 	}(cur, g, cur.ts, cur.idx)
+
+	// Persist the compaction: snapshot + manifest commit + WAL prune. A
+	// failure here leaves the swapped-in generation serving (memory is
+	// consistent) and the WAL unpruned, so recovery still replays onto the
+	// previous snapshot correctly; the error propagates so auto-compaction
+	// latches off and health checks surface it.
+	if err := d.durableEpilogue(newDS, lastSeq); err != nil {
+		return err
+	}
 	return nil
 }
 

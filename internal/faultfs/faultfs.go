@@ -1,0 +1,218 @@
+// Package faultfs wraps a wal.FS with deterministic fault injection: short
+// writes, fsync errors, and crash latches triggered at exact operation
+// counts. It exists so the durability stack's recovery path is tested
+// against the failures it claims to survive — a crash mid-record, mid
+// segment rotation, or mid compaction-swap — rather than only against
+// clean restarts.
+//
+// A "crash" models the process dying: the triggering operation takes
+// partial effect (a short write leaves its prefix on disk, a crashed
+// rename/remove simply doesn't happen), and every operation after it fails
+// with ErrCrashed. The test then simulates the restart by reopening the
+// same directory through a fresh, healthy filesystem.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"activitytraj/internal/wal"
+)
+
+// ErrCrashed is returned by every operation after the crash point fires.
+var ErrCrashed = errors.New("faultfs: crashed")
+
+// ErrInjected is returned by operations that fail without crashing (the
+// transient-fault plan fields).
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Plan declares the faults to inject. Counts are 1-based occurrence
+// indexes across the whole filesystem ("crash on the 3rd write"); zero
+// disables that fault. At most one crash fires: the first trigger reached.
+type Plan struct {
+	// CrashOnWrite crashes during the Nth File.Write; WritePartial bytes of
+	// that write reach the file first (a torn frame).
+	CrashOnWrite int
+	WritePartial int
+	// CrashOnSync crashes during the Nth File.Sync (the data written before
+	// it stays on disk — fsync reordering is not modeled, only the ack).
+	CrashOnSync int
+	// FailSync makes the Nth File.Sync return ErrInjected without
+	// crashing: the transient fsync-failure path, after which a fail-stop
+	// log must reject further appends.
+	FailSync int
+	// CrashOnCreate crashes on the Nth FS.Create before the file exists
+	// (e.g. mid segment-rotation, after the old segment was sealed).
+	CrashOnCreate int
+	// CrashOnRename crashes on the Nth FS.Rename before it happens (e.g.
+	// mid compaction-swap, after the snapshot was written but before the
+	// manifest commit point).
+	CrashOnRename int
+	// CrashOnRemove crashes on the Nth FS.Remove before it happens (e.g.
+	// mid WAL prune).
+	CrashOnRemove int
+}
+
+// FS injects Plan's faults over a base filesystem.
+type FS struct {
+	base wal.FS
+	plan Plan
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	creates int
+	renames int
+	removes int
+	crashed bool
+}
+
+// New wraps base (nil selects the real filesystem) with plan.
+func New(base wal.FS, plan Plan) *FS {
+	if base == nil {
+		base = wal.OSFS()
+	}
+	return &FS{base: base, plan: plan}
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Ops returns the operation counts seen so far (writes, syncs, creates,
+// renames, removes) — how tests discover the op indexes worth crashing at.
+func (f *FS) Ops() (writes, syncs, creates, renames, removes int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes, f.syncs, f.creates, f.renames, f.removes
+}
+
+// gate bumps *count and reports whether the operation must fail (the latch
+// is set) and whether this very call tripped it. Caller holds f.mu.
+func (f *FS) gate(count *int, at int) (crashed, tripped bool) {
+	if f.crashed {
+		return true, false
+	}
+	*count++
+	if at > 0 && *count == at {
+		f.crashed = true
+		return true, true
+	}
+	return false, false
+}
+
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	return f.base.MkdirAll(dir)
+}
+
+func (f *FS) Create(name string) (wal.File, error) {
+	f.mu.Lock()
+	crash, _ := f.gate(&f.creates, f.plan.CrashOnCreate)
+	f.mu.Unlock()
+	if crash {
+		return nil, ErrCrashed
+	}
+	file, err := f.base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+func (f *FS) Open(name string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.base.Open(name)
+}
+
+func (f *FS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.base.ReadDir(dir)
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	crash, _ := f.gate(&f.removes, f.plan.CrashOnRemove)
+	f.mu.Unlock()
+	if crash {
+		return ErrCrashed
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	crash, _ := f.gate(&f.renames, f.plan.CrashOnRename)
+	f.mu.Unlock()
+	if crash {
+		return ErrCrashed
+	}
+	return f.base.Rename(oldname, newname)
+}
+
+var _ wal.FS = (*FS)(nil)
+
+// faultFile threads writes and syncs through the plan.
+type faultFile struct {
+	fs *FS
+	f  wal.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	crash, tripped := ff.fs.gate(&ff.fs.writes, ff.fs.plan.CrashOnWrite)
+	partial := ff.fs.plan.WritePartial
+	ff.fs.mu.Unlock()
+	if crash {
+		// The crashing write itself lands a prefix — the torn frame the
+		// recovery path must truncate. Later writes land nothing.
+		if tripped && partial > 0 {
+			if partial > len(p) {
+				partial = len(p)
+			}
+			n, _ := ff.f.Write(p[:partial])
+			return n, ErrCrashed
+		}
+		return 0, ErrCrashed
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	crash, _ := ff.fs.gate(&ff.fs.syncs, ff.fs.plan.CrashOnSync)
+	fail := !crash && ff.fs.plan.FailSync > 0 && ff.fs.syncs == ff.fs.plan.FailSync
+	ff.fs.mu.Unlock()
+	if crash {
+		return ErrCrashed
+	}
+	if fail {
+		return ErrInjected
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Closing is allowed even after a crash: the OS closes a dead process's
+	// descriptors, and callers' cleanup paths should not double-fault.
+	return ff.f.Close()
+}

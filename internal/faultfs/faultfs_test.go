@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"activitytraj/internal/wal"
+)
+
+func mustCreate(t *testing.T, f *FS, name string) wal.File {
+	t.Helper()
+	file, err := f.Create(name)
+	if err != nil {
+		t.Fatalf("create %s: %v", name, err)
+	}
+	return file
+}
+
+func TestCrashOnWriteLandsPartialPrefix(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil, Plan{CrashOnWrite: 2, WritePartial: 3})
+	file := mustCreate(t, f, filepath.Join(dir, "a"))
+	if _, err := file.Write([]byte("first")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := file.Write([]byte("second")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write 2 err = %v, want ErrCrashed", err)
+	}
+	if !f.Crashed() {
+		t.Fatal("crash latch not set")
+	}
+	// Every later operation fails, and later writes land nothing.
+	if _, err := file.Write([]byte("third")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	if _, err := f.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create err = %v", err)
+	}
+	if err := f.MkdirAll(filepath.Join(dir, "d")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdir err = %v", err)
+	}
+	if _, err := f.Open(filepath.Join(dir, "a")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open err = %v", err)
+	}
+	if _, err := f.ReadDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readdir err = %v", err)
+	}
+	if err := f.Remove(filepath.Join(dir, "a")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove err = %v", err)
+	}
+	if err := f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename err = %v", err)
+	}
+	// Close stays allowed (a dead process's descriptors get closed too).
+	if err := file.Close(); err != nil {
+		t.Fatalf("close after crash: %v", err)
+	}
+	// The crashing write left exactly its 3-byte prefix after the first
+	// write — the torn frame recovery must handle.
+	got, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "firstsec" {
+		t.Fatalf("on-disk bytes = %q, want %q", got, "firstsec")
+	}
+}
+
+func TestFailSyncIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil, Plan{FailSync: 2})
+	file := mustCreate(t, f, filepath.Join(dir, "a"))
+	if err := file.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := file.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync 2 err = %v, want ErrInjected", err)
+	}
+	if f.Crashed() {
+		t.Fatal("FailSync must not latch the crash")
+	}
+	// The fault is one-shot: later syncs and writes succeed.
+	if err := file.Sync(); err != nil {
+		t.Fatalf("sync 3: %v", err)
+	}
+	if _, err := file.Write([]byte("x")); err != nil {
+		t.Fatalf("write after transient fault: %v", err)
+	}
+}
+
+func TestCrashOnSyncAndOpCounters(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil, Plan{CrashOnSync: 1})
+	file := mustCreate(t, f, filepath.Join(dir, "a"))
+	if _, err := file.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync err = %v, want ErrCrashed", err)
+	}
+	// Data written before the crashed fsync stays on disk (only the ack is
+	// modeled as lost).
+	if got, err := os.ReadFile(filepath.Join(dir, "a")); err != nil || string(got) != "durable" {
+		t.Fatalf("on-disk bytes = %q (%v)", got, err)
+	}
+	w, s, c, rn, rm := f.Ops()
+	if w != 1 || s != 1 || c != 1 || rn != 0 || rm != 0 {
+		t.Fatalf("ops = %d writes %d syncs %d creates %d renames %d removes", w, s, c, rn, rm)
+	}
+}
+
+func TestCrashOnRenameAndRemovePreventEffect(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil, Plan{CrashOnRename: 1})
+	file := mustCreate(t, f, filepath.Join(dir, "a"))
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("crashed rename must leave the source: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatalf("crashed rename must not create the target: %v", err)
+	}
+
+	f2 := New(nil, Plan{CrashOnRemove: 1})
+	if err := f2.Remove(filepath.Join(dir, "a")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove err = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("crashed remove must leave the file: %v", err)
+	}
+}
+
+// TestHealthyPassThrough: a plan with no faults behaves exactly like the
+// base filesystem.
+func TestHealthyPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil, Plan{})
+	if err := f.MkdirAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	file := mustCreate(t, f, filepath.Join(dir, "sub", "a"))
+	if _, err := file.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := f.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil || len(names) != 1 || names[0] != "a" {
+		t.Fatalf("readdir = %v (%v)", names, err)
+	}
+	rc, err := f.Open(filepath.Join(dir, "sub", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q (%v)", got, err)
+	}
+	if err := f.Rename(filepath.Join(dir, "sub", "a"), filepath.Join(dir, "sub", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove(filepath.Join(dir, "sub", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if f.Crashed() {
+		t.Fatal("healthy run reported a crash")
+	}
+}

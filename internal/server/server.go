@@ -16,9 +16,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -134,15 +136,24 @@ type Options struct {
 	// Vocab resolves activity names in requests; nil restricts requests to
 	// numeric activity IDs.
 	Vocab *trajectory.Vocabulary
+	// Recovery, when the router was opened from a durable data directory
+	// (shard.OpenOrCreate), is that boot's replay summary; /healthz reports
+	// it so operators can see what a restart recovered.
+	Recovery *shard.RecoveryInfo
+	// ErrorLog receives the server-side detail of 5xx faults, whose wire
+	// bodies are sanitized. Nil uses the process-wide standard logger.
+	ErrorLog *log.Logger
 }
 
 // Server serves ATSQ/OATSQ queries and mutations over a shard.Router.
 type Server struct {
-	router  *shard.Router
-	vocab   *trajectory.Vocabulary
-	engines chan *shard.Engine
-	workers int
-	started time.Time
+	router   *shard.Router
+	vocab    *trajectory.Vocabulary
+	engines  chan *shard.Engine
+	workers  int
+	started  time.Time
+	recovery *shard.RecoveryInfo
+	errlog   *log.Logger
 
 	searches atomic.Int64
 	inserts  atomic.Int64
@@ -155,12 +166,18 @@ func New(r *shard.Router, opts Options) *Server {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	errlog := opts.ErrorLog
+	if errlog == nil {
+		errlog = log.Default()
+	}
 	s := &Server{
-		router:  r,
-		vocab:   opts.Vocab,
-		engines: make(chan *shard.Engine, w),
-		workers: w,
-		started: time.Now(),
+		router:   r,
+		vocab:    opts.Vocab,
+		engines:  make(chan *shard.Engine, w),
+		workers:  w,
+		started:  time.Now(),
+		recovery: opts.Recovery,
+		errlog:   errlog,
 	}
 	for i := 0; i < w; i++ {
 		s.engines <- r.NewEngine()
@@ -181,11 +198,33 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// handleHealth is the liveness and readiness probe. Beyond the shard count
+// it reports what a durable boot recovered (replayed journal records, torn
+// tails, synthesized inserts) and surfaces any persisting background
+// compaction failure: a shard whose last compaction failed serves stale
+// generations with a growing delta, so the probe answers 503 — flipping
+// load balancers away — until a later compaction succeeds and clears it.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status": "ok",
 		"shards": s.router.NumShards(),
-	})
+	}
+	if s.recovery != nil {
+		resp["recovery"] = s.recovery
+	}
+	compact := map[string]string{}
+	for si, ss := range s.router.Stats().PerShard {
+		if ss.CompactErr != "" {
+			compact[strconv.Itoa(si)] = ss.CompactErr
+		}
+	}
+	if len(compact) > 0 {
+		resp["status"] = "compaction-failed"
+		resp["compact_errors"] = compact
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // StatusClientClosedRequest is the non-standard status (nginx's 499)
@@ -201,7 +240,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	q, err := s.toQuery(req.Points)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	// The search runs under the HTTP request's context (a client hanging up
@@ -211,7 +250,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if tstr := r.URL.Query().Get("timeout"); tstr != "" {
 		d, err := time.ParseDuration(tstr)
 		if err != nil || d <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration", tstr))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout %q: want a positive Go duration", tstr))
 			return
 		}
 		var cancel context.CancelFunc
@@ -243,7 +282,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			writeJSON(w, http.StatusGatewayTimeout, searchResponseJSON(query.Response{Truncated: true}, 0))
 		} else {
-			writeError(w, StatusClientClosedRequest, ctx.Err())
+			s.writeError(w, StatusClientClosedRequest, ctx.Err())
 		}
 		return
 	}
@@ -261,11 +300,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			// top-k the search had gathered (Truncated marks it).
 			writeJSON(w, http.StatusGatewayTimeout, searchResponseJSON(qresp, took))
 		case errors.Is(err, context.Canceled):
-			writeError(w, StatusClientClosedRequest, err)
+			s.writeError(w, StatusClientClosedRequest, err)
 		default:
 			// The query already validated in toQuery, so an engine failure
 			// here is a server-side fault, not a bad request.
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeError(w, http.StatusInternalServerError, err)
 		}
 		return
 	}
@@ -298,18 +337,18 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if len(req.Points) == 0 {
 		// A point-less trajectory can never match and its global ID could
 		// never be reclaimed (IDs are dense and stable forever).
-		writeError(w, http.StatusBadRequest, fmt.Errorf("trajectory has no points"))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("trajectory has no points"))
 		return
 	}
 	pts := make([]trajectory.Point, len(req.Points))
 	for i, p := range req.Points {
 		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: non-finite coordinates", i))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: non-finite coordinates", i))
 			return
 		}
 		acts, err := s.toActs(p, true)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
 			return
 		}
 		pts[i] = trajectory.Point{Loc: pointOf(p), Acts: acts}
@@ -318,7 +357,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// Request-shaped problems were rejected above (coordinates, activity
 		// resolution); what remains is a router/index fault.
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.inserts.Add(1)
@@ -331,7 +370,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.router.Delete(trajectory.TrajID(req.ID)); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
 	s.deletes.Add(1)
@@ -340,7 +379,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -357,13 +396,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // error status itself when it returns false.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return false
 	}
 	return true
@@ -421,6 +460,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError replies with a JSON error body. Client-addressable statuses
+// (4xx, including 499) carry the actionable detail verbatim; server-side
+// faults (5xx) are sanitized on the wire — engine and router error strings
+// can name files, shard layout and index internals, which belong in the
+// server log, not in a reply to an arbitrary network client.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if status >= 500 {
+		s.errlog.Printf("server: %d fault: %v", status, err)
+		writeJSON(w, status, ErrorResponse{Error: http.StatusText(status)})
+		return
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }

@@ -24,6 +24,7 @@
 package shard
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"slices"
@@ -34,6 +35,7 @@ import (
 	"activitytraj/internal/geo"
 	"activitytraj/internal/grid"
 	"activitytraj/internal/trajectory"
+	"activitytraj/internal/wal"
 )
 
 // Config tunes shard construction.
@@ -46,8 +48,16 @@ type Config struct {
 	// GAT grid). 0 selects DefaultPartitionDepth.
 	PartitionDepth int
 	// Delta configures each shard's dynamic index (base GAT/store options
-	// and the auto-compaction threshold).
+	// and the auto-compaction threshold). Delta.Durability must be unset:
+	// durability is configured router-wide via Durability, which derives a
+	// per-shard directory for each shard's WAL and snapshots.
 	Delta delta.Config
+	// Durability persists the router durably under one data directory:
+	// each shard's mutations in its own WAL (Dir/shard-NNN), the routing
+	// journal (which shard each global insert went to) in Dir/journal, and
+	// the partition layout in Dir/router.json. The zero value disables it;
+	// a durable router must be opened with OpenOrCreate, not NewRouter.
+	Durability delta.Durability
 }
 
 // Defaults for Config's zero values.
@@ -155,33 +165,59 @@ type Router struct {
 	mu     sync.Mutex // serializes writers (global ID assignment, owners)
 	nextID int
 	owners []owner
+
+	// journal, when non-nil, records which shard every global insert was
+	// routed to (see OpenOrCreate); jbuf is its encoding scratch, guarded
+	// by mu.
+	journal *wal.Log
+	jbuf    []byte
 }
 
 // NewRouter partitions ds into cfg.Shards spatial shards and builds each
 // shard's store, GAT index and delta layer. The dataset must satisfy
-// (*Dataset).Validate and is treated as immutable afterwards.
+// (*Dataset).Validate and is treated as immutable afterwards. A router with
+// Config.Durability set must be opened with OpenOrCreate instead.
 func NewRouter(ds *trajectory.Dataset, cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Durability.Dir != "" {
+		return nil, fmt.Errorf("shard: durable routers must be opened with OpenOrCreate")
+	}
 	if err := ds.Validate(); err != nil {
 		return nil, fmt.Errorf("shard: invalid dataset: %w", err)
 	}
 	r := &Router{cfg: cfg, nextID: len(ds.Trajs)}
-	if err := r.partition(ds); err != nil {
+	openShard := func(_ int, sub *trajectory.Dataset) (*delta.Dynamic, error) {
+		return delta.NewDynamic(sub, cfg.Delta)
+	}
+	if err := r.partition(ds, nil, openShard); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
 // partition fits the partition grid, cuts the Z curve into cfg.Shards
-// ranges of near-equal trajectory count, and builds the per-shard indexes.
-func (r *Router) partition(ds *trajectory.Dataset) error {
-	bounds := ds.Bounds()
-	origin, side := grid.FitRegion(bounds, 0.01)
-	pg, err := grid.New(origin, side, r.cfg.PartitionDepth)
-	if err != nil {
-		return fmt.Errorf("shard: partition grid: %w", err)
+// ranges of near-equal trajectory count, and builds the per-shard indexes
+// through openShard. A non-nil manifest supplies a previously persisted
+// grid and cut layout instead of computing one, so a reopened router routes
+// exactly as the original did.
+func (r *Router) partition(ds *trajectory.Dataset, man *routerManifest, openShard func(si int, sub *trajectory.Dataset) (*delta.Dynamic, error)) error {
+	maxZ := uint32(1)<<(2*uint(r.cfg.PartitionDepth)) - 1
+	if man != nil {
+		pg, err := grid.New(geo.Point{X: man.OriginX, Y: man.OriginY}, man.Side, r.cfg.PartitionDepth)
+		if err != nil {
+			return fmt.Errorf("shard: partition grid from manifest: %w", err)
+		}
+		r.pgrid = pg
+		r.cuts = slices.Clone(man.Cuts)
+	} else {
+		bounds := ds.Bounds()
+		origin, side := grid.FitRegion(bounds, 0.01)
+		pg, err := grid.New(origin, side, r.cfg.PartitionDepth)
+		if err != nil {
+			return fmt.Errorf("shard: partition grid: %w", err)
+		}
+		r.pgrid = pg
 	}
-	r.pgrid = pg
 
 	// Z code of every trajectory's representative (first) point, then the
 	// corpus ordered along the curve.
@@ -189,53 +225,56 @@ func (r *Router) partition(ds *trajectory.Dataset) error {
 	for i := range ds.Trajs {
 		zs[i] = r.repZ(ds.Trajs[i].Pts)
 	}
-	order := make([]int, len(ds.Trajs))
-	for i := range order {
-		order[i] = i
-	}
-	slices.SortFunc(order, func(a, b int) int {
-		if zs[a] != zs[b] {
-			if zs[a] < zs[b] {
-				return -1
-			}
-			return 1
+	if man == nil {
+		order := make([]int, len(ds.Trajs))
+		for i := range order {
+			order[i] = i
 		}
-		return a - b
-	})
-
-	// Cut at near-equal counts, advancing each cut to the next Z change so
-	// one leaf cell is never split across shards (insert routing is by Z).
-	k := r.cfg.Shards
-	r.cuts = make([]uint32, 0, k-1)
-	maxZ := uint32(1)<<(2*uint(r.cfg.PartitionDepth)) - 1
-	for i := 1; i < k; i++ {
-		at := i * len(order) / k
-		var cut uint32
-		if at >= len(order) {
-			cut = maxZ + 1 // past every code: the tail shards stay empty
-		} else {
-			cut = zs[order[at]]
-			// A cut equal to the previous shard's first code would empty
-			// this range retroactively; advance to the next distinct code.
-			for at > 0 && zs[order[at-1]] == cut {
-				at++
-				if at >= len(order) {
-					cut = maxZ + 1
-					break
+		slices.SortFunc(order, func(a, b int) int {
+			if zs[a] != zs[b] {
+				if zs[a] < zs[b] {
+					return -1
 				}
-				cut = zs[order[at]]
+				return 1
 			}
+			return a - b
+		})
+
+		// Cut at near-equal counts, advancing each cut to the next Z change
+		// so one leaf cell is never split across shards (insert routing is
+		// by Z).
+		k := r.cfg.Shards
+		r.cuts = make([]uint32, 0, k-1)
+		for i := 1; i < k; i++ {
+			at := i * len(order) / k
+			var cut uint32
+			if at >= len(order) {
+				cut = maxZ + 1 // past every code: the tail shards stay empty
+			} else {
+				cut = zs[order[at]]
+				// A cut equal to the previous shard's first code would empty
+				// this range retroactively; advance to the next distinct code.
+				for at > 0 && zs[order[at-1]] == cut {
+					at++
+					if at >= len(order) {
+						cut = maxZ + 1
+						break
+					}
+					cut = zs[order[at]]
+				}
+			}
+			if n := len(r.cuts); n > 0 && cut < r.cuts[n-1] {
+				cut = r.cuts[n-1]
+			}
+			r.cuts = append(r.cuts, cut)
 		}
-		if n := len(r.cuts); n > 0 && cut < r.cuts[n-1] {
-			cut = r.cuts[n-1]
-		}
-		r.cuts = append(r.cuts, cut)
 	}
 
 	// Assign trajectories by routing their representative code through the
 	// final cuts; iterating in global ID order keeps each shard's local IDs
 	// ascending in global ID, so local (distance, ID) tie-break order agrees
 	// with the global one.
+	k := r.cfg.Shards
 	members := make([][]int, k)
 	for gid := range ds.Trajs {
 		si := r.routeZ(zs[gid])
@@ -258,7 +297,7 @@ func (r *Router) partition(ds *trajectory.Dataset) error {
 			r.owners[gid] = owner{shard: int32(si), local: trajectory.TrajID(li)}
 			sh.extend(ds.Trajs[gid].Pts)
 		}
-		d, err := delta.NewDynamic(sub, r.cfg.Delta)
+		d, err := openShard(si, sub)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", si, err)
 		}
@@ -342,6 +381,20 @@ func (r *Router) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
 	sh.extend(tr.Pts)
 	sh.idmu.Unlock()
 	r.owners = append(r.owners, owner{shard: int32(si), local: local})
+	if r.journal != nil {
+		// Journal after the shard's own WAL: a journal record therefore
+		// implies the shard record is durable, and a crash in between leaves
+		// at most the one in-flight insert shard-local, which recovery
+		// re-journals deterministically (see OpenOrCreate).
+		r.jbuf = binary.AppendUvarint(r.jbuf[:0], uint64(si))
+		seq, err := r.journal.Append(recRoute, r.jbuf)
+		if err != nil {
+			return 0, err
+		}
+		if err := r.journal.Commit(seq); err != nil {
+			return 0, err
+		}
+	}
 	return gid, nil
 }
 
@@ -382,6 +435,10 @@ type ShardStats struct {
 	HasPoints bool
 	// Delta is the shard's dynamic-index snapshot.
 	Delta delta.Stats
+	// CompactErr is the shard's most recent background-compaction failure
+	// ("" = healthy); it persists until a compaction succeeds, so health
+	// endpoints can surface a shard that silently stopped compacting.
+	CompactErr string
 }
 
 // Stats describes the router's current shape.
@@ -411,6 +468,9 @@ func (r *Router) Stats() Stats {
 		}
 		sh.idmu.RUnlock()
 		ss.Delta = sh.d.Stats()
+		if err := sh.d.LastCompactErr(); err != nil {
+			ss.CompactErr = err.Error()
+		}
 		s.PerShard[si] = ss
 	}
 	return s

@@ -1,0 +1,383 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func appendCommitted(t *testing.T, l *Log, kind uint8, body []byte) uint64 {
+	t.Helper()
+	seq, err := l.Append(kind, body)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Commit(seq); err != nil {
+		t.Fatalf("commit %d: %v", seq, err)
+	}
+	return seq
+}
+
+func collect(t *testing.T, dir string) ([]Record, ReplayInfo) {
+	t.Helper()
+	var recs []Record
+	info, err := Replay(nil, dir, func(r Record) error {
+		recs = append(recs, Record{Seq: r.Seq, Kind: r.Kind, Data: bytes.Clone(r.Data)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 100; i++ {
+		body := []byte(fmt.Sprintf("record-%d", i))
+		kind := uint8(1 + i%2)
+		seq := appendCommitted(t, l, kind, body)
+		if seq != uint64(i+1) {
+			t.Fatalf("seq %d, want %d", seq, i+1)
+		}
+		want = append(want, Record{Seq: seq, Kind: kind, Data: bytes.Clone(body)})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, info := collect(t, dir)
+	if info.Torn || info.Records != 100 || info.LastSeq != 100 {
+		t.Fatalf("info %+v", info)
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReopenContinuesSequence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCommitted(t, l, 1, []byte("a"))
+	appendCommitted(t, l, 1, []byte("b"))
+	l.Close()
+
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := appendCommitted(t, l2, 1, []byte("c")); seq != 3 {
+		t.Fatalf("reopened log assigned seq %d, want 3", seq)
+	}
+	l2.Close()
+	recs, info := collect(t, dir)
+	if len(recs) != 3 || info.LastSeq != 3 || info.Torn {
+		t.Fatalf("got %d records, info %+v", len(recs), info)
+	}
+}
+
+func TestSegmentRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.Repeat([]byte("x"), 60)
+	for i := 0; i < 20; i++ {
+		appendCommitted(t, l, 1, body)
+	}
+	segs, err := listSegments(OSFS(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >= 3 segments, got %d: %v", len(segs), segs)
+	}
+	recs, info := collect(t, dir)
+	if len(recs) != 20 || info.LastSeq != 20 {
+		t.Fatalf("replay after rotation: %d records, info %+v", len(recs), info)
+	}
+
+	if err := l.Prune(10); err != nil {
+		t.Fatal(err)
+	}
+	recs, info = collect(t, dir)
+	if info.LastSeq != 20 {
+		t.Fatalf("prune lost the tail: %+v", info)
+	}
+	// Everything surviving must be replayable and contiguous; the first
+	// surviving record may be <= 10 (prune removes whole segments only).
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("gap after prune: %d -> %d", recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+	// Pruning everything keeps the newest segment: the log must never
+	// forget its position.
+	if err := l.Prune(100); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ = listSegments(OSFS(), dir)
+	if len(segs) == 0 {
+		t.Fatal("prune removed the final segment")
+	}
+	l.Close()
+	l2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := appendCommitted(t, l2, 1, []byte("next")); seq != 21 {
+		t.Fatalf("post-prune reopen assigned %d, want 21", seq)
+	}
+	l2.Close()
+}
+
+// TestTornTailTruncates simulates a crash mid-append by chopping bytes off
+// the final segment: replay must deliver exactly the intact prefix and
+// flag the tear, and reopening must repair the file.
+func TestTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		appendCommitted(t, l, 1, []byte(fmt.Sprintf("r%02d", i)))
+	}
+	l.Close()
+	segs, _ := listSegments(OSFS(), dir)
+	path := filepath.Join(dir, segs[len(segs)-1])
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 1; cut < 30; cut += 7 {
+		if err := os.WriteFile(path, raw[:len(raw)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, info := collect(t, dir)
+		if !info.Torn {
+			t.Fatalf("cut %d: tear not reported: %+v", cut, info)
+		}
+		if len(recs) >= 10 {
+			t.Fatalf("cut %d: torn record still replayed", cut)
+		}
+		for i, r := range recs {
+			if want := fmt.Sprintf("r%02d", i); string(r.Data) != want {
+				t.Fatalf("cut %d record %d: %q want %q", cut, i, r.Data, want)
+			}
+		}
+		// Reopen repairs the tail and appends cleanly after it.
+		l2, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := appendCommitted(t, l2, 2, []byte("after-tear"))
+		if seq != uint64(len(recs)+1) {
+			t.Fatalf("cut %d: appended seq %d after %d surviving records", cut, seq, len(recs))
+		}
+		recs2, info2 := collect(t, dir)
+		if info2.Torn || len(recs2) != len(recs)+1 {
+			t.Fatalf("cut %d: after repair got %d records, info %+v", cut, len(recs2), info2)
+		}
+		// Restore the intact file for the next cut.
+		os.Remove(filepath.Join(dir, segName(seq)))
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCorruptionInNonFinalSegmentFails: a bad CRC behind further segments
+// is real data loss, not a torn tail, and must fail loudly.
+func TestCorruptionInNonFinalSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		appendCommitted(t, l, 1, bytes.Repeat([]byte("y"), 40))
+	}
+	l.Close()
+	segs, _ := listSegments(OSFS(), dir)
+	if len(segs) < 2 {
+		t.Fatalf("need >= 2 segments, got %v", segs)
+	}
+	path := filepath.Join(dir, segs[0])
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)-3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(nil, dir, func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestConcurrentGroupCommit(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncGroup, SyncOff} {
+		t.Run(mode.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(Options{Dir: dir, Sync: mode, GatherWindow: 100 * 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers, each = 8, 25
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						seq, err := l.Append(1, []byte(fmt.Sprintf("w%d-%d", w, i)))
+						if err != nil {
+							t.Errorf("append: %v", err)
+							return
+						}
+						if err := l.Commit(seq); err != nil {
+							t.Errorf("commit: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			l.Close()
+			recs, info := collect(t, dir)
+			if len(recs) != writers*each || info.Torn {
+				t.Fatalf("got %d records, info %+v", len(recs), info)
+			}
+			for i, r := range recs {
+				if r.Seq != uint64(i+1) {
+					t.Fatalf("record %d has seq %d", i, r.Seq)
+				}
+			}
+		})
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for in, want := range map[string]SyncMode{
+		"always": SyncAlways, "": SyncAlways, "group": SyncGroup,
+		"batch": SyncGroup, "off": SyncOff, "never": SyncOff,
+	} {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseSyncMode("bogus"); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+// FuzzWALDecode: arbitrary corruption or truncation of a valid log must
+// never panic the reader, and every record it still yields must be an
+// exact prefix record of the original sequence — nothing past, nothing
+// altered (the CRC is what enforces this).
+func FuzzWALDecode(f *testing.F) {
+	dir := f.TempDir()
+	l, err := Open(Options{Dir: dir, Sync: SyncOff})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var orig []Record
+	for i := 0; i < 8; i++ {
+		body := bytes.Repeat([]byte{byte('a' + i)}, i*3+1)
+		seq, err := l.Append(uint8(i%3), body)
+		if err != nil {
+			f.Fatal(err)
+		}
+		orig = append(orig, Record{Seq: seq, Kind: uint8(i % 3), Data: bytes.Clone(body)})
+	}
+	l.Close()
+	segs, err := listSegments(OSFS(), dir)
+	if err != nil || len(segs) != 1 {
+		f.Fatalf("segments: %v %v", segs, err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, segs[0]))
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(uint32(0), uint8(0), len(valid))
+	f.Add(uint32(7), uint8(0xff), len(valid)-3)
+	f.Add(uint32(100), uint8(1), 10)
+	f.Fuzz(func(t *testing.T, pos uint32, xor uint8, cut int) {
+		mut := bytes.Clone(valid)
+		if cut < 0 {
+			cut = 0
+		}
+		if cut > len(mut) {
+			cut = len(mut)
+		}
+		mut = mut[:cut]
+		if len(mut) > 0 {
+			mut[int(pos)%len(mut)] ^= xor
+		}
+		fdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(fdir, segs[0]), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		_, err := Replay(nil, fdir, func(r Record) error {
+			if n >= len(orig) {
+				t.Fatalf("yielded record %d past the original %d", n, len(orig))
+			}
+			w := orig[n]
+			if r.Seq != w.Seq || r.Kind != w.Kind || !bytes.Equal(r.Data, w.Data) {
+				t.Fatalf("record %d mutated: got {%d %d %x} want {%d %d %x}",
+					n, r.Seq, r.Kind, r.Data, w.Seq, w.Kind, w.Data)
+			}
+			n++
+			return nil
+		})
+		// A single-segment log can only be torn, never ErrCorrupt.
+		if err != nil {
+			t.Fatalf("replay of corrupted single-segment log errored: %v", err)
+		}
+	})
+}
+
+// BenchmarkWALAppend documents the per-record cost of each sync mode on
+// the benchmark host's filesystem (the ISSUE's durability bench).
+func BenchmarkWALAppend(b *testing.B) {
+	body := bytes.Repeat([]byte("p"), 256)
+	for _, mode := range []SyncMode{SyncOff, SyncGroup, SyncAlways} {
+		b.Run("sync="+mode.String(), func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(Options{Dir: dir, Sync: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(body)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				seq, err := l.Append(1, body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Commit(seq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
