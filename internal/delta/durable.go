@@ -3,8 +3,10 @@ package delta
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"math"
 	"path/filepath"
 	"strings"
@@ -149,16 +151,21 @@ func OpenOrCreate(bootstrap *trajectory.Dataset, cfg Config) (*Dynamic, Recovery
 	ri.Torn = info.Torn
 	ri.TornSegment = info.TornSegment
 
+	// FirstSeq re-seeds numbering when the snapshot absorbed and pruned the
+	// whole log: without it an empty WAL would restart at seq 1 and the
+	// NEXT recovery would silently skip every new record at or below
+	// SnapshotSeq.
 	l, err := wal.Open(wal.Options{
 		Dir:          dir,
 		Sync:         cfg.Durability.Sync,
 		SegmentBytes: cfg.Durability.SegmentBytes,
 		FS:           fsys,
+		FirstSeq:     ri.LastSeq + 1,
 	})
 	if err != nil {
 		return nil, ri, err
 	}
-	if got := l.LastSeq(); got != ri.LastSeq && !(got == 0 && ri.Replayed == 0) {
+	if got := l.LastSeq(); got != ri.LastSeq {
 		l.Close()
 		return nil, ri, fmt.Errorf("%w: wal resumes at seq %d but replay recovered %d", wal.ErrCorrupt, got+1, ri.LastSeq)
 	}
@@ -261,8 +268,13 @@ func (d *Dynamic) durableEpilogue(ds *trajectory.Dataset, lastSeq uint64) error 
 
 func readManifest(fsys wal.FS, dir string) (*manifest, error) {
 	names, err := fsys.ReadDir(dir)
-	if err != nil {
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil // no directory yet: a fresh index
+	}
+	if err != nil {
+		// Any other listing error must fail the open: treating it as "no
+		// manifest" would silently restart a durable store from scratch.
+		return nil, fmt.Errorf("delta: list %s: %w", dir, err)
 	}
 	found := false
 	for _, n := range names {

@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"activitytraj/internal/faultfs"
@@ -320,6 +323,71 @@ func TestDurableCrashMatrix(t *testing.T) {
 			}
 			searchParity(t, tc.name+"/post-insert", twin, d2, qs, 10)
 		})
+	}
+}
+
+// TestDurableEmptyWALResumesAfterSnapshot: when a crash leaves a snapshot
+// but not a single intact post-snapshot WAL record (prune keeps only the
+// newest segment; a torn tail can erase it entirely), reopening must resume
+// sequence numbering after the snapshot — numbering restarting at 1 would
+// make the NEXT recovery silently skip every new acknowledged mutation.
+func TestDurableEmptyWALResumesAfterSnapshot(t *testing.T) {
+	full := laPreset(t)
+	baseN := len(full.Trajs) / 2
+	dir := t.TempDir()
+	cfg := Config{CompactThreshold: -1, Durability: Durability{Dir: dir}}
+
+	d, _, err := OpenOrCreate(prefix(full, baseN), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Insert(trajectory.Trajectory{Pts: full.Trajs[baseN+i].Pts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.CompactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".seg") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	d2, ri, err := OpenOrCreate(prefix(full, baseN), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.SnapshotSeq != 3 || ri.LastSeq != 3 || ri.Replayed != 0 {
+		t.Fatalf("recovery info %+v, want snapshot seq 3 with nothing replayed", ri)
+	}
+	if _, err := d2.Insert(trajectory.Trajectory{Pts: full.Trajs[baseN+3].Pts}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d3, ri, err := OpenOrCreate(prefix(full, baseN), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if ri.Replayed != 1 || ri.LastSeq != 4 {
+		t.Fatalf("post-snapshot insert skipped on replay: %+v", ri)
+	}
+	if got, want := d3.Stats().IDSpace, baseN+4; got != want {
+		t.Fatalf("recovered IDSpace %d, want %d", got, want)
 	}
 }
 

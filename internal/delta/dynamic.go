@@ -307,9 +307,33 @@ func (d *Dynamic) acquire() *generation {
 // vocabulary, and the Pts slice is retained — callers must not mutate it
 // afterwards. tr.ID is ignored; IDs are assigned densely after the base
 // dataset's and are stable across compactions.
+//
+// A non-nil error with a non-zero ID means the mutation is applied and
+// visible but unacknowledged (the durability wait failed): it may or may
+// not survive a crash.
 func (d *Dynamic) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
-	if err := d.validate(tr); err != nil {
+	id, commit, err := d.InsertDeferred(tr)
+	if err != nil {
 		return 0, err
+	}
+	if err := commit(); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// InsertDeferred is Insert split at the durability wait: on a nil error the
+// trajectory is applied, visible to searches and logged, with its ID
+// assigned — but not yet durable. The caller must then invoke commit
+// (holding no locks of its own, so concurrent writers share fsyncs) to
+// block until the record is durable under the configured sync policy and to
+// arm auto-compaction. A commit error means applied-but-unacknowledged; an
+// InsertDeferred error means nothing was applied and no ID was consumed.
+// The split lets the shard router publish its ID mappings before any fsync
+// wait, keeping them in step with this index on every failure path.
+func (d *Dynamic) InsertDeferred(tr trajectory.Trajectory) (trajectory.TrajID, func() error, error) {
+	if err := d.validate(tr); err != nil {
+		return 0, nil, err
 	}
 	d.mu.Lock()
 	// Log before apply: a mutation the WAL rejected never reaches memory,
@@ -322,7 +346,7 @@ func (d *Dynamic) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
 		var err error
 		if seq, err = d.log.Append(recInsert, d.walBuf); err != nil {
 			d.mu.Unlock()
-			return 0, err
+			return 0, nil, err
 		}
 	}
 	gen := d.gen.Load()
@@ -331,17 +355,16 @@ func (d *Dynamic) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
 	tr.ID = id
 	gen.active.insert(id, tr)
 	d.mu.Unlock()
-	if d.log != nil {
-		// Durability wait happens outside d.mu so concurrent writers share
-		// one fsync (group commit). An error here means the mutation is
-		// applied but unacknowledged: it may or may not survive a crash,
-		// which is exactly what returning an error promises.
-		if err := d.log.Commit(seq); err != nil {
-			return 0, err
+	commit := func() error {
+		if d.log != nil {
+			if err := d.log.Commit(seq); err != nil {
+				return err
+			}
 		}
+		d.maybeCompact(gen)
+		return nil
 	}
-	d.maybeCompact(gen)
-	return id, nil
+	return id, commit, nil
 }
 
 // Delete removes trajectory id from search results. Deletes are tombstones:

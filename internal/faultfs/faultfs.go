@@ -35,12 +35,13 @@ type Plan struct {
 	// that write reach the file first (a torn frame).
 	CrashOnWrite int
 	WritePartial int
-	// CrashOnSync crashes during the Nth File.Sync (the data written before
-	// it stays on disk — fsync reordering is not modeled, only the ack).
+	// CrashOnSync crashes during the Nth fsync — File.Sync and FS.SyncDir
+	// share the counter (the data written before it stays on disk — fsync
+	// reordering is not modeled, only the ack).
 	CrashOnSync int
-	// FailSync makes the Nth File.Sync return ErrInjected without
-	// crashing: the transient fsync-failure path, after which a fail-stop
-	// log must reject further appends.
+	// FailSync makes the Nth fsync (File.Sync or FS.SyncDir) return
+	// ErrInjected without crashing: the transient fsync-failure path, after
+	// which a fail-stop log must reject further appends.
 	FailSync int
 	// CrashOnCreate crashes on the Nth FS.Create before the file exists
 	// (e.g. mid segment-rotation, after the old segment was sealed).
@@ -167,6 +168,20 @@ func (f *FS) Rename(oldname, newname string) error {
 		return ErrCrashed
 	}
 	return f.base.Rename(oldname, newname)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	crash, _ := f.gate(&f.syncs, f.plan.CrashOnSync)
+	fail := !crash && f.plan.FailSync > 0 && f.syncs == f.plan.FailSync
+	f.mu.Unlock()
+	if crash {
+		return ErrCrashed
+	}
+	if fail {
+		return ErrInjected
+	}
+	return f.base.SyncDir(dir)
 }
 
 var _ wal.FS = (*FS)(nil)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"io/fs"
 	"path/filepath"
 
 	"activitytraj/internal/delta"
@@ -20,18 +21,27 @@ import (
 //	                 which shard it went to (global IDs are then replay order)
 //	shard-NNN/       shard NNN's delta WAL, snapshots and manifest
 //
-// The routing journal is appended after the owning shard's own WAL commit,
-// so a journal record always refers to a shard-durable insert; the converse
-// crash window (shard durable, journal not) loses at most the single
-// in-flight insert's routing record, which recovery re-synthesizes and
-// re-journals. The journal is not pruned — routing records are a few bytes
-// per insert and the full history is what rebuilds the global ID map.
+// The routing journal is appended in global ID assignment order (under the
+// router's writer lock) but committed outside it, so neither WAL is
+// guaranteed durable before the other. Recovery tolerates both crash
+// windows: a shard record the journal missed is re-synthesized and
+// re-journaled, and a journal record whose shard record was lost — an
+// insert that was never acknowledged — is replayed as a hole, consuming its
+// global ID without binding it, so every later (possibly acknowledged)
+// record keeps the exact ID it was assigned. The journal is not pruned —
+// routing records are a few bytes per insert and the full history is what
+// rebuilds the global ID map.
 
 const (
 	routerManifestName = "router.json"
 	journalDirName     = "journal"
-	// recRoute is the journal's only record kind: body = uvarint shard index.
+	// recRoute is the journal's insert record kind: body = uvarint shard
+	// index.
 	recRoute = 1
+	// recHole marks a consumed global ID that binds to nothing (empty
+	// body): a route record whose insert was lost before becoming durable,
+	// rewritten explicitly so it can never rebind to a future insert.
+	recHole = 2
 )
 
 func shardDirName(si int) string { return fmt.Sprintf("shard-%03d", si) }
@@ -56,20 +66,27 @@ type RecoveryInfo struct {
 	// JournalReplayed counts routing records applied from the journal.
 	JournalReplayed int64
 	// Synthesized counts shard-local inserts that had no routing record (a
-	// crash between a shard's WAL commit and the journal append); recovery
+	// crash between a shard's WAL append and the journal append); recovery
 	// assigned them fresh global IDs in shard order and re-journaled them.
 	Synthesized int
-	// JournalRebuilt reports the journal referenced inserts no shard holds
-	// (possible only when a machine crash outlives SyncOff's guarantees)
-	// and was rewritten to the consistent prefix.
+	// Holes counts global IDs consumed by journal records whose inserts no
+	// shard holds — inserts lost before becoming durable, so never
+	// acknowledged. Keeping their IDs as holes keeps every later record's
+	// ID exactly as assigned.
+	Holes int
+	// JournalRebuilt reports that journal records referencing lost inserts
+	// were converted to explicit hole records and the journal rewritten.
 	JournalRebuilt bool
 	// Torn reports a torn tail was truncated in any WAL (shard or journal).
 	Torn bool
 }
 
-// errStaleJournal aborts journal replay at the first record describing an
-// insert its shard does not hold.
-var errStaleJournal = errors.New("shard: journal ahead of shard state")
+// jrec is one journal record kept in memory during replay, in case the
+// journal must be rewritten.
+type jrec struct {
+	kind uint8
+	body []byte
+}
 
 // OpenOrCreate opens a durable Router from cfg.Durability.Dir, recovering
 // any state a previous process left behind: each shard's delta index is
@@ -145,49 +162,66 @@ func OpenOrCreate(bootstrap *trajectory.Dataset, cfg Config) (*Router, RecoveryI
 		}
 	}
 
-	// Rebuild the global ID map from the routing journal. Each record binds
-	// the next global ID to the next local slot of its shard; replay order
-	// is insertion order, so the rebuilt map matches the original exactly.
+	// Rebuild the global ID map from the routing journal. Each route record
+	// binds the next global ID to the next local slot of its shard; replay
+	// order is assignment order, so the rebuilt map matches the original
+	// exactly. A route record whose shard does not hold the insert — lost
+	// before becoming durable, so never acknowledged — consumes its global
+	// ID as a hole, keeping every later record's ID stable; a shard WAL
+	// always survives as a prefix, so such records are exactly the tail of
+	// their shard's journal subsequence and can never steal a live slot.
 	jdir := filepath.Join(dir, journalDirName)
-	var bodies [][]byte // kept in case the journal must be rewritten
+	var recs []jrec // kept in case the journal must be rewritten
 	jinfo, err := wal.Replay(fsys, jdir, func(rec wal.Record) error {
-		si, err := decodeRouteBody(rec.Data)
-		if err != nil {
-			return fmt.Errorf("journal record %d: %w", rec.Seq, err)
+		switch rec.Kind {
+		case recRoute:
+			si, err := decodeRouteBody(rec.Data)
+			if err != nil {
+				return fmt.Errorf("journal record %d: %w", rec.Seq, err)
+			}
+			if si >= len(r.shards) {
+				return fmt.Errorf("%w: journal record %d routes to shard %d of %d", wal.ErrCorrupt, rec.Seq, si, len(r.shards))
+			}
+			sh := r.shards[si]
+			if len(sh.globalIDs) >= sh.d.Stats().IDSpace {
+				r.owners = append(r.owners, owner{shard: -1})
+				r.nextID++
+				ri.Holes++
+				ri.JournalRebuilt = true
+				recs = append(recs, jrec{kind: recHole})
+				return nil
+			}
+			local := trajectory.TrajID(len(sh.globalIDs))
+			gid := trajectory.TrajID(r.nextID)
+			r.nextID++
+			sh.globalIDs = append(sh.globalIDs, gid)
+			r.owners = append(r.owners, owner{shard: int32(si), local: local})
+			ri.JournalReplayed++
+			recs = append(recs, jrec{kind: recRoute, body: append([]byte(nil), rec.Data...)})
+			return nil
+		case recHole:
+			if len(rec.Data) != 0 {
+				return fmt.Errorf("%w: journal hole record %d has a body", wal.ErrCorrupt, rec.Seq)
+			}
+			r.owners = append(r.owners, owner{shard: -1})
+			r.nextID++
+			ri.Holes++
+			recs = append(recs, jrec{kind: recHole})
+			return nil
+		default:
+			return fmt.Errorf("%w: journal record %d has unknown kind %d", wal.ErrCorrupt, rec.Seq, rec.Kind)
 		}
-		if si >= len(r.shards) {
-			return fmt.Errorf("%w: journal record %d routes to shard %d of %d", wal.ErrCorrupt, rec.Seq, si, len(r.shards))
-		}
-		sh := r.shards[si]
-		if len(sh.globalIDs) >= sh.d.Stats().IDSpace {
-			// The journal knows an insert the shard does not: a machine
-			// crash beyond the sync mode's guarantees. Everything from here
-			// on is stale; cut the journal back to the consistent prefix.
-			return errStaleJournal
-		}
-		local := trajectory.TrajID(len(sh.globalIDs))
-		gid := trajectory.TrajID(r.nextID)
-		r.nextID++
-		sh.globalIDs = append(sh.globalIDs, gid)
-		r.owners = append(r.owners, owner{shard: int32(si), local: local})
-		ri.JournalReplayed++
-		bodies = append(bodies, append([]byte(nil), rec.Data...))
-		return nil
 	})
-	switch {
-	case errors.Is(err, errStaleJournal):
-		ri.JournalRebuilt = true
-	case err != nil:
+	if err != nil {
 		r.closeShards()
 		return nil, ri, fmt.Errorf("shard: replay journal: %w", err)
-	default:
-		ri.Torn = ri.Torn || jinfo.Torn
 	}
+	ri.Torn = ri.Torn || jinfo.Torn
 
 	if ri.JournalRebuilt {
-		// Rewrite the journal as exactly the applied prefix so the stale
-		// suffix can never rebind to future inserts.
-		if err := rewriteJournal(fsys, jdir, bodies); err != nil {
+		// Rewrite the journal with the lost inserts' records as explicit
+		// holes, so they can never rebind to future inserts.
+		if err := rewriteJournal(fsys, jdir, recs); err != nil {
 			r.closeShards()
 			return nil, ri, err
 		}
@@ -278,11 +312,13 @@ func decodeRouteBody(b []byte) (int, error) {
 }
 
 // rewriteJournal replaces the journal directory's contents with exactly the
-// given record bodies (fresh sequence numbers starting at 1).
-func rewriteJournal(fsys wal.FS, jdir string, bodies [][]byte) error {
+// given records (fresh sequence numbers starting at 1).
+func rewriteJournal(fsys wal.FS, jdir string, recs []jrec) error {
 	names, err := fsys.ReadDir(jdir)
-	if err != nil {
+	if errors.Is(err, fs.ErrNotExist) {
 		names = nil
+	} else if err != nil {
+		return fmt.Errorf("shard: rewrite journal: %w", err)
 	}
 	for _, n := range names {
 		if err := fsys.Remove(filepath.Join(jdir, n)); err != nil {
@@ -293,8 +329,8 @@ func rewriteJournal(fsys wal.FS, jdir string, bodies [][]byte) error {
 	if err != nil {
 		return fmt.Errorf("shard: rewrite journal: %w", err)
 	}
-	for _, b := range bodies {
-		if _, err := l.Append(recRoute, b); err != nil {
+	for _, rec := range recs {
+		if _, err := l.Append(rec.kind, rec.body); err != nil {
 			l.Close()
 			return fmt.Errorf("shard: rewrite journal: %w", err)
 		}
@@ -307,8 +343,13 @@ func rewriteJournal(fsys wal.FS, jdir string, bodies [][]byte) error {
 
 func readRouterManifest(fsys wal.FS, dir string) (*routerManifest, error) {
 	names, err := fsys.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil // no directory yet: a fresh router
+	}
 	if err != nil {
-		return nil, nil
+		// Any other listing error must fail the open: treating it as "no
+		// manifest" would silently restart a durable router from scratch.
+		return nil, fmt.Errorf("shard: list %s: %w", dir, err)
 	}
 	found := false
 	for _, n := range names {

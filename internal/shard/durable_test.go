@@ -2,12 +2,16 @@ package shard
 
 import (
 	"context"
+	"encoding/binary"
+	"path/filepath"
+	"sync"
 	"testing"
 
 	"activitytraj/internal/delta"
 	"activitytraj/internal/faultfs"
 	"activitytraj/internal/query"
 	"activitytraj/internal/trajectory"
+	"activitytraj/internal/wal"
 )
 
 // shardOp is one scripted router mutation (insert when pts != nil).
@@ -152,6 +156,155 @@ func TestRouterRecoverCleanShutdown(t *testing.T) {
 		t.Fatalf("post-recovery insert assigned %d, twin %d", gid, gid2)
 	}
 	routerParity(t, "post-recovery-insert", twin, r2, qs, 10)
+}
+
+// TestRouterJournalAheadLeavesHole: a journal record whose shard record was
+// lost before becoming durable (a machine crash persisting the journal
+// first — the insert was never acknowledged) must replay as a hole: its
+// global ID stays consumed so every later record keeps the ID it was
+// acknowledged with, and the hole resolves to nothing.
+func TestRouterJournalAheadLeavesHole(t *testing.T) {
+	full := testDataset(t, 60)
+	baseN := 40
+	base := full.Sample(baseN)
+	cfg := Config{Shards: 3, Delta: delta.Config{CompactThreshold: -1}}
+	dcfg := cfg
+	dcfg.Durability = delta.Durability{Dir: t.TempDir()}
+
+	r, _, err := OpenOrCreate(base, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := r.Insert(trajectory.Trajectory{Pts: full.Trajs[baseN+i].Pts}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nextID := r.Stats().NextID
+	si := r.routeZ(r.repZ(full.Trajs[baseN+5].Pts))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Plant the orphan routing record by hand: its shard insert "was lost".
+	jdir := filepath.Join(dcfg.Durability.Dir, journalDirName)
+	jl, err := wal.Open(wal.Options{Dir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jl.Append(recRoute, binary.AppendUvarint(nil, uint64(si))); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, ri, err := OpenOrCreate(base, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Holes != 1 || !ri.JournalRebuilt {
+		t.Fatalf("recovery info %+v, want 1 hole and a journal rebuild", ri)
+	}
+	hole := trajectory.TrajID(nextID)
+	if got := r2.Stats().NextID; got != nextID+1 {
+		t.Fatalf("recovered NextID %d, want %d (the hole must consume its ID)", got, nextID+1)
+	}
+	if _, _, ok := r2.Owner(hole); ok {
+		t.Fatalf("hole %d resolves to an owner", hole)
+	}
+	if err := r2.Delete(hole); err == nil {
+		t.Fatalf("deleting hole %d succeeded", hole)
+	}
+	gid, err := r2.Insert(trajectory.Trajectory{Pts: full.Trajs[baseN+6].Pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gid != hole+1 {
+		t.Fatalf("post-recovery insert assigned %d, want %d (past the hole)", gid, hole+1)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The hole survives further recoveries as an explicit record, without
+	// another rebuild and without shifting IDs.
+	r3, ri, err := OpenOrCreate(base, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	if ri.Holes != 1 || ri.JournalRebuilt {
+		t.Fatalf("second recovery info %+v, want the hole replayed with no rebuild", ri)
+	}
+	if got := r3.Stats().NextID; got != int(gid)+1 {
+		t.Fatalf("second recovery NextID %d, want %d", got, int(gid)+1)
+	}
+	wantSi := r3.routeZ(r3.repZ(full.Trajs[baseN+6].Pts))
+	if s, local, ok := r3.Owner(gid); !ok || s != wantSi {
+		t.Fatalf("post-hole insert %d resolves to (%d, %d, %v), want shard %d", gid, s, local, ok, wantSi)
+	}
+}
+
+// TestRouterConcurrentDurableInserts drives the out-of-lock durability
+// waits under the race detector: concurrent inserts must overlap safely,
+// assign dense global IDs, and recover cleanly.
+func TestRouterConcurrentDurableInserts(t *testing.T) {
+	full := testDataset(t, 120)
+	baseN := 40
+	base := full.Sample(baseN)
+	cfg := Config{Shards: 3, Delta: delta.Config{CompactThreshold: -1}}
+	dcfg := cfg
+	dcfg.Durability = delta.Durability{Dir: t.TempDir(), Sync: wal.SyncGroup}
+
+	r, _, err := OpenOrCreate(base, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := full.Trajs[baseN:]
+	var wg sync.WaitGroup
+	errs := make([]error, len(tail))
+	gids := make([]trajectory.TrajID, len(tail))
+	for i := range tail {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			gids[i], errs[i] = r.Insert(trajectory.Trajectory{Pts: tail[i].Pts})
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[trajectory.TrajID]bool)
+	for i := range tail {
+		if errs[i] != nil {
+			t.Fatalf("insert %d: %v", i, errs[i])
+		}
+		if seen[gids[i]] {
+			t.Fatalf("global ID %d assigned twice", gids[i])
+		}
+		seen[gids[i]] = true
+	}
+	if got := r.Stats().NextID; got != len(full.Trajs) {
+		t.Fatalf("NextID %d, want %d", got, len(full.Trajs))
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, ri, err := OpenOrCreate(base, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if ri.Synthesized != 0 || ri.Holes != 0 || ri.JournalRebuilt {
+		t.Fatalf("clean shutdown recovered with %+v", ri)
+	}
+	if got := r2.Stats().NextID; got != len(full.Trajs) {
+		t.Fatalf("recovered NextID %d, want %d", got, len(full.Trajs))
+	}
+	for gid := range seen {
+		if _, _, ok := r2.Owner(gid); !ok {
+			t.Fatalf("acknowledged insert %d has no owner after recovery", gid)
+		}
+	}
 }
 
 // TestRouterCrashMatrix injects crash points across the sharded stack —

@@ -326,6 +326,12 @@ type translatingSink struct {
 }
 
 func (t *translatingSink) Offer(r query.Result) {
+	// A result without a mapping can only come from a mutation that
+	// bypassed the router; dropping it under-reports rather than panicking
+	// inside a scatter goroutine and taking the whole server down.
+	if int(r.ID) >= len(t.ids) {
+		return
+	}
 	r.ID = t.ids[r.ID]
 	t.shared.Offer(r)
 }

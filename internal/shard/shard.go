@@ -340,7 +340,8 @@ func (r *Router) NumShards() int { return len(r.shards) }
 
 // Owner locates a global trajectory ID: the owning shard's index and the
 // trajectory's shard-local ID. ok is false for IDs the router never
-// assigned.
+// assigned and for recovery holes (IDs consumed by inserts that never
+// became durable).
 func (r *Router) Owner(gid trajectory.TrajID) (shard int, local trajectory.TrajID, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -348,6 +349,9 @@ func (r *Router) Owner(gid trajectory.TrajID) (shard int, local trajectory.TrajI
 		return 0, 0, false
 	}
 	o := r.owners[gid]
+	if o.shard < 0 {
+		return 0, 0, false
+	}
 	return int(o.shard), o.local, true
 }
 
@@ -362,36 +366,51 @@ func (r *Router) Shard(si int) *Shard { return r.shards[si] }
 // structural requirements.
 func (r *Router) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	si := r.routeZ(r.repZ(tr.Pts))
 	sh := r.shards[si]
 	sh.idmu.Lock()
-	local, err := sh.d.Insert(tr)
+	local, commit, err := sh.d.InsertDeferred(tr)
 	if err != nil {
 		sh.idmu.Unlock()
+		r.mu.Unlock()
 		return 0, err
 	}
 	if int(local) != len(sh.globalIDs) {
 		sh.idmu.Unlock()
+		r.mu.Unlock()
 		return 0, fmt.Errorf("shard %d: local ID %d out of step with mapping (%d entries); mutations bypassed the router", si, local, len(sh.globalIDs))
 	}
 	gid := trajectory.TrajID(r.nextID)
 	r.nextID++
+	// The mapping is published the moment the delta layer applied the
+	// insert — before any durability wait — so every trajectory a search
+	// can observe has its global ID in place whatever the fsync outcome.
 	sh.globalIDs = append(sh.globalIDs, gid)
 	sh.extend(tr.Pts)
 	sh.idmu.Unlock()
 	r.owners = append(r.owners, owner{shard: int32(si), local: local})
+	var jseq uint64
 	if r.journal != nil {
-		// Journal after the shard's own WAL: a journal record therefore
-		// implies the shard record is durable, and a crash in between leaves
-		// at most the one in-flight insert shard-local, which recovery
-		// re-journals deterministically (see OpenOrCreate).
+		// Journal appends happen under r.mu in assignment order, so replay
+		// order is exactly global ID order. Neither WAL must be durable
+		// before the other: recovery re-synthesizes a shard record the
+		// journal missed, and replays a journal record whose shard record
+		// was lost (an unacknowledged insert) as a hole — see OpenOrCreate.
 		r.jbuf = binary.AppendUvarint(r.jbuf[:0], uint64(si))
-		seq, err := r.journal.Append(recRoute, r.jbuf)
-		if err != nil {
-			return 0, err
-		}
-		if err := r.journal.Commit(seq); err != nil {
+		jseq, err = r.journal.Append(recRoute, r.jbuf)
+	}
+	r.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// Durability waits run outside every router lock so concurrent inserts
+	// overlap and share fsyncs (group commit) instead of serializing on
+	// r.mu. An error past this point means applied but unacknowledged.
+	if err := commit(); err != nil {
+		return 0, err
+	}
+	if r.journal != nil {
+		if err := r.journal.Commit(jseq); err != nil {
 			return 0, err
 		}
 	}
@@ -402,11 +421,20 @@ func (r *Router) Insert(tr trajectory.Trajectory) (trajectory.TrajID, error) {
 // shard. Deleting an unknown ID is an error; re-deleting is a no-op.
 func (r *Router) Delete(gid trajectory.TrajID) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if int(gid) >= len(r.owners) {
+		r.mu.Unlock()
 		return fmt.Errorf("shard: delete of unknown trajectory %d", gid)
 	}
 	o := r.owners[gid]
+	r.mu.Unlock()
+	if o.shard < 0 {
+		// A recovery hole: the ID belonged to an insert that never became
+		// durable, so there is nothing to tombstone.
+		return fmt.Errorf("shard: delete of unknown trajectory %d", gid)
+	}
+	// Owner entries are immutable once published and the delta layer waits
+	// for durability outside its own lock, so deletes to different shards
+	// overlap and concurrent deletes share fsyncs.
 	return r.shards[o.shard].d.Delete(o.local)
 }
 

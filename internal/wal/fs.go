@@ -28,6 +28,10 @@ type FS interface {
 	// Rename atomically replaces newname with oldname (both in the same
 	// directory); it is the commit point of every multi-file update.
 	Rename(oldname, newname string) error
+	// SyncDir flushes dir's entries to stable storage. File creation and
+	// rename mutate the directory, not the file, so fsyncing file data
+	// alone does not make either survive a machine crash.
+	SyncDir(dir string) error
 }
 
 // File is a writable log or snapshot file.
@@ -71,9 +75,23 @@ func (osFS) Remove(name string) error { return os.Remove(name) }
 
 func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
 
+func (osFS) SyncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // WriteFileAtomic writes data to name via a temporary file and a rename, so
 // readers only ever observe the old or the complete new content. The data
-// is fsynced before the rename: the commit point implies durability.
+// is fsynced before the rename and the directory after it: when
+// WriteFileAtomic returns nil the new content survives a machine crash and
+// cannot be reordered after later directory operations.
 func WriteFileAtomic(fsys FS, name string, write func(io.Writer) error) error {
 	tmp := name + ".tmp"
 	f, err := fsys.Create(tmp)
@@ -98,7 +116,7 @@ func WriteFileAtomic(fsys FS, name string, write func(io.Writer) error) error {
 		fsys.Remove(tmp)
 		return err
 	}
-	return nil
+	return fsys.SyncDir(filepath.Dir(name))
 }
 
 // join is filepath.Join, aliased so every path the package builds goes

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"slices"
 	"strconv"
 	"strings"
@@ -90,6 +91,12 @@ type Options struct {
 	// GatherWindow is SyncGroup's batching delay before an fsync. 0 selects
 	// DefaultGatherWindow.
 	GatherWindow time.Duration
+	// FirstSeq, when > 1, is the sequence number the next Append assigns
+	// if the log holds no records. A snapshot that absorbed and pruned the
+	// whole log sets this to its last covered seq + 1, so numbering resumes
+	// after the snapshot instead of restarting at 1 (which a later replay
+	// would silently skip).
+	FirstSeq uint64
 	// FS overrides the filesystem; nil selects the real one. Tests inject
 	// internal/faultfs here.
 	FS FS
@@ -188,6 +195,7 @@ func Open(opts Options) (*Log, error) {
 	// Find the last intact record, repairing torn tails backwards: a crash
 	// can leave the final segment empty or entirely garbage, in which case
 	// the previous segment holds the tail.
+	found := false
 	for len(segs) > 0 {
 		name := segs[len(segs)-1]
 		scan, err := scanSegment(opts.FS, opts.Dir, name, nil)
@@ -201,9 +209,13 @@ func Open(opts Options) (*Log, error) {
 		}
 		if scan.records > 0 {
 			l.nextSeq = scan.lastSeq + 1
+			found = true
 			break
 		}
 		segs = segs[:len(segs)-1]
+	}
+	if !found && opts.FirstSeq > 1 {
+		l.nextSeq = opts.FirstSeq
 	}
 	l.appended = l.nextSeq - 1
 	l.synced = l.appended
@@ -236,6 +248,14 @@ func (l *Log) Append(kind uint8, body []byte) (uint64, error) {
 		f, err := l.fsys.Create(join(l.dir, segName(seq)))
 		if err != nil {
 			l.err = fmt.Errorf("wal: create segment: %w", err)
+			return 0, l.err
+		}
+		// The new segment's directory entry must be durable before any
+		// record in it can be acknowledged; fsyncing the file alone leaves
+		// the file unreachable after a machine crash.
+		if err := l.fsys.SyncDir(l.dir); err != nil {
+			l.err = fmt.Errorf("wal: sync segment dir: %w", err)
+			f.Close()
 			return 0, l.err
 		}
 		if _, err := f.Write(segHeader()); err != nil {
@@ -600,11 +620,16 @@ func segFirstSeq(name string) (uint64, error) {
 }
 
 // listSegments returns dir's segment file names sorted by first seq. A
-// missing directory lists empty. Foreign files are ignored.
+// missing directory lists empty; any other listing error is returned, so a
+// transient I/O or permission failure can never make an existing log look
+// empty. Foreign files are ignored.
 func listSegments(fsys FS, dir string) ([]string, error) {
 	names, err := fsys.ReadDir(dir)
-	if err != nil {
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil // no directory yet: an empty log
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
 	}
 	segs := names[:0]
 	for _, n := range names {

@@ -272,6 +272,63 @@ func TestConcurrentGroupCommit(t *testing.T) {
 	}
 }
 
+// TestOpenFirstSeqResumesEmptyLog: an empty log opened with FirstSeq
+// resumes numbering there (the snapshot absorbed and pruned everything),
+// while recovered records always win over FirstSeq.
+func TestOpenFirstSeqResumesEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, FirstSeq: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := appendCommitted(t, l, 1, []byte("a")); seq != 43 {
+		t.Fatalf("empty log with FirstSeq 43 assigned seq %d", seq)
+	}
+	l.Close()
+
+	l2, err := Open(Options{Dir: dir, FirstSeq: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := appendCommitted(t, l2, 1, []byte("b")); seq != 44 {
+		t.Fatalf("log with records ignored them for FirstSeq: assigned seq %d, want 44", seq)
+	}
+	l2.Close()
+
+	recs, info := collect(t, dir)
+	if len(recs) != 2 || recs[0].Seq != 43 || info.LastSeq != 44 || info.Torn {
+		t.Fatalf("got %d records, info %+v", len(recs), info)
+	}
+}
+
+// failReadDirFS fails every directory listing, modeling a transient I/O or
+// permission error that must never make an existing log look empty.
+type failReadDirFS struct {
+	FS
+	err error
+}
+
+func (f failReadDirFS) ReadDir(string) ([]string, error) { return nil, f.err }
+
+func TestReadDirErrorFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCommitted(t, l, 1, []byte("a"))
+	l.Close()
+
+	boom := errors.New("transient io error")
+	ffs := failReadDirFS{FS: OSFS(), err: boom}
+	if _, err := Open(Options{Dir: dir, FS: ffs}); !errors.Is(err, boom) {
+		t.Fatalf("Open with failing ReadDir = %v, want the listing error", err)
+	}
+	if _, err := Replay(ffs, dir, func(Record) error { return nil }); !errors.Is(err, boom) {
+		t.Fatalf("Replay with failing ReadDir = %v, want the listing error", err)
+	}
+}
+
 func TestParseSyncMode(t *testing.T) {
 	for in, want := range map[string]SyncMode{
 		"always": SyncAlways, "": SyncAlways, "group": SyncGroup,
