@@ -70,6 +70,19 @@ type (
 	// ParallelEngine serves queries over a pool of engine clones so
 	// throughput scales with cores; see NewParallelEngine.
 	ParallelEngine = query.ParallelEngine
+	// ResultCache is an epoch-invalidated cache of complete search
+	// responses; attach one to a ParallelEngine with SetResultCache, or
+	// enable it server-side with server Options.ResultCacheEntries. See
+	// NewResultCache.
+	ResultCache = query.ResultCache
+	// EpochSource is the monotone apply-then-bump mutation counter a
+	// ResultCache invalidates on. DynamicIndex, DynamicEngine,
+	// ShardedRouter and ShardedEngine implement it; StaticEpoch covers
+	// immutable indexes.
+	EpochSource = query.EpochSource
+	// StaticEpoch is the EpochSource of an index that never mutates:
+	// cached results stay valid forever.
+	StaticEpoch = query.StaticEpoch
 
 	// TrajStore is the disk-resident trajectory storage every engine
 	// shares (coordinates, activity posting lists, activity sketches).
@@ -258,6 +271,17 @@ func NewParallelEngine(e Engine, workers int) (*ParallelEngine, error) {
 		return nil, fmt.Errorf("activitytraj: engine %s is not cloneable", e.Name())
 	}
 	return query.NewParallelEngine(ce, workers), nil
+}
+
+// NewResultCache returns an epoch-invalidated cache of up to entries
+// complete responses (entries <= 0 selects the default), invalidated by
+// src's mutation counter: any insert, delete or compaction makes every
+// older entry unreachable at once, so a stale result can never serve. Use
+// the index itself as src (DynamicIndex, ShardedRouter and their engines
+// implement EpochSource) or StaticEpoch{} over an immutable index, and
+// attach the cache with (*ParallelEngine).SetResultCache.
+func NewResultCache(entries int, src EpochSource) *ResultCache {
+	return query.NewResultCache(entries, src)
 }
 
 // NewIL builds the inverted-list baseline (activity-only pruning).

@@ -7,9 +7,12 @@ package activitytraj_test
 // with full sweeps and table output.
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"activitytraj/internal/dataset"
 	"activitytraj/internal/delta"
@@ -247,6 +250,80 @@ func BenchmarkParallelThroughput(b *testing.B) {
 			b.ReportMetric(float64(len(qs)), "queries/op")
 		})
 	}
+}
+
+// BenchmarkSkewedBatch measures the cross-query batch layer on the skewed
+// workload it targets: a Zipf-distributed request stream (many repetitions
+// of few hot queries, shuffled) served by 4 workers. Each iteration runs
+// the same stream twice — once with planning and the result cache disabled
+// (the pre-batching path) and once with both enabled — and reports their
+// throughput ratio as "speedup" (floor-gated in CI at 2x) plus the batched
+// path's pages/search. Results from the batched path are checked
+// byte-identical to serial single-query execution outside the timed region.
+func BenchmarkSkewedBatch(b *testing.B) {
+	st := benchSetup(b, "LA")
+	pool, err := queries.Generate(st.DS, queries.Config{NumQueries: 12, Seed: 53})
+	if err != nil {
+		b.Fatal(err)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(11)), 1.3, 1, uint64(len(pool)-1))
+	reqs := make([]query.Request, 96)
+	for i := range reqs {
+		reqs[i] = query.Request{Query: pool[zipf.Uint64()], K: queries.DefaultK}
+	}
+	gatEng := st.Engine("GAT").(harness.CloneableEngine)
+
+	// Serial reference (unmeasured): the byte-identity baseline.
+	serial := gatEng.Clone()
+	want := make([][]query.Result, len(reqs))
+	for i, req := range reqs {
+		resp, err := serial.Search(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want[i] = resp.Results
+	}
+
+	unbatched := query.NewParallelEngine(gatEng.Clone().(query.CloneableEngine), 4)
+	unbatched.SetBatchPlanning(false)
+	batched := query.NewParallelEngine(gatEng.Clone().(query.CloneableEngine), 4)
+	rc := query.NewResultCache(256, query.StaticEpoch{})
+	batched.SetResultCache(rc)
+
+	var tPlain, tBatched time.Duration
+	var pages, searches int
+	var got []query.Response
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc.Reset() // every iteration pays the cold-cache misses itself
+		start := time.Now()
+		if _, err := unbatched.SearchAll(context.Background(), reqs); err != nil {
+			b.Fatal(err)
+		}
+		tPlain += time.Since(start)
+		start = time.Now()
+		if got, err = batched.SearchAll(context.Background(), reqs); err != nil {
+			b.Fatal(err)
+		}
+		tBatched += time.Since(start)
+		for _, r := range got {
+			pages += r.Stats.PageReads
+			searches++
+		}
+	}
+	b.StopTimer()
+	for i, r := range got {
+		if len(r.Results) != len(want[i]) {
+			b.Fatalf("request %d: %d results, serial had %d", i, len(r.Results), len(want[i]))
+		}
+		for j := range want[i] {
+			if r.Results[j] != want[i][j] {
+				b.Fatalf("request %d result %d: batched %+v != serial %+v", i, j, r.Results[j], want[i][j])
+			}
+		}
+	}
+	b.ReportMetric(tPlain.Seconds()/tBatched.Seconds(), "speedup")
+	b.ReportMetric(float64(pages)/float64(searches), "pages/search")
 }
 
 // BenchmarkTable4_DatasetStats regenerates the Table IV statistics:

@@ -64,6 +64,7 @@ func main() {
 	compactAt := flag.Int("compact-threshold", 0, "per-shard delta mutations before background compaction (0 = default, <0 = never)")
 	dataDir := flag.String("data-dir", "", "durable data directory (per-shard WALs, snapshots, routing journal); mutations survive crashes and are replayed on boot — supply the same -data/-preset corpus every boot, it is the recovery bootstrap")
 	syncMode := flag.String("sync", "always", "WAL fsync policy with -data-dir: always|group|off")
+	resultCache := flag.Int("result-cache", 0, "epoch-invalidated result cache entries (0 = off; hits skip the search and report only stats.ResultCacheHits)")
 	flag.Parse()
 
 	ds, err := dataset.LoadOrGenerate(*data, *preset, *scale)
@@ -110,7 +111,7 @@ func main() {
 		}
 		router = r
 	}
-	srv := server.New(router, server.Options{Workers: *workers, Vocab: ds.Vocab, Recovery: recovery})
+	srv := server.New(router, server.Options{Workers: *workers, Vocab: ds.Vocab, Recovery: recovery, ResultCacheEntries: *resultCache})
 	log.Printf("%d shards built in %s; serving on %s", router.NumShards(),
 		time.Since(buildStart).Round(time.Millisecond), *addr)
 

@@ -6,11 +6,14 @@
 // Usage:
 //
 //	go test -run xxx -bench . -benchmem | benchjson -o BENCH_ci.json \
-//	    -fail 'allocs/search:2000,pages/search:80' \
+//	    -fail 'allocs/search:2000,pages/search:80' -floor 'speedup:2' \
 //	    -baseline BENCH_baseline.json -regress 'ns/op:2.5,allocs/op:1.1'
 //
 // Each -fail entry is metric:ceiling (comma-separable); the gate applies to
 // every benchmark that reports the metric, across every -count repetition.
+// Each -floor entry is metric:minimum for higher-is-better metrics; it
+// gates the best (maximum) value per benchmark across repetitions, and
+// fails if no benchmark reported the metric at all.
 //
 // -baseline names a JSON file previously written by benchjson (the
 // committed perf trajectory); each -regress entry is metric:factor — for
@@ -96,6 +99,75 @@ func parseCeilings(spec string) ([]ceiling, error) {
 	return out, nil
 }
 
+// floor is one -floor gate: the metric's best (maximum) value per
+// benchmark across repetitions must reach min. Where -fail caps
+// lower-is-better metrics rep by rep, -floor guards higher-is-better ones
+// (throughput ratios like the skewed-batch "speedup") best-of-N, so one
+// noisy repetition on a loaded runner cannot fail an otherwise healthy
+// gate.
+type floor struct {
+	metric string
+	min    float64
+}
+
+func parseFloors(spec string) ([]floor, error) {
+	gates, err := parseCeilings(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]floor, len(gates))
+	for i, g := range gates {
+		out[i] = floor{metric: g.metric, min: g.limit}
+	}
+	return out, nil
+}
+
+// checkFloors returns a violation per benchmark whose best value of a
+// floored metric falls short — and per floored metric no benchmark
+// reported at all, so a renamed or dropped benchmark cannot silently
+// disable its gate.
+func checkFloors(results []Result, floors []floor) []string {
+	if len(floors) == 0 {
+		return nil
+	}
+	best := make(map[string]map[string]float64) // name -> metric -> max
+	for _, r := range results {
+		m := best[r.Name]
+		if m == nil {
+			m = make(map[string]float64)
+			best[r.Name] = m
+		}
+		for k, v := range r.Metrics {
+			if old, ok := m[k]; !ok || v > old {
+				m[k] = v
+			}
+		}
+	}
+	names := make([]string, 0, len(best))
+	for name := range best {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []string
+	for _, g := range floors {
+		reported := false
+		for _, name := range names {
+			v, ok := best[name][g.metric]
+			if !ok {
+				continue
+			}
+			reported = true
+			if v < g.min {
+				out = append(out, fmt.Sprintf("%s: %s = %g below floor %g", name, g.metric, v, g.min))
+			}
+		}
+		if !reported {
+			out = append(out, fmt.Sprintf("-floor %s:%g matched no benchmark (renamed or not run?)", g.metric, g.min))
+		}
+	}
+	return out
+}
+
 // regress is one -regress gate: best current metric must stay within
 // factor × best baseline metric.
 type regress struct {
@@ -174,7 +246,7 @@ func compareBaseline(current, baseline []Result, gates []regress) []string {
 // run parses benchmark output from in, writes JSON to jsonOut, echoes the
 // input to echo (so CI logs keep the raw output), and returns the ceiling
 // and baseline-regression violations.
-func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling, baseline []Result, regressions []regress) ([]string, error) {
+func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling, floors []floor, baseline []Result, regressions []regress) ([]string, error) {
 	var results []Result
 	var violations []string
 	sc := bufio.NewScanner(in)
@@ -199,6 +271,7 @@ func run(in io.Reader, jsonOut, echo io.Writer, gates []ceiling, baseline []Resu
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	violations = append(violations, checkFloors(results, floors)...)
 	violations = append(violations, compareBaseline(results, baseline, regressions)...)
 	enc := json.NewEncoder(jsonOut)
 	enc.SetIndent("", "  ")
@@ -213,12 +286,17 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	failSpec := flag.String("fail", "", "comma-separated metric:ceiling gates, e.g. 'allocs/search:2000'")
+	floorSpec := flag.String("floor", "", "comma-separated metric:minimum gates on the best-of-N value, e.g. 'speedup:2'")
 	baselineFile := flag.String("baseline", "", "baseline JSON (written by a previous benchjson run) to diff against")
 	regressSpec := flag.String("regress", "", "comma-separated metric:factor regression gates vs -baseline, e.g. 'ns/op:2.5,allocs/op:1.1'")
 	quiet := flag.Bool("q", false, "do not echo the raw benchmark output")
 	flag.Parse()
 
 	gates, err := parseCeilings(*failSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	floors, err := parseFloors(*floorSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -251,7 +329,7 @@ func main() {
 		defer f.Close()
 		jsonOut = f
 	}
-	violations, err := run(os.Stdin, jsonOut, echo, gates, baseline, regressions)
+	violations, err := run(os.Stdin, jsonOut, echo, gates, floors, baseline, regressions)
 	if err != nil {
 		log.Fatal(err)
 	}

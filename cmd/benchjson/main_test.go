@@ -49,7 +49,7 @@ func TestRunJSONAndGates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	violations, err := run(strings.NewReader(sample), &out, nil, gates, nil, nil)
+	violations, err := run(strings.NewReader(sample), &out, nil, gates, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestRunJSONAndGates(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	violations, err = run(strings.NewReader(sample), &out, nil, gates, nil, nil)
+	violations, err = run(strings.NewReader(sample), &out, nil, gates, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,6 +95,43 @@ func TestParseCeilings(t *testing.T) {
 	}
 	if gs, err := parseCeilings(""); err != nil || len(gs) != 0 {
 		t.Fatalf("empty spec: %v %v", gs, err)
+	}
+}
+
+func TestFloors(t *testing.T) {
+	parse := func(text string) []Result {
+		var rs []Result
+		for _, line := range strings.Split(text, "\n") {
+			if r, ok := parseLine(line); ok {
+				rs = append(rs, r)
+			}
+		}
+		return rs
+	}
+	reps := parse(`BenchmarkSkewedBatch-4   3   200000000 ns/op   2.6 speedup
+BenchmarkSkewedBatch-4   3   250000000 ns/op   1.4 speedup`)
+
+	floors, err := parseFloors("speedup:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-of-N: the 2.6 rep satisfies the floor despite the noisy 1.4 one.
+	if v := checkFloors(reps, floors); len(v) != 0 {
+		t.Fatalf("best-of-N floor tripped: %v", v)
+	}
+	floors, _ = parseFloors("speedup:3")
+	v := checkFloors(reps, floors)
+	if len(v) != 1 || !strings.Contains(v[0], "below floor") {
+		t.Fatalf("unmet floor not flagged: %v", v)
+	}
+	// A floor no benchmark reports must fail loudly, not silently pass.
+	floors, _ = parseFloors("qps:1")
+	v = checkFloors(reps, floors)
+	if len(v) != 1 || !strings.Contains(v[0], "matched no benchmark") {
+		t.Fatalf("unreported floor metric not flagged: %v", v)
+	}
+	if v := checkFloors(reps, nil); v != nil {
+		t.Fatalf("nil floors produced violations: %v", v)
 	}
 }
 

@@ -111,6 +111,46 @@
 //     pe, _ := activitytraj.NewParallelEngine(engine, runtime.GOMAXPROCS(0))
 //     resps, _ := pe.SearchAll(ctx, reqs)
 //
+// Per-request accounting always travels in each Response.Stats; the pool's
+// LastStats is only an approximate aggregate of the batches it served and
+// exists for the deprecated pre-context API.
+//
+// # Batched execution and the result cache
+//
+// SearchAll does more than fan out: before executing a batch it plans it.
+// Engines that can map a query to a position on the index's Z-order curve
+// (GAT, dynamic, sharded — via query.BatchKeyer) have their batches sorted
+// by that key and cut into groups at grid-ancestor boundaries, so each
+// group is a set of queries about to walk overlapping index regions. A
+// multi-query group gets one superbatch prefetch (query.SuperbatchWarmer)
+// before its searches run: the GAT engine unions the candidate posting
+// lists of every query in the group and issues a single page-ordered
+// header readahead — one elevator pass over the APL segment instead of N
+// interleaved ones. Planning is invisible in the output: responses come
+// back in input order and are byte-identical to serial execution (warming
+// is a buffer-pool hint; SearchStats.PageReads counts logical fetches, so
+// prefetching cannot change stats). SetBatchPlanning(false) disables it.
+//
+// A ParallelEngine can additionally carry a result cache, and so can the
+// HTTP server (atsqserve -result-cache N):
+//
+//	rc := activitytraj.NewResultCache(1024, dynamicIndex)
+//	pe.SetResultCache(rc)
+//
+// NewResultCache memoizes whole responses keyed on the canonical encoding
+// of (Query, K, Ordered, InitialBound, Region, WithMatches) tagged with
+// the EpochSource's mutation epoch. Dynamic and sharded indexes implement
+// EpochSource: the epoch advances after every Insert/Delete/compaction
+// becomes search-visible and before it is acknowledged, so a cached entry
+// can never outlive the corpus it observed — any mutation implicitly
+// invalidates the whole cache without touching it. For immutable indexes
+// StaticEpoch pins the epoch at zero and entries live until evicted. A
+// hit returns a defensive copy whose Stats carry only the ResultCacheHits
+// marker (the original search's work is not replayed into aggregates);
+// misses are tallied in ResultCacheMisses. Truncated responses are never
+// cached. On a Zipf-skewed workload the planner and cache together are
+// worth >2x throughput (BenchmarkSkewedBatch, floor-gated in CI).
+//
 // # Dynamic ingestion
 //
 // The paper builds its index once over a frozen corpus; this library also
@@ -230,8 +270,9 @@
 //
 // # Cache tuning
 //
-// Three sharded LRU caches sit in front of the simulated disk and are
-// shared by all engine clones:
+// Four sharded LRU caches serve the read path. Three sit in front of the
+// simulated disk, memoize decoded index structures, and are shared by all
+// engine clones:
 //
 //   - StoreConfig.APLCacheEntries caps the decoded Activity Posting List
 //     cache in the trajectory store (default 8192 entries; negative
@@ -245,10 +286,19 @@
 //   - GATConfig.HICLCacheEntries caps the decoded disk-level HICL
 //     cell-set cache in the GAT index (default 4096 entries).
 //
-// Cache traffic is reported per search in SearchStats.CacheHits and
-// SearchStats.CacheMisses; simulated page reads in SearchStats.PageReads
-// drop as the caches warm. Engines measured by the experiment harness reset
-// the caches between workloads so cold-cache comparisons stay fair.
+// The fourth — the result cache (see "Batched execution and the result
+// cache" above) — sits above the engines and memoizes whole responses.
+// It is opt-in and sized by NewResultCache's entries argument (cap it by
+// working-set: one entry per distinct (query, options) pair you expect to
+// repeat within a mutation epoch; entries are invalidated wholesale by
+// any mutation, so a write-heavy corpus wants a small cache or none).
+//
+// Decoded-structure cache traffic is reported per search in
+// SearchStats.CacheHits and SearchStats.CacheMisses, result-cache traffic
+// in SearchStats.ResultCacheHits and ResultCacheMisses; simulated page
+// reads in SearchStats.PageReads drop as the caches warm. Engines
+// measured by the experiment harness reset the caches between workloads
+// so cold-cache comparisons stay fair.
 //
 // # I/O-minimizing candidate pipeline
 //

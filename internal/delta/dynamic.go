@@ -231,6 +231,15 @@ type Dynamic struct {
 	walBuf []byte
 
 	gen atomic.Pointer[generation]
+
+	// mutEpoch counts mutations with apply-then-bump ordering: incremented
+	// after each insert/delete/compaction swap becomes visible to searches
+	// and before the mutation is acknowledged — the contract
+	// query.EpochSource requires for result-cache invalidation. It is NOT
+	// the generation epoch (gen.epoch advances only on compaction swaps,
+	// which would let a cache serve results predating unacknowledged
+	// inserts as fresh).
+	mutEpoch atomic.Uint64
 }
 
 // NewDynamic builds a dynamic index over ds. The dataset is the initial
@@ -354,6 +363,7 @@ func (d *Dynamic) InsertDeferred(tr trajectory.Trajectory) (trajectory.TrajID, f
 	d.nextID++
 	tr.ID = id
 	gen.active.insert(id, tr)
+	d.mutEpoch.Add(1) // apply-then-bump: after visibility, before the ack
 	d.mu.Unlock()
 	commit := func() error {
 		if d.log != nil {
@@ -400,6 +410,7 @@ func (d *Dynamic) Delete(id trajectory.TrajID) error {
 		}
 	}
 	gen.active.delete(id)
+	d.mutEpoch.Add(1) // apply-then-bump: after visibility, before the ack
 	d.mu.Unlock()
 	if d.log != nil {
 		if err := d.log.Commit(seq); err != nil {
@@ -486,6 +497,7 @@ func (d *Dynamic) CompactNow() error {
 	fresh := NewLayer(cur.idx.Grid(), d.nextID, cur.ts.SketchIntervals())
 	gen1 := newGeneration(cur.epoch+1, cur.ds, cur.ts, cur.idx, frozen, fresh)
 	d.gen.Store(gen1)
+	d.mutEpoch.Add(1) // generation swap: conservative cache invalidation
 	cur.retire()
 	// WAL appends happen under d.mu, so the log's last seq here is exactly
 	// the last mutation captured by base+frozen: the snapshot built from
@@ -512,6 +524,7 @@ func (d *Dynamic) CompactNow() error {
 		g.active.absorb(frozen)
 		gen1r := newGeneration(g.epoch+1, g.ds, g.ts, g.idx, nil, g.active)
 		d.gen.Store(gen1r)
+		d.mutEpoch.Add(1)
 		g.retire()
 		d.mu.Unlock()
 		return fmt.Errorf("delta: compaction rebuild: %w", err)
@@ -525,6 +538,7 @@ func (d *Dynamic) CompactNow() error {
 	newActive := g.active.rebound(newIdx.Grid(), newTS.NumTrajs())
 	gen2 := newGeneration(g.epoch+1, newDS, newTS, newIdx, nil, newActive)
 	d.gen.Store(gen2)
+	d.mutEpoch.Add(1)
 	g.retire()
 	d.mu.Unlock()
 	d.compactions.Add(1)
@@ -640,6 +654,12 @@ func (d *Dynamic) LastCompactErr() error {
 // Dataset returns the current base dataset (not including delta inserts).
 // It is immutable; compactions replace it.
 func (d *Dynamic) Dataset() *trajectory.Dataset { return d.gen.Load().ds }
+
+// Epoch implements query.EpochSource: a monotone counter bumped after every
+// insert, delete and compaction swap becomes visible to searches and before
+// it is acknowledged (apply-then-bump — see the mutEpoch field and
+// query.EpochSource for why the generation epoch alone would be unsound).
+func (d *Dynamic) Epoch() uint64 { return d.mutEpoch.Load() }
 
 // ResetCaches puts the current generation's decoded-structure caches and
 // buffer pool in the cold state, so harness runs measure the index
@@ -760,7 +780,33 @@ func (e *Engine) Matches(q query.Query, id trajectory.TrajID, ordered bool, regi
 	return e.inner.MatchesFor(q, id, ordered, region, stats)
 }
 
+// Epoch implements query.EpochSource by delegating to the index's mutation
+// counter, so a result cache over this engine invalidates on every
+// insert/delete/compaction.
+func (e *Engine) Epoch() uint64 { return e.d.Epoch() }
+
+// BatchKey implements query.BatchKeyer on the current generation's inner
+// GAT engine: the leaf-cell Z code of the query centroid in the current
+// base grid. Keys are only locality hints consumed within one SearchAll
+// call, so a concurrent compaction swapping the grid mid-batch merely
+// degrades grouping quality, never correctness.
+func (e *Engine) BatchKey(q query.Query) uint64 {
+	gen := e.acquireInner()
+	defer gen.release()
+	return e.inner.BatchKey(q)
+}
+
+// WarmSuperbatch implements query.SuperbatchWarmer by forwarding to the
+// current generation's inner GAT engine, which reads only the immutable
+// base index — no active-layer lock is needed for a pool hint.
+func (e *Engine) WarmSuperbatch(reqs []query.Request) {
+	gen := e.acquireInner()
+	defer gen.release()
+	e.inner.WarmSuperbatch(reqs)
+}
+
 // Clone implements query.CloneableEngine.
 func (e *Engine) Clone() query.Engine { return &Engine{d: e.d} }
 
 var _ query.CloneableEngine = (*Engine)(nil)
+var _ query.EpochSource = (*Engine)(nil)

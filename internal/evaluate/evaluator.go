@@ -339,6 +339,35 @@ func (e *Evaluator) PrefetchBatch(ids []trajectory.TrajID) {
 		}
 		return
 	}
+	e.sortByAPLPage(ids)
+	e.prefetchHeadersSorted(ids)
+}
+
+// PrefetchHeaders warms the buffer pool with the APL header pages of ids —
+// the cross-query superbatch variant of PrefetchBatch: the caller passes
+// the union of several co-located queries' likely candidates, and the
+// shared pages fault once here instead of once per query. ids is reordered
+// in place (page order, delta candidates last) and may contain duplicates;
+// the readahead is purely a pool hint and changes no search's results or
+// accounting.
+func (e *Evaluator) PrefetchHeaders(ids []trajectory.TrajID) {
+	if len(ids) == 0 {
+		return
+	}
+	if len(ids) == 1 {
+		if int(ids[0]) < e.ts.NumTrajs() && !e.ts.APLCached(ids[0]) {
+			e.ts.PrefetchAPLHeader(ids[0])
+		}
+		return
+	}
+	e.sortByAPLPage(ids)
+	e.prefetchHeadersSorted(ids)
+}
+
+// sortByAPLPage reorders ids in place into APL page order, with
+// delta-resident candidates (which cost no disk) last in ID order. It
+// reuses the evaluator's sort-key scratch.
+func (e *Evaluator) sortByAPLPage(ids []trajectory.TrajID) {
 	baseN := e.ts.NumTrajs()
 	keys := e.sortKeys[:0]
 	for _, id := range ids {
@@ -353,8 +382,13 @@ func (e *Evaluator) PrefetchBatch(ids []trajectory.TrajID) {
 	for i, k := range keys {
 		ids[i] = trajectory.TrajID(uint32(k))
 	}
-	// Readahead over the header pages of to-be-fetched APLs, coalescing
-	// adjacent ranges so the pool sees few, ascending hints.
+}
+
+// prefetchHeadersSorted issues readahead over the header pages of the
+// to-be-fetched APLs among ids, which must already be in page order. It
+// coalesces adjacent ranges so the pool sees few, ascending hints.
+func (e *Evaluator) prefetchHeadersSorted(ids []trajectory.TrajID) {
+	baseN := e.ts.NumTrajs()
 	var first, past uint32
 	started := false
 	for _, id := range ids {

@@ -115,6 +115,15 @@ type SearchStats struct {
 	// (posting blocks, coordinate points, HICL lists) — the work the lazy
 	// blocked layout avoids compared to eagerly decoding whole segments.
 	BytesDecoded int64
+
+	// ResultCacheHits counts requests answered from an epoch-invalidated
+	// ResultCache without running a search at all; ResultCacheMisses counts
+	// cache probes that fell through to a real search. Both stay zero when
+	// no result cache is attached. A hit's Response.Stats carries ONLY the
+	// hit marker — the cached search's original work is not replayed into
+	// the serving request's accounting, because it was not performed for it.
+	ResultCacheHits   int
+	ResultCacheMisses int
 }
 
 // Add accumulates other into s (used when averaging over a workload).
@@ -135,4 +144,6 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.ShardsSearched += other.ShardsSearched
 	s.ShardsSkipped += other.ShardsSkipped
 	s.BytesDecoded += other.BytesDecoded
+	s.ResultCacheHits += other.ResultCacheHits
+	s.ResultCacheMisses += other.ResultCacheMisses
 }

@@ -143,6 +143,16 @@ type Options struct {
 	// ErrorLog receives the server-side detail of 5xx faults, whose wire
 	// bodies are sanitized. Nil uses the process-wide standard logger.
 	ErrorLog *log.Logger
+	// ResultCacheEntries, when > 0, enables an epoch-invalidated result
+	// cache of that many entries in front of the engine pool: a search
+	// whose canonical request was already answered at the current mutation
+	// epoch replies without borrowing an engine at all, and any insert,
+	// delete or compaction on the router invalidates every older entry at
+	// once (see query.ResultCache). A hit's stats carry only the
+	// ResultCacheHits marker — the cached search's work was not performed
+	// for the serving request. 0 (the default) disables caching, keeping
+	// every reply's stats an exact account of work done for that request.
+	ResultCacheEntries int
 }
 
 // Server serves ATSQ/OATSQ queries and mutations over a shard.Router.
@@ -154,6 +164,9 @@ type Server struct {
 	started  time.Time
 	recovery *shard.RecoveryInfo
 	errlog   *log.Logger
+	// rcache, when non-nil, answers repeated searches without borrowing an
+	// engine; its epoch source is the router's composed mutation counter.
+	rcache *query.ResultCache
 
 	searches atomic.Int64
 	inserts  atomic.Int64
@@ -181,6 +194,9 @@ func New(r *shard.Router, opts Options) *Server {
 	}
 	for i := 0; i < w; i++ {
 		s.engines <- r.NewEngine()
+	}
+	if opts.ResultCacheEntries > 0 {
+		s.rcache = query.NewResultCache(opts.ResultCacheEntries, r)
 	}
 	return s
 }
@@ -271,6 +287,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		rect := geo.NewRect(req.Region.MinX, req.Region.MinY, req.Region.MaxX, req.Region.MaxY)
 		sreq.Region = &rect
 	}
+	// With a result cache enabled, probe before borrowing an engine: a hit
+	// replies immediately (no pool backpressure, no search). The epoch is
+	// read once here and reused for the post-search Put, so a cached entry
+	// can never claim mutations its search did not observe.
+	var cacheEpoch uint64
+	if s.rcache != nil {
+		cacheEpoch = s.rcache.Epoch()
+		if qresp, ok := s.rcache.Get(cacheEpoch, sreq); ok {
+			s.searches.Add(1)
+			writeJSON(w, http.StatusOK, searchResponseJSON(qresp, 0))
+			return
+		}
+	}
 	// Borrowing from the engine pool honors the request context too: a
 	// budget spent queueing behind busy engines 504s immediately instead
 	// of parking the handler until an engine frees, and a hung-up client
@@ -289,6 +318,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	qresp, err := e.Search(ctx, sreq)
 	took := time.Since(start)
+	if s.rcache != nil {
+		qresp.Stats.ResultCacheMisses++
+		if err == nil {
+			s.rcache.Put(cacheEpoch, sreq, qresp)
+		}
+	}
 	// The response was copied out of the engine, so it can go back to the
 	// pool before the response write: a client stalling on the read side
 	// must not pin an engine (the pool is the serving capacity).

@@ -288,6 +288,22 @@ func (e *Engine) fillMatches(ctx context.Context, q query.Query, ordered bool, r
 // per-shard sub-engines) over the same shared router.
 func (e *Engine) Clone() query.Engine { return e.r.NewEngine() }
 
+// Epoch implements query.EpochSource via the router's composed per-shard
+// mutation counter (see Router.Epoch).
+func (e *Engine) Epoch() uint64 { return e.r.Epoch() }
+
+// BatchKey implements query.BatchKeyer: the partition-grid Z code of the
+// query's first point, so queries scattered to the same shards group
+// together and their shard sub-searches reuse each other's faulted pages.
+// The partition grid is coarser than each shard's leaf grid, but the Z
+// codes still order spatially — enough for a locality hint.
+func (e *Engine) BatchKey(q query.Query) uint64 {
+	if len(q.Pts) == 0 {
+		return 0
+	}
+	return uint64(e.r.pgrid.CellAt(e.r.cfg.PartitionDepth, q.Pts[0].Loc).Z)
+}
+
 // ResetCaches puts every shard's decoded-structure caches and buffer pool
 // in the cold state (the harness calls this between measured runs).
 func (e *Engine) ResetCaches() {
@@ -297,6 +313,7 @@ func (e *Engine) ResetCaches() {
 }
 
 var _ query.CloneableEngine = (*Engine)(nil)
+var _ query.EpochSource = (*Engine)(nil)
 
 // joinedCtx derives a cancellable context whose Err() also polls the
 // parent lazily: sub-searches observe the caller's cancellation at their

@@ -338,6 +338,19 @@ func (r *Router) zhi(si int, maxZ uint32) uint32 {
 // NumShards returns K.
 func (r *Router) NumShards() int { return len(r.shards) }
 
+// Epoch implements query.EpochSource by summing the per-shard mutation
+// counters. Each addend is monotone non-decreasing with apply-then-bump
+// ordering (see delta.(*Dynamic).Epoch), so the sum is too, and an
+// unchanged sum implies every component is unchanged — no shard saw an
+// acknowledged mutation between two equal reads.
+func (r *Router) Epoch() uint64 {
+	var sum uint64
+	for _, sh := range r.shards {
+		sum += sh.d.Epoch()
+	}
+	return sum
+}
+
 // Owner locates a global trajectory ID: the owning shard's index and the
 // trajectory's shard-local ID. ok is false for IDs the router never
 // assigned and for recovery holes (IDs consumed by inserts that never
