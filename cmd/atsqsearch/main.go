@@ -31,15 +31,12 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
-	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"os"
@@ -50,6 +47,7 @@ import (
 	"time"
 
 	"activitytraj"
+	"activitytraj/internal/cluster"
 	"activitytraj/internal/dataset"
 	"activitytraj/internal/server"
 )
@@ -313,7 +311,7 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 		if err != nil {
 			log.Fatalf("marshal query %d: %v", qi, err)
 		}
-		resp, err := postRetry(client, searchURL, body, retries, func(format string, args ...any) {
+		resp, err := cluster.PostRetry(context.Background(), client, searchURL, body, retries, cluster.Backoff{}, func(format string, args ...any) {
 			log.Printf("query %d: %s", qi, fmt.Sprintf(format, args...))
 		})
 		if err != nil {
@@ -350,42 +348,6 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 		printResults(results, ds, false)
 	}
 	banner("%d queries answered by %s in %s\n", len(qs), baseURL, time.Since(start).Round(time.Millisecond))
-}
-
-// postRetry POSTs body to url, retrying transient failures up to retries
-// extra attempts. Retryable: any transport-level error (connection refused
-// while the server boots, connection reset mid-restart) and the 502/503
-// statuses a proxy or a recovering/degraded server answers. Anything else
-// — 200, 400, 404, 504 — returns immediately for the caller to interpret.
-// Backoff doubles from 100ms up to a 2s cap, with full jitter so a batch
-// of clients hammered off a restarting server does not reconverge in
-// lockstep.
-func postRetry(client *http.Client, url string, body []byte, retries int, warnf func(string, ...any)) (*http.Response, error) {
-	var lastErr error
-	for attempt := 0; ; attempt++ {
-		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-		if err == nil && resp.StatusCode != http.StatusBadGateway && resp.StatusCode != http.StatusServiceUnavailable {
-			return resp, nil
-		}
-		if err != nil {
-			lastErr = err
-		} else {
-			// Drain so the connection can be reused, then retry the status.
-			_, _ = io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			lastErr = fmt.Errorf("server status %d (%s)", resp.StatusCode, http.StatusText(resp.StatusCode))
-		}
-		if attempt >= retries {
-			if retries > 0 {
-				return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt+1)
-			}
-			return nil, lastErr
-		}
-		backoff := min(100*time.Millisecond<<attempt, 2*time.Second)
-		sleep := rand.N(backoff + 1)
-		warnf("transient failure (%v); retry %d/%d in %s", lastErr, attempt+1, retries, sleep.Round(time.Millisecond))
-		time.Sleep(sleep)
-	}
 }
 
 // streamIngest holds the last n trajectories out of the base build and

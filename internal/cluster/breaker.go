@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: requests are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one probe request
+	// has been admitted; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker defaults.
+const (
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = time.Second
+)
+
+// Breaker is a per-replica circuit breaker. Closed, it counts consecutive
+// failures (passive request outcomes and active /healthz probes feed the
+// same counter) and trips open at the threshold. Open, it refuses requests
+// for a cooldown, then admits exactly one probe (half-open): success snaps
+// it closed, failure re-opens it for another cooldown. All methods are safe
+// for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive failures
+// (<= 0 selects DefaultBreakerThreshold) and probing after cooldown (<= 0
+// selects DefaultBreakerCooldown). now replaces time.Now for deterministic
+// tests; nil selects the real clock.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = DefaultBreakerCooldown
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may be sent now. Open breakers whose
+// cooldown has elapsed transition to half-open and admit this one call as
+// the probe; while the probe's outcome is pending, further Allow calls
+// refuse.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: one probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful request or probe: the breaker snaps closed
+// and the failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+}
+
+// Failure records a failed request or probe. A half-open probe failure
+// re-opens immediately; closed breakers trip open at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's current position (an open breaker past its
+// cooldown still reports open until an Allow call promotes it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerWalksClosedOpenHalfOpenClosed(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(3, time.Second, clk.now)
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker should be closed and allowing")
+	}
+	// Two failures: still closed (threshold 3).
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("below threshold should stay closed")
+	}
+	// Third consecutive failure trips it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must refuse")
+	}
+	// Cooldown not elapsed yet.
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("open breaker must refuse until cooldown elapses")
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: probe should be admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be refused")
+	}
+	// Probe succeeds: closed again, failure count reset.
+	b.Success()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("probe success should close the breaker")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("failure count should have been reset by Success")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2000, 0)}
+	b := NewBreaker(1, time.Second, clk.now)
+
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold 1 should trip on first failure")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe should be admitted after cooldown")
+	}
+	// Probe fails: re-open for a fresh cooldown.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %v, want open after failed probe", b.State())
+	}
+	clk.advance(999 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("fresh cooldown should refuse")
+	}
+	clk.advance(time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("second probe should be admitted")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("second probe success should close")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(3, time.Second, nil)
+	// Interleaved successes keep the consecutive count below threshold.
+	for i := 0; i < 10; i++ {
+		b.Failure()
+		b.Failure()
+		b.Success()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved successes must not trip the breaker")
+	}
+}

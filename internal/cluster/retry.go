@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// Backoff defaults.
+const (
+	DefaultBackoffBase = 100 * time.Millisecond
+	DefaultBackoffCap  = 2 * time.Second
+)
+
+// Backoff computes capped exponential backoff with full jitter: the delay
+// before retry attempt n (0-based) is uniform in [0, min(Base·2ⁿ, Cap)].
+// Full jitter keeps a batch of clients hammered off a restarting server
+// from reconverging in lockstep. The zero value selects the defaults.
+type Backoff struct {
+	// Base is the first attempt's maximum delay (0 selects
+	// DefaultBackoffBase).
+	Base time.Duration
+	// Cap bounds the exponential growth (0 selects DefaultBackoffCap).
+	Cap time.Duration
+	// Rand, when non-nil, replaces the uniform draw for deterministic
+	// tests: it receives the exclusive upper bound and must return a value
+	// in [0, n).
+	Rand func(n time.Duration) time.Duration
+}
+
+// Delay returns the jittered sleep before retry attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, cap := b.Base, b.Cap
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if cap <= 0 {
+		cap = DefaultBackoffCap
+	}
+	d := base
+	for i := 0; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	if b.Rand != nil {
+		return b.Rand(d + 1)
+	}
+	return rand.N(d + 1)
+}
+
+// Transient reports whether one HTTP round-trip outcome is worth retrying:
+// any transport-level error (connection refused while a server boots,
+// connection reset mid-restart) and the 502/503 statuses a proxy or a
+// recovering/degraded server answers. Anything else — 200, 400, 404, 504 —
+// is a real answer for the caller to interpret.
+func Transient(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable
+}
+
+// PostRetry POSTs body as JSON to url, retrying Transient failures up to
+// retries extra attempts with bo's backoff. ctx bounds the whole exchange
+// (per-try deadlines belong in client.Timeout or a caller-derived ctx);
+// between attempts cancellation cuts the sleep short. warnf, when non-nil,
+// receives one line per retry. On success the caller owns resp.Body; failed
+// attempts are drained and closed here so connections are reused.
+func PostRetry(ctx context.Context, client *http.Client, url string, body []byte, retries int, bo Backoff, warnf func(format string, args ...any)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if !Transient(resp, err) {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			// Drain so the connection can be reused, then retry the status.
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("server status %d (%s)", resp.StatusCode, http.StatusText(resp.StatusCode))
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= retries {
+			if retries > 0 {
+				return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt+1)
+			}
+			return nil, lastErr
+		}
+		sleep := bo.Delay(attempt)
+		if warnf != nil {
+			warnf("transient failure (%v); retry %d/%d in %s", lastErr, attempt+1, retries, sleep.Round(time.Millisecond))
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(sleep):
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayCapsAndJitters(t *testing.T) {
+	// Identity "jitter" exposes the raw exponential schedule.
+	bo := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second,
+		Rand: func(n time.Duration) time.Duration { return n - 1 }}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 2 * time.Second,
+		2 * time.Second,
+	}
+	for attempt, w := range want {
+		if got := bo.Delay(attempt); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+	// A huge attempt number must not overflow past the cap.
+	if got := bo.Delay(200); got != 2*time.Second {
+		t.Fatalf("Delay(200) = %v, want cap", got)
+	}
+	// Real jitter stays within [0, schedule].
+	real := Backoff{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		if d := real.Delay(2); d < 0 || d > 40*time.Millisecond {
+			t.Fatalf("jittered Delay(2) = %v out of [0, 40ms]", d)
+		}
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if !Transient(nil, io.EOF) {
+		t.Fatal("transport error should be transient")
+	}
+	for code, want := range map[int]bool{
+		http.StatusOK: false, http.StatusBadRequest: false,
+		http.StatusNotFound: false, http.StatusGatewayTimeout: false,
+		http.StatusInternalServerError: false,
+		http.StatusBadGateway:          true, http.StatusServiceUnavailable: true,
+	} {
+		if got := Transient(&http.Response{StatusCode: code}, nil); got != want {
+			t.Fatalf("Transient(status %d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestPostRetryRecoversFromTransients(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"ok":true}`)
+	}))
+	defer srv.Close()
+
+	bo := Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond}
+	resp, err := PostRetry(context.Background(), srv.Client(), srv.URL, []byte(`{}`), 5, bo, nil)
+	if err != nil {
+		t.Fatalf("PostRetry: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+func TestPostRetryDoesNotRetryRealAnswers(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad request", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	resp, err := PostRetry(context.Background(), srv.Client(), srv.URL, nil, 5, Backoff{}, nil)
+	if err != nil {
+		t.Fatalf("PostRetry: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+func TestPostRetryExhaustsAndReportsAttempts(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	bo := Backoff{Base: time.Millisecond, Cap: time.Millisecond}
+	_, err := PostRetry(context.Background(), srv.Client(), srv.URL, nil, 2, bo, nil)
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestPostRetryHonorsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	// Enormous backoff: only cancellation can end the wait.
+	bo := Backoff{Base: time.Hour, Cap: time.Hour,
+		Rand: func(n time.Duration) time.Duration { return n - 1 }}
+	start := time.Now()
+	_, err := PostRetry(ctx, srv.Client(), srv.URL, nil, 5, bo, nil)
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; sleep not interrupted", elapsed)
+	}
+}

@@ -1,0 +1,911 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/server"
+	"activitytraj/internal/shard"
+	"activitytraj/internal/trajectory"
+)
+
+// DefaultTryTimeout bounds one HTTP attempt against one replica. A search
+// with a tighter context deadline inherits it automatically (the per-try
+// context is derived from the request's), so the budget is the MINIMUM of
+// the two — a slow replica burns at most one try's worth of the request
+// before failover moves on.
+const DefaultTryTimeout = 2 * time.Second
+
+// ErrNotFound reports a delete whose trajectory no shard owns.
+var ErrNotFound = errors.New("cluster: trajectory not found")
+
+// IncompleteError reports a search that could not cover every shard while
+// the request demanded completeness (Request.RequireComplete): every
+// replica of Shard was unreachable. Routers map it to 503.
+type IncompleteError struct {
+	Shard int
+	Cause error
+}
+
+func (e *IncompleteError) Error() string {
+	return fmt.Sprintf("cluster: shard %d unavailable and request requires complete results: %v", e.Shard, e.Cause)
+}
+
+func (e *IncompleteError) Unwrap() error { return e.Cause }
+
+// shardDownError marks a search fan-out leg whose every eligible replica
+// failed — the degradable failure class (vs. a permanent error like a
+// malformed request, which aborts the whole search).
+type shardDownError struct {
+	si    int
+	cause error
+}
+
+func (e *shardDownError) Error() string {
+	return fmt.Sprintf("shard %d: all replicas failed: %v", e.si, e.cause)
+}
+
+func (e *shardDownError) Unwrap() error { return e.cause }
+
+// statusError is a non-2xx node reply.
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("http %d: %s", e.code, e.msg) }
+
+// transientErr reports whether a node interaction's failure is worth
+// retrying on a sibling replica: network faults and gateway-class statuses
+// (502/503/504) are; anything else the next replica would answer the same.
+func transientErr(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code == http.StatusBadGateway || se.code == http.StatusServiceUnavailable ||
+			se.code == http.StatusGatewayTimeout
+	}
+	return err != nil
+}
+
+// RouterConfig wires a Router to its cluster.
+type RouterConfig struct {
+	Topology Topology
+	// Client issues every node request; nil selects a plain http.Client
+	// (per-call contexts carry the deadlines).
+	Client *http.Client
+	// TryTimeout bounds one attempt against one replica (0 selects
+	// DefaultTryTimeout).
+	TryTimeout time.Duration
+	// Backoff paces successive failed tries within one shard fan-out leg.
+	Backoff Backoff
+	// BreakerThreshold / BreakerCooldown tune the per-replica circuit
+	// breakers (0 selects the package defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// ProbeInterval runs the background /healthz sweep (0 disables it;
+	// call Probe manually). CatchupInterval likewise for WAL catch-up.
+	ProbeInterval   time.Duration
+	CatchupInterval time.Duration
+	// ErrorLog receives replica fault and catch-up progress lines; nil uses
+	// the standard logger.
+	ErrorLog *log.Logger
+}
+
+// replica is one shard server the router knows, with its failure-tracking
+// state: the circuit breaker gates tries, and the lagging flag — set the
+// moment a mutation fan-out skips or fails the replica — excludes it from
+// reads and direct mutations until WAL catch-up proves it converged.
+type replica struct {
+	url     string
+	br      *Breaker
+	lagging atomic.Bool
+	lastSeq atomic.Uint64 // highest sequence the router has seen acked
+}
+
+// ReplicaStatus is one replica's externally visible health.
+type ReplicaStatus struct {
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Lagging bool   `json:"lagging"`
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// shardGroup is one shard's replica set plus the router-side planning state.
+type shardGroup struct {
+	si       int
+	replicas []*replica
+	// mutmu serializes mutations to this shard: every replica sees the same
+	// mutation sequence in the same order, the invariant that keeps replica
+	// WALs record-identical (and catch-up a plain file copy).
+	mutmu sync.Mutex
+	rr    atomic.Uint64 // read round-robin cursor
+
+	// bmu guards the planning bounds — the union of every point the shard
+	// has ever held. Grown on inserts; never shrunk (stale-but-larger only
+	// weakens pruning, never correctness).
+	bmu       sync.RWMutex
+	bounds    geo.Rect
+	hasPoints bool
+}
+
+func (g *shardGroup) queryLB(pts []geo.Point) float64 {
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
+	if !g.hasPoints {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += g.bounds.MinDist(p)
+	}
+	return sum
+}
+
+func (g *shardGroup) boundsRect() (geo.Rect, bool) {
+	g.bmu.RLock()
+	defer g.bmu.RUnlock()
+	return g.bounds, g.hasPoints
+}
+
+func (g *shardGroup) extendRect(r geo.Rect) {
+	g.bmu.Lock()
+	if !g.hasPoints {
+		g.bounds, g.hasPoints = r, true
+	} else {
+		g.bounds = g.bounds.Union(r)
+	}
+	g.bmu.Unlock()
+}
+
+func (g *shardGroup) extendPts(pts []trajectory.Point) {
+	g.bmu.Lock()
+	for _, p := range pts {
+		if !g.hasPoints {
+			g.bounds, g.hasPoints = geo.RectFromPoint(p.Loc), true
+			continue
+		}
+		g.bounds = g.bounds.ExtendPoint(p.Loc)
+	}
+	g.bmu.Unlock()
+}
+
+// Router is the cluster's query tier: it scatter-gathers searches across
+// shard replica sets with the same planning and exactness contract as the
+// in-process shard.Engine, fails over within each replica set, degrades to
+// partial answers when a whole shard is down, and serializes mutations per
+// shard so replicas stay byte-identical. All methods are safe for
+// concurrent use.
+type Router struct {
+	layout *shard.Layout
+	groups []*shardGroup
+	client *http.Client
+	tryTO  time.Duration
+	bo     Backoff
+	errlog *log.Logger
+
+	nextID atomic.Uint32 // next global trajectory ID
+	epoch  atomic.Uint64 // bumped per mutation (result-cache invalidation)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRouter boots a router against the topology: it fetches every
+// replica's meta, requires at least one reachable replica per shard, resumes dense
+// global ID assignment from the maximum NextGID any replica reports, seeds
+// the planning bounds, and marks behind-or-unreachable replicas lagging.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	layout, err := cfg.Topology.Layout()
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	tryTO := cfg.TryTimeout
+	if tryTO <= 0 {
+		tryTO = DefaultTryTimeout
+	}
+	thr := cfg.BreakerThreshold
+	if thr <= 0 {
+		thr = DefaultBreakerThreshold
+	}
+	cd := cfg.BreakerCooldown
+	if cd <= 0 {
+		cd = DefaultBreakerCooldown
+	}
+	errlog := cfg.ErrorLog
+	if errlog == nil {
+		errlog = log.Default()
+	}
+	r := &Router{
+		layout: layout,
+		client: client,
+		tryTO:  tryTO,
+		bo:     cfg.Backoff,
+		errlog: errlog,
+		stop:   make(chan struct{}),
+	}
+	for si, urls := range cfg.Topology.Shards {
+		g := &shardGroup{si: si}
+		for _, u := range urls {
+			g.replicas = append(g.replicas, &replica{
+				url: strings.TrimRight(u, "/"),
+				br:  NewBreaker(thr, cd, nil),
+			})
+		}
+		r.groups = append(r.groups, g)
+	}
+
+	var maxNext uint32
+	for _, g := range r.groups {
+		var maxSeq uint64
+		reachable := 0
+		metas := make([]*NodeMeta, len(g.replicas))
+		for i, rep := range g.replicas {
+			var meta NodeMeta
+			if err := r.getJSON(context.Background(), rep.url+"/v1/cluster/meta", &meta); err != nil {
+				r.errlog.Printf("cluster router: boot: shard %d replica %s unreachable: %v", g.si, rep.url, err)
+				rep.br.Failure()
+				rep.lagging.Store(true)
+				continue
+			}
+			if meta.Shard != g.si {
+				return nil, fmt.Errorf("cluster: replica %s serves shard %d, topology lists it under shard %d", rep.url, meta.Shard, g.si)
+			}
+			metas[i] = &meta
+			reachable++
+			rep.lastSeq.Store(meta.LastSeq)
+			if meta.LastSeq > maxSeq {
+				maxSeq = meta.LastSeq
+			}
+			if meta.NextGID > maxNext {
+				maxNext = meta.NextGID
+			}
+			if meta.Bounds != nil {
+				g.extendRect(geo.NewRect(meta.Bounds.MinX, meta.Bounds.MinY, meta.Bounds.MaxX, meta.Bounds.MaxY))
+			}
+		}
+		if reachable == 0 {
+			return nil, fmt.Errorf("cluster: shard %d: no reachable replica", g.si)
+		}
+		for i, rep := range g.replicas {
+			if metas[i] != nil && metas[i].LastSeq < maxSeq {
+				rep.lagging.Store(true)
+			}
+		}
+	}
+	r.nextID.Store(maxNext)
+
+	if cfg.ProbeInterval > 0 {
+		r.wg.Add(1)
+		go r.loop(cfg.ProbeInterval, r.Probe)
+	}
+	if cfg.CatchupInterval > 0 {
+		r.wg.Add(1)
+		go r.loop(cfg.CatchupInterval, func() { r.CatchUp(context.Background()) })
+	}
+	return r, nil
+}
+
+// Layout returns the frozen partition layout the router routes by.
+func (r *Router) Layout() *shard.Layout { return r.layout }
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.groups) }
+
+// NextID returns the next global trajectory ID the router would assign.
+func (r *Router) NextID() trajectory.TrajID { return trajectory.TrajID(r.nextID.Load()) }
+
+// Epoch counts the mutations this router has applied — a cache-epoch for
+// result caches layered above it.
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
+
+// Replicas reports every replica's health, grouped by shard.
+func (r *Router) Replicas() [][]ReplicaStatus {
+	out := make([][]ReplicaStatus, len(r.groups))
+	for si, g := range r.groups {
+		for _, rep := range g.replicas {
+			out[si] = append(out[si], ReplicaStatus{
+				URL:     rep.url,
+				State:   rep.br.State().String(),
+				Lagging: rep.lagging.Load(),
+				LastSeq: rep.lastSeq.Load(),
+			})
+		}
+	}
+	return out
+}
+
+// Close stops the background probe and catch-up loops.
+func (r *Router) Close() error {
+	close(r.stop)
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Router) loop(every time.Duration, fn func()) {
+	defer r.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			fn()
+		}
+	}
+}
+
+// ---- search ----
+
+// searchRequestJSON converts the engine request to the wire shape for the
+// per-shard fan-out (activity IDs only; the router never needs the vocab).
+func searchRequestJSON(req query.Request) server.SearchRequest {
+	sreq := server.SearchRequest{
+		K:            req.K,
+		Ordered:      req.Ordered,
+		InitialBound: req.InitialBound,
+		WithMatches:  req.WithMatches,
+	}
+	for _, p := range req.Query.Pts {
+		wp := server.QueryPointJSON{X: p.Loc.X, Y: p.Loc.Y}
+		for _, a := range p.Acts {
+			wp.Acts = append(wp.Acts, int(a))
+		}
+		sreq.Points = append(sreq.Points, wp)
+	}
+	if req.Region != nil {
+		sreq.Region = &server.RectJSON{
+			MinX: req.Region.MinX, MinY: req.Region.MinY,
+			MaxX: req.Region.MaxX, MaxY: req.Region.MaxY,
+		}
+	}
+	return sreq
+}
+
+// Search runs one exact (or deliberately partial) global top-k over the
+// cluster. The plan is the in-process shard engine's, over the network:
+// per-shard lower bounds from the cached planning bounds pick wave 1 (every
+// nearest shard concurrently), the running global k-th distance then admits
+// wave-2 shards in ascending bound order and rides along as the ?bound=
+// pruning hint. Within each shard the router fails over across replicas;
+// when every replica of a shard is down the search degrades to a partial
+// answer (Response.Partial, Stats.ShardsFailed) — still the exact top-k
+// over the shards that answered — unless req.RequireComplete, which fails
+// closed with *IncompleteError.
+func (r *Router) Search(ctx context.Context, req query.Request) (query.Response, error) {
+	q, k := req.Query, req.K
+	if err := q.Validate(); err != nil {
+		return query.Response{}, err
+	}
+	if k <= 0 {
+		return query.Response{}, fmt.Errorf("cluster: k must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return query.Response{Truncated: true}, err
+	}
+	locs := make([]geo.Point, len(q.Pts))
+	for i, p := range q.Pts {
+		locs[i] = p.Loc
+	}
+
+	type shardPlan struct {
+		si int
+		lb float64
+	}
+	plans := make([]shardPlan, 0, len(r.groups))
+	minLB := math.Inf(1)
+	for si, g := range r.groups {
+		lb := g.queryLB(locs)
+		if req.Region != nil {
+			if b, ok := g.boundsRect(); !ok || !b.Intersects(*req.Region) {
+				lb = math.Inf(1)
+			}
+		}
+		plans = append(plans, shardPlan{si: si, lb: lb})
+		if lb < minLB {
+			minLB = lb
+		}
+	}
+	slices.SortFunc(plans, func(a, b shardPlan) int {
+		switch {
+		case a.lb < b.lb:
+			return -1
+		case a.lb > b.lb:
+			return 1
+		default:
+			return a.si - b.si
+		}
+	})
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	bound := req.Bound()
+	shared := query.NewSharedTopK(k)
+	subReq := searchRequestJSON(req)
+	subReq.RequireComplete = false // per-shard legs are complete by definition
+	body, err := json.Marshal(subReq)
+	if err != nil {
+		return query.Response{}, err
+	}
+	effTh := func() float64 { return min(shared.Threshold(), bound) }
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		agg      query.SearchStats
+		firstErr error
+		matches  map[trajectory.TrajID][][]int32
+		failed   int
+		searched int
+	)
+	if req.WithMatches {
+		matches = make(map[trajectory.TrajID][][]int32)
+	}
+	run := func(si int) {
+		searched++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := r.searchShard(cctx, r.groups[si], body, effTh)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				var down *shardDownError
+				switch {
+				case ctx.Err() != nil:
+					// The caller hung up (or its deadline fired): that is a
+					// truncation, not a shard fault.
+					if firstErr == nil {
+						firstErr = ctx.Err()
+					}
+				case errors.As(err, &down):
+					failed++
+					agg.ShardsFailed++
+					if req.RequireComplete && firstErr == nil {
+						firstErr = &IncompleteError{Shard: si, Cause: down.cause}
+						cancel()
+					}
+				default:
+					if firstErr == nil {
+						firstErr = err
+					}
+					cancel()
+				}
+				return
+			}
+			for _, res := range resp.Results {
+				gid := trajectory.TrajID(res.ID)
+				shared.Offer(query.Result{ID: gid, Dist: res.Dist})
+				if matches != nil && res.Matches != nil {
+					matches[gid] = res.Matches
+				}
+			}
+			agg.Add(resp.Stats)
+		}()
+	}
+
+	i := 0
+	if !math.IsInf(minLB, 1) && minLB <= bound {
+		for ; i < len(plans) && plans[i].lb == minLB; i++ {
+			run(plans[i].si)
+		}
+		wg.Wait()
+		if firstErr == nil && ctx.Err() == nil {
+			for ; i < len(plans); i++ {
+				if math.IsInf(plans[i].lb, 1) || plans[i].lb > effTh() {
+					break
+				}
+				run(plans[i].si)
+			}
+			wg.Wait()
+		}
+	}
+
+	agg.ShardsSearched = searched
+	agg.ShardsSkipped = len(plans) - searched
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		if errors.Is(firstErr, context.Canceled) || errors.Is(firstErr, context.DeadlineExceeded) {
+			return query.Response{Results: shared.Results(), Stats: agg, Truncated: true}, firstErr
+		}
+		return query.Response{Stats: agg}, firstErr
+	}
+	resp := query.Response{Results: shared.Results(), Stats: agg, Partial: failed > 0}
+	if matches != nil {
+		resp.Matches = make([][][]int32, len(resp.Results))
+		for i, res := range resp.Results {
+			resp.Matches[i] = matches[res.ID]
+		}
+	}
+	return resp, nil
+}
+
+// searchShard runs one shard's leg with replica failover: replicas are
+// tried round-robin (skipping lagging ones — they may miss recent inserts —
+// and open breakers), each try under its own deadline, with jittered
+// backoff between failed tries; two passes before the leg is declared down.
+// The ?bound= hint is recomputed per try so late tries prune harder.
+func (r *Router) searchShard(ctx context.Context, g *shardGroup, body []byte, boundHint func() float64) (server.SearchResponse, error) {
+	var resp server.SearchResponse
+	start := int(g.rr.Add(1) - 1)
+	n := len(g.replicas)
+	var lastErr error
+	attempt := 0
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			rep := g.replicas[(start+i)%n]
+			if rep.lagging.Load() || !rep.br.Allow() {
+				continue
+			}
+			if attempt > 0 {
+				if err := sleepCtx(ctx, r.bo.Delay(attempt-1)); err != nil {
+					return resp, err
+				}
+			}
+			attempt++
+			url := rep.url + "/v1/search"
+			if b := boundHint(); !math.IsInf(b, 1) {
+				url += "?bound=" + strconv.FormatFloat(b, 'g', -1, 64)
+			}
+			err := r.postJSON(ctx, url, body, &resp)
+			if err == nil {
+				rep.br.Success()
+				return resp, nil
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return resp, ctx.Err()
+			}
+			if !transientErr(err) {
+				// The next replica would answer identically (bad request,
+				// unknown route): a permanent fault, not a failover case.
+				return resp, err
+			}
+			rep.br.Failure()
+			r.errlog.Printf("cluster router: shard %d replica %s search failed: %v", g.si, rep.url, err)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no eligible replica (all lagging or circuit-open)")
+	}
+	return resp, &shardDownError{si: g.si, cause: lastErr}
+}
+
+// ---- mutations ----
+
+// Insert routes the trajectory to its shard, assigns the next global ID and
+// fans the insert to every eligible replica under the shard's mutation
+// lock. Replicas that are skipped (lagging, circuit-open) or fail the fan-
+// out are marked lagging — they reconverge via WAL catch-up, never via a
+// re-send, so a half-applied fan-out cannot reorder anyone's WAL. At least
+// one replica must apply; otherwise the assigned ID is burned (IDs are
+// dense but a hole is harmless) and the insert fails.
+func (r *Router) Insert(ctx context.Context, pts []trajectory.Point) (trajectory.TrajID, error) {
+	if len(pts) == 0 {
+		return 0, fmt.Errorf("cluster: trajectory has no points")
+	}
+	si := r.layout.Route(pts)
+	g := r.groups[si]
+	g.mutmu.Lock()
+	defer g.mutmu.Unlock()
+	gid := trajectory.TrajID(r.nextID.Add(1) - 1)
+	body, err := json.Marshal(NodeInsertRequest{GID: uint32(gid), Points: server.PointsJSON(pts)})
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, rep := range g.replicas {
+		if rep.lagging.Load() || !rep.br.Allow() {
+			rep.lagging.Store(true)
+			continue
+		}
+		var nresp NodeInsertResponse
+		if err := r.postJSON(ctx, rep.url+"/v1/insert", body, &nresp); err != nil {
+			rep.br.Failure()
+			rep.lagging.Store(true)
+			r.errlog.Printf("cluster router: shard %d replica %s insert gid %d failed (replica now lagging): %v", si, rep.url, gid, err)
+			continue
+		}
+		rep.br.Success()
+		rep.lastSeq.Store(nresp.LastSeq)
+		applied++
+	}
+	if applied == 0 {
+		return 0, fmt.Errorf("cluster: insert failed on every replica of shard %d (gid %d burned)", si, gid)
+	}
+	g.extendPts(pts)
+	r.epoch.Add(1)
+	return gid, nil
+}
+
+// Delete locates gid's owning shard with an ownership probe (global IDs are
+// dense across shards, so only the owner knows it) and fans the delete to
+// the shard's eligible replicas under its mutation lock, with the same
+// lagging discipline as Insert. Unknown IDs return ErrNotFound.
+func (r *Router) Delete(ctx context.Context, gid trajectory.TrajID) error {
+	owner := -1
+	var probeErr error
+	for _, g := range r.groups {
+		owns, err := r.probeOwns(ctx, g, gid)
+		if err != nil {
+			probeErr = fmt.Errorf("shard %d: %w", g.si, err)
+			continue
+		}
+		if owns {
+			owner = g.si
+			break
+		}
+	}
+	if owner < 0 {
+		if probeErr != nil {
+			// An unreachable shard might own it: failing the delete is the
+			// only honest answer (a not-found would lie).
+			return fmt.Errorf("cluster: cannot locate trajectory %d: %w", gid, probeErr)
+		}
+		return fmt.Errorf("%w: trajectory %d", ErrNotFound, gid)
+	}
+	g := r.groups[owner]
+	g.mutmu.Lock()
+	defer g.mutmu.Unlock()
+	body, err := json.Marshal(server.DeleteRequest{ID: uint32(gid)})
+	if err != nil {
+		return err
+	}
+	applied := 0
+	for _, rep := range g.replicas {
+		if rep.lagging.Load() || !rep.br.Allow() {
+			rep.lagging.Store(true)
+			continue
+		}
+		var dresp server.DeleteResponse
+		if err := r.postJSON(ctx, rep.url+"/v1/delete", body, &dresp); err != nil {
+			rep.br.Failure()
+			rep.lagging.Store(true)
+			r.errlog.Printf("cluster router: shard %d replica %s delete gid %d failed (replica now lagging): %v", owner, rep.url, gid, err)
+			continue
+		}
+		rep.br.Success()
+		applied++
+	}
+	if applied == 0 {
+		return fmt.Errorf("cluster: delete failed on every replica of shard %d", owner)
+	}
+	r.epoch.Add(1)
+	return nil
+}
+
+// probeOwns asks the shard (first eligible replica, with failover) whether
+// it owns gid. A shard with no answering replica is an error, not a "no" —
+// the caller must not conclude the trajectory doesn't exist.
+func (r *Router) probeOwns(ctx context.Context, g *shardGroup, gid trajectory.TrajID) (bool, error) {
+	var lastErr error
+	for _, rep := range g.replicas {
+		if rep.lagging.Load() || !rep.br.Allow() {
+			continue
+		}
+		var owns OwnsResponse
+		err := r.getJSON(ctx, rep.url+"/v1/cluster/owns?gid="+strconv.FormatUint(uint64(gid), 10), &owns)
+		if err == nil {
+			rep.br.Success()
+			return true, nil
+		}
+		var se *statusError
+		if errors.As(err, &se) && se.code == http.StatusNotFound {
+			rep.br.Success()
+			return false, nil
+		}
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		if transientErr(err) {
+			rep.br.Failure()
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no eligible replica")
+	}
+	return false, lastErr
+}
+
+// ---- health & catch-up ----
+
+// Probe sweeps every replica's /healthz once, feeding the circuit breakers:
+// a healthy reply closes (or keeps closed) the breaker, a fault or
+// unhealthy status counts a failure. The background loop calls this every
+// ProbeInterval; tests drive it manually.
+func (r *Router) Probe() {
+	for _, g := range r.groups {
+		for _, rep := range g.replicas {
+			var h struct {
+				LastSeq uint64 `json:"last_seq"`
+			}
+			if err := r.getJSON(context.Background(), rep.url+"/healthz", &h); err != nil {
+				rep.br.Failure()
+				continue
+			}
+			rep.br.Success()
+			rep.lastSeq.Store(h.LastSeq)
+		}
+	}
+}
+
+// CatchUp converges every lagging-but-reachable replica by shipping WAL
+// segments from a healthy sibling, then clears its lagging flag under the
+// shard's mutation lock (no mutation can slip between the final shipment
+// and the flag clear, so the replica resumes the fan-out with no gap).
+func (r *Router) CatchUp(ctx context.Context) {
+	for _, g := range r.groups {
+		var donor *replica
+		for _, rep := range g.replicas {
+			if !rep.lagging.Load() && rep.br.State() == BreakerClosed {
+				donor = rep
+				break
+			}
+		}
+		if donor == nil {
+			continue
+		}
+		for _, rep := range g.replicas {
+			if !rep.lagging.Load() {
+				continue
+			}
+			if err := r.catchUpReplica(ctx, g, donor, rep); err != nil {
+				r.errlog.Printf("cluster router: shard %d replica %s catch-up: %v", g.si, rep.url, err)
+			}
+		}
+	}
+}
+
+func (r *Router) catchUpReplica(ctx context.Context, g *shardGroup, donor, rep *replica) error {
+	var meta NodeMeta
+	if err := r.getJSON(ctx, rep.url+"/v1/cluster/meta", &meta); err != nil {
+		return err // still down; the probe loop keeps watching it
+	}
+	// Bulk phase: ship without blocking mutations until (almost) converged.
+	for rounds := 0; rounds < 8; rounds++ {
+		var dm NodeMeta
+		if err := r.getJSON(ctx, donor.url+"/v1/cluster/meta", &dm); err != nil {
+			return fmt.Errorf("donor %s: %w", donor.url, err)
+		}
+		if meta.LastSeq >= dm.LastSeq {
+			break
+		}
+		seq, err := r.shipOnce(ctx, donor, rep, meta.LastSeq)
+		if err != nil {
+			return err
+		}
+		if seq <= meta.LastSeq {
+			return fmt.Errorf("catch-up made no progress at seq %d", seq)
+		}
+		meta.LastSeq = seq
+	}
+	// Convergence phase: under the mutation lock the donor's sequence is
+	// frozen, so one more shipment reaches it exactly; then the replica can
+	// rejoin the fan-out with no possible gap.
+	g.mutmu.Lock()
+	defer g.mutmu.Unlock()
+	var dm NodeMeta
+	if err := r.getJSON(ctx, donor.url+"/v1/cluster/meta", &dm); err != nil {
+		return fmt.Errorf("donor %s: %w", donor.url, err)
+	}
+	if meta.LastSeq < dm.LastSeq {
+		seq, err := r.shipOnce(ctx, donor, rep, meta.LastSeq)
+		if err != nil {
+			return err
+		}
+		meta.LastSeq = seq
+	}
+	if meta.LastSeq != dm.LastSeq {
+		return fmt.Errorf("replica at seq %d after final shipment, donor at %d", meta.LastSeq, dm.LastSeq)
+	}
+	rep.lastSeq.Store(meta.LastSeq)
+	rep.lagging.Store(false)
+	rep.br.Success()
+	r.errlog.Printf("cluster router: shard %d replica %s caught up to seq %d", g.si, rep.url, meta.LastSeq)
+	return nil
+}
+
+// shipOnce moves one batch of WAL segments donor → rep and returns rep's
+// resulting sequence.
+func (r *Router) shipOnce(ctx context.Context, donor, rep *replica, from uint64) (uint64, error) {
+	var wresp WALResponse
+	if err := r.getJSON(ctx, donor.url+"/v1/cluster/wal?from="+strconv.FormatUint(from, 10), &wresp); err != nil {
+		return 0, fmt.Errorf("fetch wal from donor %s: %w", donor.url, err)
+	}
+	body, err := json.Marshal(CatchupRequest{Segments: wresp.Segments})
+	if err != nil {
+		return 0, err
+	}
+	var cresp CatchupResponse
+	if err := r.postJSON(ctx, rep.url+"/v1/cluster/catchup", body, &cresp); err != nil {
+		return 0, fmt.Errorf("apply on %s: %w", rep.url, err)
+	}
+	return cresp.LastSeq, nil
+}
+
+// ---- HTTP plumbing ----
+
+func (r *Router) getJSON(ctx context.Context, url string, dst any) error {
+	tctx, cancel := context.WithTimeout(ctx, r.tryTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return r.doJSON(req, dst)
+}
+
+func (r *Router) postJSON(ctx context.Context, url string, body []byte, dst any) error {
+	tctx, cancel := context.WithTimeout(ctx, r.tryTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return r.doJSON(req, dst)
+}
+
+func (r *Router) doJSON(req *http.Request, dst any) error {
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var eresp server.ErrorResponse
+		msg := ""
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eresp); err == nil {
+			msg = eresp.Error
+		}
+		return &statusError{code: resp.StatusCode, msg: msg}
+	}
+	if dst == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// sleepCtx sleeps for d unless ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"strings"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/shard"
+)
+
+// Topology is the cluster's wiring file: the frozen partition layout (every
+// node and every router must agree on it, or global IDs and routing
+// diverge) plus the replica URLs serving each shard. It is plain JSON so
+// operators can write it by hand; `atsqserve -plan-topology` emits one from
+// a dataset.
+type Topology struct {
+	// PartitionDepth, OriginX/Y, Side and Cuts are the shard.Layout
+	// parameters (see shard.NewLayout).
+	PartitionDepth int     `json:"partition_depth"`
+	OriginX        float64 `json:"origin_x"`
+	OriginY        float64 `json:"origin_y"`
+	Side           float64 `json:"side"`
+	// Cuts are the layout's sorted Z-code cut points; len(Cuts)+1 shards.
+	Cuts []uint32 `json:"cuts"`
+	// Shards lists each shard's replica base URLs, indexed by shard.
+	Shards [][]string `json:"shards"`
+}
+
+// TopologyOf pairs a layout with per-shard replica URLs.
+func TopologyOf(l *shard.Layout, shards [][]string) Topology {
+	return Topology{
+		PartitionDepth: l.PartitionDepth(),
+		OriginX:        l.Origin().X,
+		OriginY:        l.Origin().Y,
+		Side:           l.Side(),
+		Cuts:           l.Cuts(),
+		Shards:         shards,
+	}
+}
+
+// Layout rebuilds the shard layout the topology describes.
+func (t Topology) Layout() (*shard.Layout, error) {
+	return shard.NewLayout(t.PartitionDepth, geo.Point{X: t.OriginX, Y: t.OriginY}, t.Side, t.Cuts)
+}
+
+// Validate checks the topology's shape: a valid layout, one replica list
+// per shard, and well-formed http(s) URLs throughout.
+func (t Topology) Validate() error {
+	l, err := t.Layout()
+	if err != nil {
+		return fmt.Errorf("cluster: topology layout: %w", err)
+	}
+	if len(t.Shards) != l.NumShards() {
+		return fmt.Errorf("cluster: topology lists %d shard replica sets, layout has %d shards", len(t.Shards), l.NumShards())
+	}
+	for si, urls := range t.Shards {
+		if len(urls) == 0 {
+			return fmt.Errorf("cluster: shard %d has no replicas", si)
+		}
+		for _, raw := range urls {
+			u, err := url.Parse(raw)
+			if err != nil {
+				return fmt.Errorf("cluster: shard %d replica %q: %w", si, raw, err)
+			}
+			if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return fmt.Errorf("cluster: shard %d replica %q: want http(s)://host[:port]", si, raw)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (Topology, error) {
+	var t Topology
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return t, err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return t, fmt.Errorf("cluster: topology %s: %w", path, err)
+	}
+	return t, t.Validate()
+}
+
+// Save writes the topology as indented JSON.
+func (t Topology) Save(path string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -441,3 +441,16 @@ func getUvarint(b []byte) (uint64, []byte, error) {
 	}
 	return v, b[n:], nil
 }
+
+// EncodePoints appends the canonical WAL point-list encoding of pts to dst
+// and returns the extended slice. It is the exact insert-record body format
+// (see the codec comment above); internal/cluster reuses it for replication
+// records so a node WAL and a delta WAL describe trajectories identically.
+func EncodePoints(dst []byte, pts []trajectory.Point) []byte {
+	return encodeInsertBody(dst, pts)
+}
+
+// DecodePoints decodes an EncodePoints body.
+func DecodePoints(b []byte) ([]trajectory.Point, error) {
+	return decodeInsertBody(b)
+}

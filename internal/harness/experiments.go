@@ -515,7 +515,9 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.Mixed(w)
 	case "sharded":
 		return s.Sharded(w)
+	case "cluster":
+		return s.Cluster(w)
 	default:
-		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed|sharded)", name)
+		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed|sharded|cluster)", name)
 	}
 }

@@ -116,9 +116,12 @@ func (rc *ResultCache) Get(epoch uint64, req Request) (Response, bool) {
 // Put stores a completed response under req at the epoch the caller read
 // BEFORE running the search (see EpochSource; a tag read after the search
 // could claim mutations the search never saw). Truncated responses are
-// never cached — they are cancellation artifacts, not answers.
+// never cached — they are cancellation artifacts, not answers. Partial
+// responses are not cached either: they reflect a transient outage, not the
+// index's state at the epoch, and must not outlive the failed replicas'
+// recovery.
 func (rc *ResultCache) Put(epoch uint64, req Request, resp Response) {
-	if resp.Truncated {
+	if resp.Truncated || resp.Partial {
 		return
 	}
 	key := resultKey{epoch: epoch, req: encodeRequestKey(req)}
@@ -166,6 +169,9 @@ func encodeRequestKey(req Request) string {
 	}
 	if req.Region != nil {
 		flags |= 4
+	}
+	if req.RequireComplete {
+		flags |= 8
 	}
 	buf = append(buf, flags)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.K))

@@ -111,6 +111,10 @@ type SearchStats struct {
 	// running global k-th distance). Zero for unsharded engines.
 	ShardsSearched int
 	ShardsSkipped  int
+	// ShardsFailed counts shards whose every replica was unreachable when a
+	// cluster router served the query, so their trajectories are missing
+	// from the answer (Response.Partial is then set). Zero everywhere else.
+	ShardsFailed int
 	// BytesDecoded sums the segment bytes actually decoded for this search
 	// (posting blocks, coordinate points, HICL lists) — the work the lazy
 	// blocked layout avoids compared to eagerly decoding whole segments.
@@ -143,6 +147,7 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.HeaderOnlyRejects += other.HeaderOnlyRejects
 	s.ShardsSearched += other.ShardsSearched
 	s.ShardsSkipped += other.ShardsSkipped
+	s.ShardsFailed += other.ShardsFailed
 	s.BytesDecoded += other.BytesDecoded
 	s.ResultCacheHits += other.ResultCacheHits
 	s.ResultCacheMisses += other.ResultCacheMisses

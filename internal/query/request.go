@@ -46,6 +46,13 @@ type Request struct {
 	// trajectories once after the search, so it adds a small per-result
 	// cost but never touches the per-candidate hot path.
 	WithMatches bool
+
+	// RequireComplete fails the search instead of degrading it: a serving
+	// tier that would otherwise answer with a partial top-k (some shards
+	// unreachable, Response.Partial set) returns an error. Single-process
+	// engines always see every shard, so they ignore the flag — their
+	// responses are complete by construction.
+	RequireComplete bool
 }
 
 // Bound returns the effective initial pruning threshold: InitialBound when
@@ -77,6 +84,13 @@ type Response struct {
 	// the search had fully scored so far (possibly nothing) and the
 	// accompanying error is the context's.
 	Truncated bool
+	// Partial is true when the answer deliberately excludes one or more
+	// shards whose every replica was unreachable (degraded serving, see
+	// Stats.ShardsFailed). The results are still the exact top-k over the
+	// shards that DID answer — never a guess — but trajectories owned by
+	// the failed shards could not be considered. Single-process engines
+	// never set it.
+	Partial bool
 }
 
 // Engine is the contract every search method implements. The primary entry

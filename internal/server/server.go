@@ -13,18 +13,15 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
-	"math"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
 
-	"activitytraj/internal/geo"
 	"activitytraj/internal/queries"
 	"activitytraj/internal/query"
 	"activitytraj/internal/shard"
@@ -66,6 +63,11 @@ type SearchRequest struct {
 	// WithMatches asks for each result's matched trajectory point indexes,
 	// one list per query point.
 	WithMatches bool `json:"with_matches,omitempty"`
+	// RequireComplete makes a cluster router fail the search (503) instead
+	// of answering with a partial top-k when every replica of some shard is
+	// down. Single-process servers always answer completely, so the flag is
+	// a no-op for them.
+	RequireComplete bool `json:"require_complete,omitempty"`
 }
 
 // ResultJSON is one top-k entry on the wire.
@@ -85,6 +87,11 @@ type SearchResponse struct {
 	// Truncated is true when the reply carries partial results of a search
 	// cut short (only on the 504 deadline path).
 	Truncated bool `json:"truncated,omitempty"`
+	// Partial is true when the results deliberately exclude shards whose
+	// every replica was unreachable; Stats.ShardsFailed counts them and the
+	// X-Atsq-Partial response header carries the same marker (see
+	// query.Response.Partial for the exactness promise).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // InsertRequest is the /v1/insert body: the trajectory's points in order.
@@ -254,7 +261,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	q, err := s.toQuery(req.Points)
+	sreq, err := ToQueryRequest(s.vocab, req)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -272,20 +279,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
-	}
-	sreq := query.Request{
-		Query:        q,
-		K:            req.K,
-		Ordered:      req.Ordered,
-		InitialBound: req.InitialBound,
-		WithMatches:  req.WithMatches,
-	}
-	if sreq.K <= 0 {
-		sreq.K = DefaultK
-	}
-	if req.Region != nil {
-		rect := geo.NewRect(req.Region.MinX, req.Region.MinY, req.Region.MaxX, req.Region.MaxY)
-		sreq.Region = &rect
 	}
 	// With a result cache enabled, probe before borrowing an engine: a hit
 	// replies immediately (no pool backpressure, no search). The epoch is
@@ -344,24 +337,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.searches.Add(1)
+	if qresp.Partial {
+		w.Header().Set(PartialHeader, "1")
+	}
 	writeJSON(w, http.StatusOK, searchResponseJSON(qresp, took))
 }
 
 // searchResponseJSON converts an engine response to the wire shape.
 func searchResponseJSON(qresp query.Response, took time.Duration) SearchResponse {
-	resp := SearchResponse{
-		Results:   make([]ResultJSON, len(qresp.Results)),
-		Stats:     qresp.Stats,
-		TookUS:    took.Microseconds(),
-		Truncated: qresp.Truncated,
-	}
-	for i, r := range qresp.Results {
-		resp.Results[i] = ResultJSON{ID: uint32(r.ID), Dist: r.Dist}
-		if i < len(qresp.Matches) {
-			resp.Results[i].Matches = qresp.Matches[i]
-		}
-	}
-	return resp
+	return SearchResponseJSON(qresp, took)
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -369,24 +353,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !s.readJSON(w, r, &req) {
 		return
 	}
-	if len(req.Points) == 0 {
-		// A point-less trajectory can never match and its global ID could
-		// never be reclaimed (IDs are dense and stable forever).
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("trajectory has no points"))
+	pts, err := ToInsertPoints(s.vocab, req.Points)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
 		return
-	}
-	pts := make([]trajectory.Point, len(req.Points))
-	for i, p := range req.Points {
-		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: non-finite coordinates", i))
-			return
-		}
-		acts, err := s.toActs(p, true)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("point %d: %w", i, err))
-			return
-		}
-		pts[i] = trajectory.Point{Loc: pointOf(p), Acts: acts}
 	}
 	id, err := s.router.Insert(trajectory.Trajectory{Pts: pts})
 	if err != nil {
@@ -427,72 +397,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// readJSON decodes a POST body into dst, replying with the appropriate
-// error status itself when it returns false.
+// readJSON decodes a POST body into dst (size-capped, unknown fields
+// rejected — see DecodeJSON), replying with the appropriate error status
+// itself when it returns false.
 func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
-	if r.Method != http.MethodPost {
-		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return false
-	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if status, err := DecodeJSON(w, r, dst, DefaultMaxBodyBytes); status != 0 {
+		s.writeError(w, status, err)
 		return false
 	}
 	return true
 }
 
-// toQuery converts wire points to a validated query.
-func (s *Server) toQuery(pts []QueryPointJSON) (query.Query, error) {
-	var q query.Query
-	for i, p := range pts {
-		acts, err := s.toActs(p, false)
-		if err != nil {
-			return q, fmt.Errorf("point %d: %w", i, err)
-		}
-		q.Pts = append(q.Pts, query.Point{Loc: pointOf(p), Acts: acts})
-	}
-	return q, q.Validate()
-}
-
-// toActs resolves a wire point's activity IDs and names into a normalized
-// set. Inserts must stay within the vocabulary (the index would reject them
-// later with a server-side status otherwise); searches may reference any ID
-// and simply match nothing.
-func (s *Server) toActs(p QueryPointJSON, forInsert bool) (trajectory.ActivitySet, error) {
-	ids := make([]trajectory.ActivityID, 0, len(p.Acts)+len(p.Names))
-	for _, a := range p.Acts {
-		if a < 0 {
-			return nil, fmt.Errorf("negative activity ID %d", a)
-		}
-		if forInsert && s.vocab != nil && a >= s.vocab.Size() {
-			return nil, fmt.Errorf("activity ID %d outside vocabulary (size %d)", a, s.vocab.Size())
-		}
-		ids = append(ids, trajectory.ActivityID(a))
-	}
-	for _, name := range p.Names {
-		if s.vocab == nil {
-			return nil, fmt.Errorf("activity names not supported (no vocabulary)")
-		}
-		id, ok := s.vocab.ID(name)
-		if !ok {
-			return nil, fmt.Errorf("activity %q not in vocabulary", name)
-		}
-		ids = append(ids, id)
-	}
-	return trajectory.NewActivitySet(ids...), nil
-}
-
-func pointOf(p QueryPointJSON) geo.Point {
-	return geo.Point{X: p.X, Y: p.Y}
-}
-
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	_ = enc.Encode(v)
+	WriteJSON(w, status, v)
 }
 
 // writeError replies with a JSON error body. Client-addressable statuses

@@ -377,15 +377,15 @@ func readRouterManifest(fsys wal.FS, dir string) (*routerManifest, error) {
 }
 
 func writeRouterManifest(fsys wal.FS, dir string, r *Router, baseN int) error {
-	region := r.pgrid.Region()
+	l := r.layout
 	man := routerManifest{
 		Version:        1,
 		Shards:         r.cfg.Shards,
 		PartitionDepth: r.cfg.PartitionDepth,
-		OriginX:        region.MinX,
-		OriginY:        region.MinY,
-		Side:           region.Width(),
-		Cuts:           r.cuts,
+		OriginX:        l.Origin().X,
+		OriginY:        l.Origin().Y,
+		Side:           l.Side(),
+		Cuts:           l.Cuts(),
 		BaseN:          baseN,
 	}
 	err := wal.WriteFileAtomic(fsys, filepath.Join(dir, routerManifestName), func(w io.Writer) error {

@@ -301,7 +301,7 @@ func (e *Engine) BatchKey(q query.Query) uint64 {
 	if len(q.Pts) == 0 {
 		return 0
 	}
-	return uint64(e.r.pgrid.CellAt(e.r.cfg.PartitionDepth, q.Pts[0].Loc).Z)
+	return uint64(e.r.layout.LeafZ(q.Pts[0].Loc))
 }
 
 // ResetCaches puts every shard's decoded-structure caches and buffer pool

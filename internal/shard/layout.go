@@ -1,0 +1,201 @@
+package shard
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/grid"
+	"activitytraj/internal/trajectory"
+)
+
+// Layout is the deterministic partition layout shared by every process that
+// must agree on trajectory placement: the partition grid (origin, side,
+// depth) plus the Z-curve cuts. Two processes holding equal layouts route
+// every trajectory to the same shard index and derive identical per-shard
+// sub-corpora from the same base dataset — the property the cluster tier
+// relies on to boot shard-server replicas independently and still serve
+// byte-identical global results.
+//
+// A Layout is immutable after construction; all methods are safe for
+// concurrent use.
+type Layout struct {
+	depth  int
+	origin geo.Point
+	side   float64
+	// cuts[i] is the first Z code owned by shard i+1; shard for a code is
+	// the number of cuts at or below it.
+	cuts []uint32
+	pg   *grid.Grid
+}
+
+// NewLayout builds a layout from its persisted parameters (the shape stored
+// in router.json manifests and cluster topology files). cuts must be
+// non-decreasing; its length fixes the shard count at len(cuts)+1.
+func NewLayout(partitionDepth int, origin geo.Point, side float64, cuts []uint32) (*Layout, error) {
+	if partitionDepth < 1 || partitionDepth > 15 {
+		return nil, fmt.Errorf("shard: partition depth %d out of range [1,15]", partitionDepth)
+	}
+	for i := 1; i < len(cuts); i++ {
+		if cuts[i] < cuts[i-1] {
+			return nil, fmt.Errorf("shard: layout cuts not sorted at %d", i)
+		}
+	}
+	pg, err := grid.New(origin, side, partitionDepth)
+	if err != nil {
+		return nil, fmt.Errorf("shard: partition grid: %w", err)
+	}
+	return &Layout{
+		depth:  partitionDepth,
+		origin: origin,
+		side:   side,
+		cuts:   slices.Clone(cuts),
+		pg:     pg,
+	}, nil
+}
+
+// PlanLayout computes the partition layout for ds: a grid fitted to the
+// corpus bounds and Z-curve cuts at near-equal trajectory counts, each cut
+// advanced to the next Z change so one leaf cell is never split across
+// shards (insert routing is by Z). Non-positive shards/partitionDepth
+// select DefaultShards/DefaultPartitionDepth. The computation is a pure
+// function of (ds, shards, partitionDepth) — replanning over the same base
+// corpus reproduces the layout exactly.
+func PlanLayout(ds *trajectory.Dataset, shards, partitionDepth int) (*Layout, error) {
+	cfg := Config{Shards: shards, PartitionDepth: partitionDepth}.withDefaults()
+	origin, side := grid.FitRegion(ds.Bounds(), 0.01)
+	l, err := NewLayout(cfg.PartitionDepth, origin, side, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	// Z code of every trajectory's representative (first) point, then the
+	// corpus ordered along the curve.
+	zs := make([]uint32, len(ds.Trajs))
+	for i := range ds.Trajs {
+		zs[i] = l.RepZ(ds.Trajs[i].Pts)
+	}
+	order := make([]int, len(ds.Trajs))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(a, b int) int {
+		if zs[a] != zs[b] {
+			if zs[a] < zs[b] {
+				return -1
+			}
+			return 1
+		}
+		return a - b
+	})
+
+	maxZ := l.MaxZ()
+	k := cfg.Shards
+	l.cuts = make([]uint32, 0, k-1)
+	for i := 1; i < k; i++ {
+		at := i * len(order) / k
+		var cut uint32
+		if at >= len(order) {
+			cut = maxZ + 1 // past every code: the tail shards stay empty
+		} else {
+			cut = zs[order[at]]
+			// A cut equal to the previous shard's first code would empty
+			// this range retroactively; advance to the next distinct code.
+			for at > 0 && zs[order[at-1]] == cut {
+				at++
+				if at >= len(order) {
+					cut = maxZ + 1
+					break
+				}
+				cut = zs[order[at]]
+			}
+		}
+		if n := len(l.cuts); n > 0 && cut < l.cuts[n-1] {
+			cut = l.cuts[n-1]
+		}
+		l.cuts = append(l.cuts, cut)
+	}
+	return l, nil
+}
+
+// NumShards returns K.
+func (l *Layout) NumShards() int { return len(l.cuts) + 1 }
+
+// PartitionDepth returns the grid level whose Z codes define shard ranges.
+func (l *Layout) PartitionDepth() int { return l.depth }
+
+// Origin returns the partition grid's origin corner.
+func (l *Layout) Origin() geo.Point { return l.origin }
+
+// Side returns the partition grid's side length.
+func (l *Layout) Side() float64 { return l.side }
+
+// Cuts returns a copy of the Z-curve cuts (len NumShards()-1).
+func (l *Layout) Cuts() []uint32 { return slices.Clone(l.cuts) }
+
+// Grid returns the compiled partition grid.
+func (l *Layout) Grid() *grid.Grid { return l.pg }
+
+// MaxZ returns the largest leaf Z code at the partition depth.
+func (l *Layout) MaxZ() uint32 { return uint32(1)<<(2*uint(l.depth)) - 1 }
+
+// LeafZ returns the partition-grid leaf Z code of a point.
+func (l *Layout) LeafZ(p geo.Point) uint32 { return l.pg.CellAt(l.depth, p).Z }
+
+// RepZ returns the Z code of a trajectory's representative (first) point;
+// point-less trajectories map to code 0.
+func (l *Layout) RepZ(pts []trajectory.Point) uint32 {
+	if len(pts) == 0 {
+		return 0
+	}
+	return l.LeafZ(pts[0].Loc)
+}
+
+// RouteZ returns the index of the shard owning leaf code z.
+func (l *Layout) RouteZ(z uint32) int {
+	return sort.Search(len(l.cuts), func(i int) bool { return l.cuts[i] > z })
+}
+
+// Route returns the index of the shard owning a trajectory with the given
+// points (by its representative point's leaf cell).
+func (l *Layout) Route(pts []trajectory.Point) int { return l.RouteZ(l.RepZ(pts)) }
+
+// ZRange returns shard si's owned Z-code range [lo, hi) at the partition
+// depth.
+func (l *Layout) ZRange(si int) (lo, hi uint32) {
+	if si > 0 {
+		lo = l.cuts[si-1]
+	}
+	if si == len(l.cuts) {
+		hi = l.MaxZ() + 1
+	} else {
+		hi = l.cuts[si]
+	}
+	return lo, hi
+}
+
+// SubDataset extracts shard si's sub-corpus from ds: the trajectories the
+// layout routes to si, re-numbered with dense local IDs ascending in global
+// ID (so shard-local (distance, ID) tie-breaks agree with global ones), plus
+// the parallel local→global ID mapping. Point slices are shared with ds, not
+// copied. Every process applying SubDataset to the same (ds, layout, si)
+// derives the identical sub-corpus — the replica bootstrap contract.
+func (l *Layout) SubDataset(ds *trajectory.Dataset, si int) (*trajectory.Dataset, []trajectory.TrajID) {
+	sub := &trajectory.Dataset{
+		Name:  fmt.Sprintf("%s/shard%d", ds.Name, si),
+		Vocab: ds.Vocab,
+	}
+	var gids []trajectory.TrajID
+	for gid := range ds.Trajs {
+		if l.Route(ds.Trajs[gid].Pts) != si {
+			continue
+		}
+		sub.Trajs = append(sub.Trajs, trajectory.Trajectory{
+			ID:  trajectory.TrajID(len(sub.Trajs)),
+			Pts: ds.Trajs[gid].Pts,
+		})
+		gids = append(gids, trajectory.TrajID(gid))
+	}
+	return sub, gids
+}

@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"testing"
+
+	"activitytraj/internal/trajectory"
+)
+
+// TestLayoutRouterParity pins the replica bootstrap contract: PlanLayout +
+// SubDataset derive exactly the shard membership, local ID numbering and
+// local→global mapping the Router builds, and a layout rebuilt from its
+// persisted parameters (NewLayout, the topology-file path) routes
+// identically to the planned one.
+func TestLayoutRouterParity(t *testing.T) {
+	ds := testDataset(t, 400)
+	const shards = 4
+
+	r, err := NewRouter(ds, Config{Shards: shards})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	l, err := PlanLayout(ds, shards, 0)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	rl := r.Layout()
+	if got, want := l.NumShards(), shards; got != want {
+		t.Fatalf("NumShards = %d, want %d", got, want)
+	}
+	if l.Origin() != rl.Origin() || l.Side() != rl.Side() || l.PartitionDepth() != rl.PartitionDepth() {
+		t.Fatalf("grid mismatch: plan (%v, %v, %d) vs router (%v, %v, %d)",
+			l.Origin(), l.Side(), l.PartitionDepth(), rl.Origin(), rl.Side(), rl.PartitionDepth())
+	}
+	lc, rc := l.Cuts(), rl.Cuts()
+	if len(lc) != len(rc) {
+		t.Fatalf("cuts length %d vs %d", len(lc), len(rc))
+	}
+	for i := range lc {
+		if lc[i] != rc[i] {
+			t.Fatalf("cut %d: %d vs %d", i, lc[i], rc[i])
+		}
+	}
+
+	// Rebuild from persisted parameters — the path a cluster topology file
+	// takes — and check it routes every trajectory like the planned layout.
+	l2, err := NewLayout(l.PartitionDepth(), l.Origin(), l.Side(), l.Cuts())
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	for gid := range ds.Trajs {
+		if a, b := l.Route(ds.Trajs[gid].Pts), l2.Route(ds.Trajs[gid].Pts); a != b {
+			t.Fatalf("gid %d: planned layout routes to %d, rebuilt to %d", gid, a, b)
+		}
+	}
+
+	// SubDataset must reproduce the Router's shard membership exactly:
+	// same members in the same local order, same local→global mapping.
+	total := 0
+	for si := 0; si < shards; si++ {
+		sub, gids := l.SubDataset(ds, si)
+		total += len(gids)
+		if len(sub.Trajs) != len(gids) {
+			t.Fatalf("shard %d: %d trajs vs %d gids", si, len(sub.Trajs), len(gids))
+		}
+		for li, gid := range gids {
+			wsi, wlocal, ok := r.Owner(gid)
+			if !ok {
+				t.Fatalf("shard %d: router does not know gid %d", si, gid)
+			}
+			if wsi != si || int(wlocal) != li {
+				t.Fatalf("gid %d: layout places at (%d,%d), router at (%d,%d)", gid, si, li, wsi, wlocal)
+			}
+			if sub.Trajs[li].ID != trajectory.TrajID(li) {
+				t.Fatalf("shard %d local %d: sub ID %d", si, li, sub.Trajs[li].ID)
+			}
+			if &sub.Trajs[li].Pts[0] != &ds.Trajs[gid].Pts[0] {
+				t.Fatalf("shard %d local %d: points not shared with base dataset", si, li)
+			}
+		}
+	}
+	if total != len(ds.Trajs) {
+		t.Fatalf("sub-datasets cover %d of %d trajectories", total, len(ds.Trajs))
+	}
+
+	// ZRange must tile [0, MaxZ()+1) contiguously.
+	var lo uint32
+	for si := 0; si < shards; si++ {
+		zlo, zhi := l.ZRange(si)
+		if zlo != lo {
+			t.Fatalf("shard %d: zlo %d, want %d", si, zlo, lo)
+		}
+		if zhi < zlo {
+			t.Fatalf("shard %d: inverted range [%d,%d)", si, zlo, zhi)
+		}
+		lo = zhi
+	}
+	if lo != l.MaxZ()+1 {
+		t.Fatalf("ranges end at %d, want %d", lo, l.MaxZ()+1)
+	}
+}

@@ -27,13 +27,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"slices"
-	"sort"
 	"sync"
 
 	"activitytraj/internal/delta"
 	"activitytraj/internal/geo"
-	"activitytraj/internal/grid"
 	"activitytraj/internal/trajectory"
 	"activitytraj/internal/wal"
 )
@@ -155,11 +152,8 @@ func (sh *Shard) extend(pts []trajectory.Point) {
 // scatter-gather engines (NewEngine). All methods are safe for concurrent
 // use.
 type Router struct {
-	cfg   Config
-	pgrid *grid.Grid
-	// cuts[i] is the first Z code owned by shard i+1; shard for a code is
-	// the number of cuts at or below it.
-	cuts   []uint32
+	cfg    Config
+	layout *Layout
 	shards []*Shard
 
 	mu     sync.Mutex // serializes writers (global ID assignment, owners)
@@ -201,99 +195,35 @@ func NewRouter(ds *trajectory.Dataset, cfg Config) (*Router, error) {
 // grid and cut layout instead of computing one, so a reopened router routes
 // exactly as the original did.
 func (r *Router) partition(ds *trajectory.Dataset, man *routerManifest, openShard func(si int, sub *trajectory.Dataset) (*delta.Dynamic, error)) error {
-	maxZ := uint32(1)<<(2*uint(r.cfg.PartitionDepth)) - 1
+	var (
+		l   *Layout
+		err error
+	)
 	if man != nil {
-		pg, err := grid.New(geo.Point{X: man.OriginX, Y: man.OriginY}, man.Side, r.cfg.PartitionDepth)
+		l, err = NewLayout(r.cfg.PartitionDepth, geo.Point{X: man.OriginX, Y: man.OriginY}, man.Side, man.Cuts)
 		if err != nil {
-			return fmt.Errorf("shard: partition grid from manifest: %w", err)
+			return fmt.Errorf("shard: layout from manifest: %w", err)
 		}
-		r.pgrid = pg
-		r.cuts = slices.Clone(man.Cuts)
 	} else {
-		bounds := ds.Bounds()
-		origin, side := grid.FitRegion(bounds, 0.01)
-		pg, err := grid.New(origin, side, r.cfg.PartitionDepth)
+		l, err = PlanLayout(ds, r.cfg.Shards, r.cfg.PartitionDepth)
 		if err != nil {
-			return fmt.Errorf("shard: partition grid: %w", err)
-		}
-		r.pgrid = pg
-	}
-
-	// Z code of every trajectory's representative (first) point, then the
-	// corpus ordered along the curve.
-	zs := make([]uint32, len(ds.Trajs))
-	for i := range ds.Trajs {
-		zs[i] = r.repZ(ds.Trajs[i].Pts)
-	}
-	if man == nil {
-		order := make([]int, len(ds.Trajs))
-		for i := range order {
-			order[i] = i
-		}
-		slices.SortFunc(order, func(a, b int) int {
-			if zs[a] != zs[b] {
-				if zs[a] < zs[b] {
-					return -1
-				}
-				return 1
-			}
-			return a - b
-		})
-
-		// Cut at near-equal counts, advancing each cut to the next Z change
-		// so one leaf cell is never split across shards (insert routing is
-		// by Z).
-		k := r.cfg.Shards
-		r.cuts = make([]uint32, 0, k-1)
-		for i := 1; i < k; i++ {
-			at := i * len(order) / k
-			var cut uint32
-			if at >= len(order) {
-				cut = maxZ + 1 // past every code: the tail shards stay empty
-			} else {
-				cut = zs[order[at]]
-				// A cut equal to the previous shard's first code would empty
-				// this range retroactively; advance to the next distinct code.
-				for at > 0 && zs[order[at-1]] == cut {
-					at++
-					if at >= len(order) {
-						cut = maxZ + 1
-						break
-					}
-					cut = zs[order[at]]
-				}
-			}
-			if n := len(r.cuts); n > 0 && cut < r.cuts[n-1] {
-				cut = r.cuts[n-1]
-			}
-			r.cuts = append(r.cuts, cut)
+			return err
 		}
 	}
+	if l.NumShards() != r.cfg.Shards {
+		return fmt.Errorf("shard: layout has %d shards, config wants %d", l.NumShards(), r.cfg.Shards)
+	}
+	r.layout = l
 
-	// Assign trajectories by routing their representative code through the
-	// final cuts; iterating in global ID order keeps each shard's local IDs
-	// ascending in global ID, so local (distance, ID) tie-break order agrees
-	// with the global one.
 	k := r.cfg.Shards
-	members := make([][]int, k)
-	for gid := range ds.Trajs {
-		si := r.routeZ(zs[gid])
-		members[si] = append(members[si], gid)
-	}
-
 	r.shards = make([]*Shard, k)
 	r.owners = make([]owner, len(ds.Trajs))
 	for si := 0; si < k; si++ {
-		sh := &Shard{zlo: r.zlo(si), zhi: r.zhi(si, maxZ)}
-		sub := &trajectory.Dataset{
-			Name:  fmt.Sprintf("%s/shard%d", ds.Name, si),
-			Vocab: ds.Vocab,
-			Trajs: make([]trajectory.Trajectory, len(members[si])),
-		}
-		sh.globalIDs = make([]trajectory.TrajID, len(members[si]))
-		for li, gid := range members[si] {
-			sub.Trajs[li] = trajectory.Trajectory{ID: trajectory.TrajID(li), Pts: ds.Trajs[gid].Pts}
-			sh.globalIDs[li] = trajectory.TrajID(gid)
+		lo, hi := l.ZRange(si)
+		sh := &Shard{zlo: lo, zhi: hi}
+		sub, gids := l.SubDataset(ds, si)
+		sh.globalIDs = gids
+		for li, gid := range gids {
 			r.owners[gid] = owner{shard: int32(si), local: trajectory.TrajID(li)}
 			sh.extend(ds.Trajs[gid].Pts)
 		}
@@ -307,33 +237,16 @@ func (r *Router) partition(ds *trajectory.Dataset, man *routerManifest, openShar
 	return nil
 }
 
+// Layout returns the router's partition layout (shared with cluster
+// topologies so external processes route identically).
+func (r *Router) Layout() *Layout { return r.layout }
+
 // repZ returns the partition-grid Z code of a trajectory's representative
 // (first) point; point-less trajectories map to code 0.
-func (r *Router) repZ(pts []trajectory.Point) uint32 {
-	if len(pts) == 0 {
-		return 0
-	}
-	return r.pgrid.CellAt(r.cfg.PartitionDepth, pts[0].Loc).Z
-}
+func (r *Router) repZ(pts []trajectory.Point) uint32 { return r.layout.RepZ(pts) }
 
 // routeZ returns the index of the shard owning leaf code z.
-func (r *Router) routeZ(z uint32) int {
-	return sort.Search(len(r.cuts), func(i int) bool { return r.cuts[i] > z })
-}
-
-func (r *Router) zlo(si int) uint32 {
-	if si == 0 {
-		return 0
-	}
-	return r.cuts[si-1]
-}
-
-func (r *Router) zhi(si int, maxZ uint32) uint32 {
-	if si == len(r.cuts) {
-		return maxZ + 1
-	}
-	return r.cuts[si]
-}
+func (r *Router) routeZ(z uint32) int { return r.layout.RouteZ(z) }
 
 // NumShards returns K.
 func (r *Router) NumShards() int { return len(r.shards) }

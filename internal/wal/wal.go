@@ -653,3 +653,19 @@ func listSegments(fsys FS, dir string) ([]string, error) {
 	})
 	return segs, nil
 }
+
+// ListSegments returns the log directory's segment file names in ascending
+// first-seq order (empty when the directory does not exist). Replication
+// ships these files verbatim: together with SegmentFirstSeq it lets a
+// cluster node select which segment files cover a follower's missing
+// suffix without opening the log.
+func ListSegments(fsys FS, dir string) ([]string, error) {
+	return listSegments(fsys, dir)
+}
+
+// SegmentFirstSeq parses the first sequence number a segment file name
+// encodes (the name fixes where its records start — the property Replay
+// relies on, and what makes a shipped subset of segments replayable).
+func SegmentFirstSeq(name string) (uint64, error) {
+	return segFirstSeq(name)
+}
