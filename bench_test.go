@@ -161,6 +161,52 @@ func BenchmarkGATSearchAllocs(b *testing.B) {
 	b.ReportMetric(float64(pages)/float64(len(qs)), "pages/search")
 }
 
+// BenchmarkSubtrajectorySearch measures the subtrajectory query mode on the
+// LA preset: the warm GAT engine answering the workload with Subtrajectory
+// set and a 12-point span cap. The span DP runs entirely in matcher scratch,
+// so the steady-state alloc profile must stay within the same ceiling as the
+// whole-trajectory path (allocs/search is gated in CI alongside it);
+// pages/search is deterministic on a warm engine and recorded as the I/O
+// regression signal for the span-scored candidate pipeline.
+func BenchmarkSubtrajectorySearch(b *testing.B) {
+	st := benchSetup(b, "LA")
+	qs := benchWorkload(b, st.DS, queries.Config{Seed: 29})
+	e := st.Engine("GAT")
+	ctx := context.Background()
+	reqs := make([]query.Request, len(qs))
+	for i, q := range qs {
+		reqs[i] = query.Request{
+			Query: q, K: queries.DefaultK,
+			Subtrajectory: true, MaxSpanPoints: 12,
+		}
+	}
+	var pages int
+	search := func() {
+		pages = 0
+		for i := range reqs {
+			resp, err := e.Search(ctx, reqs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			pages += resp.Stats.PageReads
+		}
+	}
+	// Warm the engine scratch and caches before measuring.
+	search()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		search()
+	}
+	b.StopTimer()
+	perSearch := float64(testing.AllocsPerRun(1, search)) / float64(len(qs))
+	b.ReportMetric(perSearch, "allocs/search")
+	if perSearch > gatAllocCeiling {
+		b.Fatalf("subtrajectory search allocates %.0f allocs/op, ceiling is %d", perSearch, gatAllocCeiling)
+	}
+	b.ReportMetric(float64(pages)/float64(len(qs)), "pages/search")
+}
+
 // BenchmarkMixedPageReads runs the harness's read-heavy (95/5) mixed
 // search/insert workload on the LA preset against a dynamic index and
 // reports the simulated disk pages touched per search — the I/O budget the

@@ -82,6 +82,25 @@ diff -u "$WORK/single.json" "$WORK/cluster.json" || {
     echo "FAIL: cluster results differ from single-index engine" >&2; exit 1; }
 echo "   $(wc -l <"$WORK/single.json") queries byte-identical"
 
+echo "== subtrajectory differential: single-index vs cluster router (10 queries)"
+# The router re-derives winning spans from the wire matches its shard
+# replicas return; results, matches and spans must all survive the network
+# round-trip byte-for-byte.
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -engine gat \
+    -random 10 -seed 77 -k 7 -subtrajectory -max-span 12 -json \
+    >"$WORK/single_sub.json" 2>/dev/null
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -random 10 -seed 77 -k 7 -subtrajectory -max-span 12 -json \
+    >"$WORK/cluster_sub.json" 2>/dev/null
+[ -s "$WORK/single_sub.json" ] && [ -s "$WORK/cluster_sub.json" ] || {
+    echo "empty subtrajectory result files" >&2; exit 1; }
+grep -q '"span"' "$WORK/single_sub.json" || {
+    echo "subtrajectory output carries no spans" >&2; exit 1; }
+diff -u "$WORK/single_sub.json" "$WORK/cluster_sub.json" || {
+    echo "FAIL: cluster subtrajectory results differ from single-index engine" >&2
+    exit 1; }
+echo "   $(wc -l <"$WORK/single_sub.json") subtrajectory queries byte-identical (spans included)"
+
 echo "== SIGKILL replica 0B mid-workload: zero failed queries"
 : >"$WORK/fails"
 (

@@ -48,6 +48,26 @@ if ! diff -u "$WORK/single.json" "$WORK/sharded.json"; then
 fi
 echo "   $(wc -l <"$WORK/single.json") queries byte-identical"
 
+echo "== subtrajectory differential: single-index vs $SHARDS-shard server (10 queries)"
+# Span-scored mode rides the same wire: results, per-point matches AND the
+# winning [start..end] spans must survive the shard scatter-gather
+# byte-for-byte.
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -engine gat \
+    -random 10 -seed 77 -k 7 -subtrajectory -max-span 12 -json \
+    >"$WORK/single_sub.json" 2>/dev/null
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -random 10 -seed 77 -k 7 -subtrajectory -max-span 12 -json \
+    >"$WORK/sharded_sub.json" 2>/dev/null
+[ -s "$WORK/single_sub.json" ] && [ -s "$WORK/sharded_sub.json" ] || {
+    echo "empty subtrajectory result files" >&2; exit 1; }
+grep -q '"span"' "$WORK/single_sub.json" || {
+    echo "subtrajectory output carries no spans" >&2; exit 1; }
+if ! diff -u "$WORK/single_sub.json" "$WORK/sharded_sub.json"; then
+    echo "FAIL: sharded subtrajectory results differ from single-index engine" >&2
+    exit 1
+fi
+echo "   $(wc -l <"$WORK/single_sub.json") subtrajectory queries byte-identical (spans included)"
+
 echo "== mutation smoke: insert -> searchable -> delete -> gone"
 INS=$(curl -fsS -X POST "$BASE/v1/insert" \
     -d '{"points":[{"x":5,"y":5,"acts":[1,2]},{"x":5.1,"y":5.2,"acts":[3]}]}')

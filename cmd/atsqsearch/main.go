@@ -72,8 +72,15 @@ func main() {
 	retries := flag.Int("retries", 3, "max retries per -server query on transient failures (connection errors, 502/503), with capped exponential backoff")
 	stream := flag.Int("stream", 0, "hold out the last N trajectories and ingest them online (dynamic index) while the -random workload runs")
 	compactAt := flag.Int("compact-threshold", 0, "dynamic-index delta mutations before background compaction (0 = default, <0 = never)")
+	subtraj := flag.Bool("subtrajectory", false, "score each trajectory by its best contiguous point span instead of the whole trajectory; implies requesting matches so the winning span is reported")
+	minSpan := flag.Int("min-span", 0, "minimum span length in points for -subtrajectory (0 = unlimited)")
+	maxSpan := flag.Int("max-span", 0, "maximum span length in points for -subtrajectory (0 = unlimited)")
 	verbose := flag.Bool("v", false, "print per-result trajectory details")
 	flag.Parse()
+
+	if !*subtraj && (*minSpan != 0 || *maxSpan != 0) {
+		log.Fatal("-min-span/-max-span require -subtrajectory")
+	}
 
 	ds, err := dataset.LoadOrGenerate(*data, *preset, *scale)
 	if err != nil {
@@ -104,6 +111,9 @@ func main() {
 		if *workers != 1 {
 			log.Fatal("-stream interleaves searches on one engine; -workers is not supported")
 		}
+		if *subtraj {
+			log.Fatal("-stream measures whole-trajectory search; -subtrajectory is not supported")
+		}
 		streamIngest(ds, *stream, *random, *k, *ordered, *compactAt)
 		return
 	}
@@ -131,8 +141,24 @@ func main() {
 		log.Fatal("provide -query or -random N")
 	}
 
+	// mkRequest builds one engine request from the shared flags.
+	// -subtrajectory implies WithMatches so every tier reports the winning
+	// span (and the e2e byte-diffs cover it).
+	mkRequest := func(q activitytraj.Query) activitytraj.Request {
+		return activitytraj.Request{
+			Query: q, K: *k, Ordered: *ordered,
+			Subtrajectory: *subtraj, MinSpanPoints: *minSpan, MaxSpanPoints: *maxSpan,
+			WithMatches: *subtraj,
+		}
+	}
+
 	if *serverURL != "" {
-		serveRemote(*serverURL, qs, *k, *ordered, *jsonOut, *deadline, *retries, ds, banner)
+		base := server.SearchRequest{
+			K: *k, Ordered: *ordered,
+			Subtrajectory: *subtraj, MinSpanPoints: *minSpan, MaxSpanPoints: *maxSpan,
+			WithMatches: *subtraj,
+		}
+		serveRemote(*serverURL, qs, base, *jsonOut, *deadline, *retries, ds, banner)
 		return
 	}
 
@@ -159,7 +185,7 @@ func main() {
 		}
 		reqs := make([]activitytraj.Request, len(qs))
 		for i, q := range qs {
-			reqs[i] = activitytraj.Request{Query: q, K: *k, Ordered: *ordered}
+			reqs[i] = mkRequest(q)
 		}
 		start := time.Now()
 		var resps []activitytraj.Response
@@ -182,11 +208,11 @@ func main() {
 		for qi, q := range qs {
 			stats.Add(resps[qi].Stats)
 			if *jsonOut {
-				emitJSON(qi, resps[qi].Results)
+				emitJSON(qi, resps[qi])
 				continue
 			}
 			describeQuery(qi, q, ds.Vocab)
-			printResults(resps[qi].Results, ds, *verbose)
+			printResults(resps[qi].Results, resps[qi].Spans, ds, *verbose)
 		}
 		banner("%d queries on %d workers in %s (%.0f queries/sec; candidates=%d scored=%d hdr-rejects=%d pages=%d decoded=%dKB cache hit/miss=%d/%d)\n",
 			len(qs), pe.Workers(), elapsed.Round(time.Microsecond),
@@ -199,7 +225,7 @@ func main() {
 	for qi, q := range qs {
 		ctx, cancel := withDeadline()
 		start := time.Now()
-		resp, err := engine.Search(ctx, activitytraj.Request{Query: q, K: *k, Ordered: *ordered})
+		resp, err := engine.Search(ctx, mkRequest(q))
 		cancel()
 		elapsed := time.Since(start)
 		if err != nil {
@@ -209,7 +235,7 @@ func main() {
 			log.Fatalf("search: %v", err)
 		}
 		if *jsonOut {
-			emitJSON(qi, resp.Results)
+			emitJSON(qi, resp)
 			continue
 		}
 		describeQuery(qi, q, ds.Vocab)
@@ -218,7 +244,7 @@ func main() {
 			len(resp.Results), elapsed.Round(time.Microsecond), stats.Candidates, stats.Scored,
 			stats.HeaderOnlyRejects, stats.PageReads, stats.BytesDecoded/1024,
 			stats.CacheHits, stats.CacheMisses)
-		printResults(resp.Results, ds, *verbose)
+		printResults(resp.Results, resp.Spans, ds, *verbose)
 	}
 }
 
@@ -270,13 +296,19 @@ type jsonLine struct {
 	Results []server.ResultJSON `json:"results"`
 }
 
-func emitJSON(qi int, results []activitytraj.Result) {
-	line := jsonLine{Query: qi, Results: make([]server.ResultJSON, len(results))}
-	for i, r := range results {
-		line.Results[i] = server.ResultJSON{ID: uint32(r.ID), Dist: r.Dist}
+// emitJSON prints one canonical line for a local engine response: the
+// results go through the same wire conversion the server uses, so matches
+// and spans serialize identically to a -server run's reply.
+func emitJSON(qi int, resp activitytraj.Response) {
+	emitJSONResults(qi, server.SearchResponseJSON(resp, 0).Results)
+}
+
+func emitJSONResults(qi int, results []server.ResultJSON) {
+	if results == nil {
+		results = []server.ResultJSON{}
 	}
 	enc := json.NewEncoder(os.Stdout)
-	if err := enc.Encode(line); err != nil {
+	if err := enc.Encode(jsonLine{Query: qi, Results: results}); err != nil {
 		log.Fatalf("encode: %v", err)
 	}
 }
@@ -290,7 +322,7 @@ func emitJSON(qi int, results []activitytraj.Result) {
 // while the server restarts, and 502/503 replies — are retried up to
 // -retries times with capped exponential backoff; searches are read-only,
 // so a retry after an ambiguous failure never double-applies anything.
-func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOut bool, deadline time.Duration, retries int, ds *activitytraj.Dataset, banner func(string, ...any)) {
+func serveRemote(baseURL string, qs []activitytraj.Query, base server.SearchRequest, jsonOut bool, deadline time.Duration, retries int, ds *activitytraj.Dataset, banner func(string, ...any)) {
 	baseURL = strings.TrimRight(baseURL, "/")
 	searchURL := baseURL + "/v1/search"
 	if deadline > 0 {
@@ -299,7 +331,8 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 	client := &http.Client{Timeout: 60 * time.Second}
 	start := time.Now()
 	for qi, q := range qs {
-		req := server.SearchRequest{K: k, Ordered: ordered}
+		req := base
+		req.Points = nil
 		for _, p := range q.Pts {
 			wire := server.QueryPointJSON{X: p.Loc.X, Y: p.Loc.Y}
 			for _, a := range p.Acts {
@@ -333,19 +366,26 @@ func serveRemote(baseURL string, qs []activitytraj.Query, k int, ordered, jsonOu
 			log.Fatalf("query %d: decode: %v", qi, err)
 		}
 		resp.Body.Close()
+		if jsonOut {
+			emitJSONResults(qi, sr.Results)
+			continue
+		}
 		results := make([]activitytraj.Result, len(sr.Results))
+		var spans [][2]int32
 		for i, r := range sr.Results {
 			results[i] = activitytraj.Result{ID: activitytraj.TrajID(r.ID), Dist: r.Dist}
-		}
-		if jsonOut {
-			emitJSON(qi, results)
-			continue
+			if len(r.Span) == 2 {
+				if spans == nil {
+					spans = make([][2]int32, len(sr.Results))
+				}
+				spans[i] = [2]int32{r.Span[0], r.Span[1]}
+			}
 		}
 		describeQuery(qi, q, ds.Vocab)
 		fmt.Printf("  %d results in %dus server-side (candidates=%d scored=%d shards=%d+%d skipped)\n",
 			len(results), sr.TookUS, sr.Stats.Candidates, sr.Stats.Scored,
 			sr.Stats.ShardsSearched, sr.Stats.ShardsSkipped)
-		printResults(results, ds, false)
+		printResults(results, spans, ds, false)
 	}
 	banner("%d queries answered by %s in %s\n", len(qs), baseURL, time.Since(start).Round(time.Millisecond))
 }
@@ -426,10 +466,15 @@ func streamIngest(ds *activitytraj.Dataset, n, nq, k int, ordered bool, compactA
 		ist.Epoch, ist.BaseTrajectories, ist.DeltaTrajectories, ist.Tombstones, ist.Compactions)
 }
 
-func printResults(results []activitytraj.Result, ds *activitytraj.Dataset, verbose bool) {
+func printResults(results []activitytraj.Result, spans [][2]int32, ds *activitytraj.Dataset, verbose bool) {
 	for ri, r := range results {
-		fmt.Printf("  %2d. trajectory %-6d distance %8.3f km\n", ri+1, r.ID, r.Dist)
-		if verbose {
+		if ri < len(spans) && spans[ri][1] >= spans[ri][0] {
+			fmt.Printf("  %2d. trajectory %-6d distance %8.3f km  span [%d..%d]\n",
+				ri+1, r.ID, r.Dist, spans[ri][0], spans[ri][1])
+		} else {
+			fmt.Printf("  %2d. trajectory %-6d distance %8.3f km\n", ri+1, r.ID, r.Dist)
+		}
+		if verbose && int(r.ID) < len(ds.Trajs) {
 			describeTrajectory(&ds.Trajs[r.ID], ds.Vocab)
 		}
 	}

@@ -61,6 +61,17 @@
 //     the ascending trajectory point indexes of the minimal match behind
 //     the reported distance (order-compliant for Ordered requests). The
 //     covers are re-derived for the final top-k only, never per candidate.
+//   - Subtrajectory switches the distance to similar-subtrajectory
+//     semantics: a trajectory scores as the minimum over its contiguous
+//     point spans, so a long trail containing one tight segment ranks by
+//     that segment instead of paying for its length. MinSpanPoints /
+//     MaxSpanPoints bound the eligible span length (zero means unlimited);
+//     they are only valid together with Subtrajectory. The span optimum is
+//     computed exactly by a split-point DP in the matcher — no
+//     approximation — and every engine family serves it byte-identically.
+//     Combined with WithMatches, Response.Spans reports each result's
+//     winning [start, end] point window (the HTTP wire surfaces it as
+//     "span"; atsqsearch takes -subtrajectory, -min-span, -max-span).
 //
 // Response carries the results, the per-request SearchStats in-band (no
 // LastStats side channel — exact even under concurrent serving), and a

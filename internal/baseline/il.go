@@ -107,11 +107,15 @@ func (e *IL) Search(ctx context.Context, req query.Request) (query.Response, err
 	if err := q.Validate(); err != nil {
 		return query.Response{}, err
 	}
+	if err := req.ValidateSpan(); err != nil {
+		return query.Response{}, err
+	}
 	e.stats = query.SearchStats{}
 	if err := ctx.Err(); err != nil {
 		return query.Response{Truncated: true}, err
 	}
 	e.ev.SetRegion(req.Region)
+	e.ev.SetSpan(req.Subtrajectory, req.MinSpanPoints, req.MaxSpanPoints)
 	bound := req.Bound()
 	topk := query.NewTopK(req.K)
 	for i, tid := range e.candidates(q) {

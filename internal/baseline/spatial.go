@@ -55,10 +55,17 @@ func spatialSearch(
 	if err := q.Validate(); err != nil {
 		return query.Response{}, err
 	}
+	if err := req.ValidateSpan(); err != nil {
+		return query.Response{}, err
+	}
 	if err := ctx.Err(); err != nil {
 		return query.Response{Truncated: true}, err
 	}
 	ev.SetRegion(req.Region)
+	// The frontier-sum bound (Σ_i r_i) lower-bounds each unseen
+	// trajectory's whole-trajectory Dmm, which lower-bounds its span-
+	// constrained distance — admissible for subtrajectory mode unchanged.
+	ev.SetSpan(req.Subtrajectory, req.MinSpanPoints, req.MaxSpanPoints)
 	bound := req.Bound()
 	its := iters(q)
 	topk := query.NewTopK(req.K)

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -181,6 +182,42 @@ func TestClusterMatchesSingleIndex(t *testing.T) {
 				}
 			}
 		}
+	}
+
+	// Subtrajectory answers — distances, covers, and the winning spans the
+	// router re-derives from wire matches — survive the network round-trip
+	// byte-identically.
+	for _, ordered := range []bool{false, true} {
+		req := query.Request{
+			Query: q, K: 5, Ordered: ordered,
+			Subtrajectory: true, MaxSpanPoints: 10, WithMatches: true,
+		}
+		want, err := ref.Search(context.Background(), req)
+		if err != nil {
+			t.Fatalf("reference subtrajectory (ordered=%v): %v", ordered, err)
+		}
+		got, err := tc.router.Search(context.Background(), req)
+		if err != nil {
+			t.Fatalf("cluster subtrajectory (ordered=%v): %v", ordered, err)
+		}
+		requireSameResults(t, "subtrajectory", want.Results, got.Results)
+		if len(got.Spans) != len(got.Results) {
+			t.Fatalf("ordered=%v: %d spans for %d results", ordered, len(got.Spans), len(got.Results))
+		}
+		if !reflect.DeepEqual(want.Matches, got.Matches) {
+			t.Fatalf("ordered=%v: subtrajectory covers differ\nref    : %v\ncluster: %v", ordered, want.Matches, got.Matches)
+		}
+		if !reflect.DeepEqual(want.Spans, got.Spans) {
+			t.Fatalf("ordered=%v: subtrajectory spans differ\nref    : %v\ncluster: %v", ordered, want.Spans, got.Spans)
+		}
+	}
+
+	// Malformed span limits are rejected at the router, matching the
+	// single-index validation.
+	if _, err := tc.router.Search(context.Background(), query.Request{
+		Query: q, K: 5, Subtrajectory: true, MinSpanPoints: 8, MaxSpanPoints: 2,
+	}); err == nil {
+		t.Fatal("router accepted min span > max span")
 	}
 }
 

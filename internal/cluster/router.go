@@ -363,10 +363,13 @@ func (r *Router) loop(every time.Duration, fn func()) {
 // per-shard fan-out (activity IDs only; the router never needs the vocab).
 func searchRequestJSON(req query.Request) server.SearchRequest {
 	sreq := server.SearchRequest{
-		K:            req.K,
-		Ordered:      req.Ordered,
-		InitialBound: req.InitialBound,
-		WithMatches:  req.WithMatches,
+		K:             req.K,
+		Ordered:       req.Ordered,
+		InitialBound:  req.InitialBound,
+		WithMatches:   req.WithMatches,
+		Subtrajectory: req.Subtrajectory,
+		MinSpanPoints: req.MinSpanPoints,
+		MaxSpanPoints: req.MaxSpanPoints,
 	}
 	for _, p := range req.Query.Pts {
 		wp := server.QueryPointJSON{X: p.Loc.X, Y: p.Loc.Y}
@@ -401,6 +404,9 @@ func (r *Router) Search(ctx context.Context, req query.Request) (query.Response,
 	}
 	if k <= 0 {
 		return query.Response{}, fmt.Errorf("cluster: k must be positive")
+	}
+	if err := req.ValidateSpan(); err != nil {
+		return query.Response{}, err
 	}
 	if err := ctx.Err(); err != nil {
 		return query.Response{Truncated: true}, err
@@ -540,6 +546,11 @@ func (r *Router) Search(ctx context.Context, req query.Request) (query.Response,
 		resp.Matches = make([][][]int32, len(resp.Results))
 		for i, res := range resp.Results {
 			resp.Matches[i] = matches[res.ID]
+		}
+		if req.Subtrajectory {
+			// Derived from the same covers every tier reports, so the spans
+			// are byte-identical to the single-index and sharded answers.
+			resp.Spans = query.SpansFromMatches(resp.Matches)
 		}
 	}
 	return resp, nil

@@ -770,14 +770,14 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 }
 
 // Matches re-derives the matched trajectory point indexes for one known
-// result of q (see gat.Engine.MatchesFor); id is local to this index.
-// Fetch traffic is added to stats.
-func (e *Engine) Matches(q query.Query, id trajectory.TrajID, ordered bool, region *geo.Rect, stats *query.SearchStats) ([][]int32, error) {
+// result of req's query (see gat.Engine.MatchesFor); id is local to this
+// index. Fetch traffic is added to stats.
+func (e *Engine) Matches(req query.Request, id trajectory.TrajID, stats *query.SearchStats) ([][]int32, error) {
 	gen := e.acquireInner()
 	defer gen.release()
 	gen.active.mu.RLock()
 	defer gen.active.mu.RUnlock()
-	return e.inner.MatchesFor(q, id, ordered, region, stats)
+	return e.inner.MatchesFor(req, id, stats)
 }
 
 // Epoch implements query.EpochSource by delegating to the index's mutation

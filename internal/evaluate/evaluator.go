@@ -77,6 +77,13 @@ type Evaluator struct {
 	// it per search (SetRegion).
 	region *geo.Rect
 
+	// sub/minSpan/maxSpan select subtrajectory scoring: a candidate's
+	// distance becomes the minimum over contiguous point spans of the
+	// allowed length instead of the whole trajectory. Engines set them per
+	// search (SetSpan), mirroring SetRegion.
+	sub              bool
+	minSpan, maxSpan int
+
 	rb        matcher.RowBuilder
 	coordsBuf []geo.Point
 	blobBuf   []byte
@@ -117,6 +124,15 @@ func (e *Evaluator) SetDelta(d DeltaSource) {
 // previous request's filter can never leak.
 func (e *Evaluator) SetRegion(r *geo.Rect) { e.region = r }
 
+// SetSpan installs (sub=false clears) subtrajectory scoring for the next
+// searches: candidate distances become the minimum over contiguous point
+// spans with minSpan <= length <= maxSpan (0 = unlimited). Engines call
+// this at the start of every search with the request's span options, so a
+// previous request's mode can never leak.
+func (e *Evaluator) SetSpan(sub bool, minSpan, maxSpan int) {
+	e.sub, e.minSpan, e.maxSpan = sub, minSpan, maxSpan
+}
+
 // filterRegion drops out-of-region points from every row, in place. coords
 // is indexable by the rows' trajectory point indexes.
 func (e *Evaluator) filterRegion(rows []matcher.QueryRow, coords []geo.Point) {
@@ -146,8 +162,10 @@ func (e *Evaluator) ScoreATSQ(q query.Query, id trajectory.TrajID, threshold flo
 	if out != Scored || err != nil {
 		return matcher.Inf, out, err
 	}
-	_ = n
 	stats.Scored++
+	if e.sub {
+		return e.m.MinMatchSpan(n, rows, e.minSpan, e.maxSpan, threshold), Scored, nil
+	}
 	return e.m.MinMatch(rows, threshold), Scored, nil
 }
 
@@ -164,6 +182,16 @@ func (e *Evaluator) ScoreOATSQ(q query.Query, id trajectory.TrajID, threshold fl
 	if !matcher.CheckMIB(rows) {
 		stats.OrderRejected++
 		return matcher.Inf, RejectedOrder, nil
+	}
+	if e.sub {
+		// The span-unordered distance lower-bounds the span-ordered one
+		// (Lemma 3 applies window by window), so it is the prefilter here.
+		if e.m.MinMatchSpan(n, rows, e.minSpan, e.maxSpan, threshold) == matcher.Inf {
+			stats.Scored++
+			return matcher.Inf, Scored, nil
+		}
+		stats.Scored++
+		return e.m.MinOrderMatchSpan(n, rows, e.minSpan, e.maxSpan, threshold), Scored, nil
 	}
 	if e.m.MinMatch(rows, threshold) == matcher.Inf {
 		stats.Scored++
@@ -251,9 +279,14 @@ func (e *Evaluator) MatchSets(q query.Query, id trajectory.TrajID, ordered bool,
 		return nil, err
 	}
 	var covers [][]int32
-	if ordered {
+	switch {
+	case e.sub && ordered:
+		_, covers = e.m.MinOrderMatchSpanCover(n, rows, e.minSpan, e.maxSpan)
+	case e.sub:
+		_, covers = e.m.MinMatchSpanCover(n, rows, e.minSpan, e.maxSpan)
+	case ordered:
 		_, covers = e.m.MinOrderMatchCover(n, rows)
-	} else {
+	default:
 		_, covers = e.m.MinMatchCover(rows)
 	}
 	return covers, nil
@@ -286,6 +319,9 @@ func (e *Evaluator) MatchSetsAll(ctx context.Context, q query.Query, ordered boo
 func (e *Evaluator) FillMatches(ctx context.Context, q query.Query, ordered bool, resp *query.Response, stats *query.SearchStats) error {
 	ms, err := e.MatchSetsAll(ctx, q, ordered, resp.Results, stats)
 	resp.Matches = ms
+	if e.sub {
+		resp.Spans = query.SpansFromMatches(ms)
+	}
 	resp.Stats = *stats
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

@@ -177,6 +177,9 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 	if err := q.Validate(); err != nil {
 		return query.Response{}, err
 	}
+	if err := req.ValidateSpan(); err != nil {
+		return query.Response{}, err
+	}
 	e.stats = query.SearchStats{}
 	if err := ctx.Err(); err != nil {
 		return query.Response{Truncated: true}, err
@@ -184,6 +187,14 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 	e.bound = req.Bound()
 	e.region = req.Region
 	e.ev.SetRegion(req.Region)
+	// Subtrajectory mode changes only the evaluator's scoring: retrieval and
+	// the Algorithm-2 termination bound are untouched because Dlb lower-
+	// bounds the whole-trajectory Dmm of every unseen trajectory, which in
+	// turn lower-bounds its span-constrained distance (restricting a match
+	// to a window can only raise its cost). The per-cell bound therefore
+	// stays admissible for D_sub, and the shared BoundSink threshold remains
+	// an upper bound on the final k-th D_sub — pruning stays exact.
+	e.ev.SetSpan(req.Subtrajectory, req.MinSpanPoints, req.MaxSpanPoints)
 	s := &e.sc
 	s.begin(q)
 	s.initQueue()
@@ -245,13 +256,15 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 }
 
 // MatchesFor re-derives the per-query-point matched trajectory point
-// indexes for a single known result of the last search's query — the hook
-// the sharded engine uses to answer WithMatches after its scatter-gather
-// merge, with id local to this engine's index. Fetch traffic is added to
-// stats.
-func (e *Engine) MatchesFor(q query.Query, id trajectory.TrajID, ordered bool, region *geo.Rect, stats *query.SearchStats) ([][]int32, error) {
-	e.ev.SetRegion(region)
-	return e.ev.MatchSets(q, id, ordered, stats)
+// indexes for a single known result of req's query — the hook the sharded
+// engine uses to answer WithMatches after its scatter-gather merge, with id
+// local to this engine's index. The request's Region and span options are
+// installed first so the covers match what the search scored. Fetch
+// traffic is added to stats.
+func (e *Engine) MatchesFor(req query.Request, id trajectory.TrajID, stats *query.SearchStats) ([][]int32, error) {
+	e.ev.SetRegion(req.Region)
+	e.ev.SetSpan(req.Subtrajectory, req.MinSpanPoints, req.MaxSpanPoints)
+	return e.ev.MatchSets(req.Query, id, req.Ordered, stats)
 }
 
 // effThreshold returns the tightest exact pruning bound available: the

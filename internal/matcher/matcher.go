@@ -45,6 +45,11 @@ type Matcher struct {
 	gPrev []float64
 	gCur  []float64
 	wpts  []WeightedPoint
+	// Subtrajectory (span) scratch; see span.go.
+	spanUnion []int32
+	spanRows  []QueryRow
+	spanIdx   []int32
+	rowSuffix []float64
 }
 
 // resetTable returns a subset table of size 1<<nq with every entry +Inf

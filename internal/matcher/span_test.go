@@ -1,0 +1,238 @@
+package matcher
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// row is a compact test constructor for QueryRow.
+func row(nq int, idx []int32, dist []float64, mask []uint32) QueryRow {
+	return QueryRow{NumActs: nq, Idx: idx, Dist: dist, Mask: mask}
+}
+
+// TestSpanTableDriven pins the split-point DP's edge semantics: empty
+// spans, full-trajectory equivalence, MinSpan/MaxSpan clamps, ordered vs
+// unordered, and contradictory limits.
+func TestSpanTableDriven(t *testing.T) {
+	var m Matcher
+	// One query point wanting activity bit 0; trajectory points 0,5,9 carry
+	// it at distances 3, 1, 2. A second query point wanting bit 0 as well,
+	// carried by points 1 and 9 at distances 10 and 1.
+	rows := []QueryRow{
+		row(1, []int32{0, 5, 9}, []float64{3, 1, 2}, []uint32{1, 1, 1}),
+		row(1, []int32{1, 9}, []float64{10, 1}, []uint32{1, 1}),
+	}
+	n := 10
+	cases := []struct {
+		name             string
+		minSpan, maxSpan int
+		ordered          bool
+		want             float64
+	}{
+		// Unlimited span = whole trajectory: best is 1 (pt 5) + 1 (pt 9).
+		{"unlimited equals MinMatch", 0, 0, false, 2},
+		// maxSpan >= n clamps to n: identical to unlimited.
+		{"maxSpan clamps to n", 0, 100, false, 2},
+		// minSpan <= n with unlimited max never binds.
+		{"minSpan never binds when feasible", 7, 0, false, 2},
+		// minSpan > n: no legal span at all.
+		{"empty span (minSpan beyond n)", 11, 0, false, Inf},
+		// Contradictory limits: no legal span length.
+		{"minSpan over maxSpan", 5, 3, false, Inf},
+		// Window of 5: [5..9] holds pts 5,9 (row 0) and 9 (row 1): 1+1.
+		{"window 5 keeps the tail", 0, 5, false, 2},
+		// Window of 3: no window holds both rows' cheap points; best is
+		// [7..9]-style span with pt 9 for both rows: 2+1.
+		{"window 3 forces sharing", 0, 3, false, 3},
+		// Window of 1: only point 9 carries both rows: 2+1.
+		{"window 1", 1, 1, false, 3},
+		// Ordered, unlimited: row 0 must match at or before row 1's match;
+		// (5,9) respects the order: 1+1.
+		{"ordered unlimited", 0, 0, true, 2},
+		// Ordered, window 3: only point 9 serves both (shared boundary is
+		// allowed by Definition 7): 2+1.
+		{"ordered window 3", 0, 3, true, 3},
+	}
+	for _, tc := range cases {
+		var got float64
+		if tc.ordered {
+			got = m.MinOrderMatchSpan(n, rows, tc.minSpan, tc.maxSpan, Inf)
+		} else {
+			got = m.MinMatchSpan(n, rows, tc.minSpan, tc.maxSpan, Inf)
+		}
+		if !eqInf(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSpanFullTrajectoryEqualsMinMatch: with no span limits the span DP
+// must return bit-identical results to the existing whole-trajectory
+// algorithms on random inputs (it routes through them), and with
+// maxSpan >= n the clamped window scan must agree too.
+func TestSpanFullTrajectoryEqualsMinMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var m Matcher
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(12)
+		rows := randomRows(rng, 1+rng.Intn(3), n)
+		want := m.MinMatch(rows, Inf)
+		if got := m.MinMatchSpan(n, rows, 0, 0, Inf); !eqInf(got, want) {
+			t.Fatalf("trial %d: unlimited span %v, MinMatch %v", trial, got, want)
+		}
+		if got := m.MinMatchSpan(n, rows, 0, n+rng.Intn(3), Inf); !eqInf(got, want) {
+			t.Fatalf("trial %d: clamped span %v, MinMatch %v", trial, got, want)
+		}
+		wantO := m.MinOrderMatch(n, rows, Inf)
+		if got := m.MinOrderMatchSpan(n, rows, 0, 0, Inf); !eqInf(got, wantO) {
+			t.Fatalf("trial %d: unlimited ordered span %v, MinOrderMatch %v", trial, got, wantO)
+		}
+	}
+}
+
+// TestSpanAgainstBrute: the run-enumeration DP must agree with the
+// exhaustive window enumeration on random inputs, for both distances and
+// every span-limit shape.
+func TestSpanAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var m Matcher
+	for trial := 0; trial < 1500; trial++ {
+		n := 1 + rng.Intn(10)
+		rows := randomRows(rng, 1+rng.Intn(3), n)
+		minSpan := rng.Intn(n + 2)
+		maxSpan := rng.Intn(n + 2)
+		if rng.Intn(3) == 0 {
+			minSpan = 0
+		}
+		if rng.Intn(3) == 0 {
+			maxSpan = 0
+		}
+		want := BruteMinMatchSpan(n, rows, minSpan, maxSpan)
+		got := m.MinMatchSpan(n, rows, minSpan, maxSpan, Inf)
+		if !eqInf(got, want) {
+			t.Fatalf("trial %d: span DP %v, brute %v (n=%d min=%d max=%d rows=%v)",
+				trial, got, want, n, minSpan, maxSpan, rows)
+		}
+		wantO := BruteMinOrderMatchSpan(n, rows, minSpan, maxSpan)
+		gotO := m.MinOrderMatchSpan(n, rows, minSpan, maxSpan, Inf)
+		if !eqInf(gotO, wantO) {
+			t.Fatalf("trial %d: ordered span DP %v, brute %v (n=%d min=%d max=%d rows=%v)",
+				trial, gotO, wantO, n, minSpan, maxSpan, rows)
+		}
+	}
+}
+
+// TestSpanThresholdNeverChangesFiniteResults: abandoning past a threshold
+// may only turn over-threshold results into Inf, never alter an
+// at-or-under-threshold result (the strictly-above rule every engine's
+// pruning depends on).
+func TestSpanThresholdNeverChangesFiniteResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	var m Matcher
+	for trial := 0; trial < 800; trial++ {
+		n := 1 + rng.Intn(10)
+		rows := randomRows(rng, 1+rng.Intn(3), n)
+		maxSpan := 1 + rng.Intn(n)
+		exact := m.MinMatchSpan(n, rows, 0, maxSpan, Inf)
+		exactO := m.MinOrderMatchSpan(n, rows, 0, maxSpan, Inf)
+		th := float64(rng.Intn(120))
+		if rng.Intn(4) == 0 && !math.IsInf(exact, 1) {
+			th = exact // exactly-at-threshold must still score fully
+		}
+		got := m.MinMatchSpan(n, rows, 0, maxSpan, th)
+		if exact <= th && !eqInf(got, exact) {
+			t.Fatalf("trial %d: threshold %v changed %v to %v", trial, th, exact, got)
+		}
+		if exact > th && !math.IsInf(got, 1) {
+			t.Fatalf("trial %d: over-threshold %v not abandoned (th=%v): %v", trial, exact, th, got)
+		}
+		gotO := m.MinOrderMatchSpan(n, rows, 0, maxSpan, th)
+		if exactO <= th && !eqInf(gotO, exactO) {
+			t.Fatalf("trial %d: ordered threshold %v changed %v to %v", trial, th, exactO, gotO)
+		}
+		if exactO > th && !math.IsInf(gotO, 1) {
+			t.Fatalf("trial %d: ordered over-threshold %v not abandoned (th=%v): %v", trial, exactO, th, gotO)
+		}
+	}
+}
+
+// TestSpanCoverAgreesWithSpanDP: the cover variants must report the same
+// distance as the span DP, with every cover index inside one legal window
+// and (ordered) order-compliant.
+func TestSpanCoverAgreesWithSpanDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var m Matcher
+	const eps = 1e-9
+	for trial := 0; trial < 800; trial++ {
+		n := 1 + rng.Intn(10)
+		rows := randomRows(rng, 1+rng.Intn(3), n)
+		maxSpan := 1 + rng.Intn(n+2)
+		want := m.MinMatchSpan(n, rows, 0, maxSpan, Inf)
+		d, covers := m.MinMatchSpanCover(n, rows, 0, maxSpan)
+		if math.IsInf(want, 1) {
+			if !math.IsInf(d, 1) || covers != nil {
+				t.Fatalf("trial %d: no match but cover (%v, %v)", trial, d, covers)
+			}
+		} else {
+			if math.Abs(d-want) > eps {
+				t.Fatalf("trial %d: cover dist %v, span DP %v", trial, d, want)
+			}
+			checkSpanWidth(t, trial, covers, n, maxSpan)
+		}
+		wantO := m.MinOrderMatchSpan(n, rows, 0, maxSpan, Inf)
+		dO, coversO := m.MinOrderMatchSpanCover(n, rows, 0, maxSpan)
+		if math.IsInf(wantO, 1) {
+			if !math.IsInf(dO, 1) || coversO != nil {
+				t.Fatalf("trial %d: no ordered match but cover (%v, %v)", trial, dO, coversO)
+			}
+		} else {
+			if math.Abs(dO-wantO) > eps {
+				t.Fatalf("trial %d: ordered cover dist %v, span DP %v", trial, dO, wantO)
+			}
+			checkSpanWidth(t, trial, coversO, n, maxSpan)
+			// Order compliance: covers[i]'s window may share only its start
+			// with covers[i-1]'s end.
+			last := int32(0)
+			for i, c := range coversO {
+				if len(c) == 0 {
+					continue
+				}
+				for _, idx := range c {
+					if idx < last {
+						t.Fatalf("trial %d: cover %d index %d precedes previous window start %d",
+							trial, i, idx, last)
+					}
+				}
+				for _, idx := range c {
+					if idx > last {
+						last = idx
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkSpanWidth asserts every matched index fits one window of the allowed
+// length.
+func checkSpanWidth(t *testing.T, trial int, covers [][]int32, n, maxSpan int) {
+	t.Helper()
+	lo, hi := int32(math.MaxInt32), int32(-1)
+	for _, c := range covers {
+		for _, idx := range c {
+			if idx < 0 || int(idx) >= n {
+				t.Fatalf("trial %d: cover index %d outside trajectory of %d points", trial, idx, n)
+			}
+			if idx < lo {
+				lo = idx
+			}
+			if idx > hi {
+				hi = idx
+			}
+		}
+	}
+	if hi >= 0 && maxSpan > 0 && int(hi-lo)+1 > min(maxSpan, n) {
+		t.Fatalf("trial %d: cover span [%d,%d] wider than the %d-point limit", trial, lo, hi, maxSpan)
+	}
+}

@@ -37,7 +37,8 @@ func (StaticEpoch) Epoch() uint64 { return 0 }
 
 // ResultCache is a sharded LRU cache of complete search responses, keyed
 // on the canonical encoding of the Request (query points, K, Ordered,
-// InitialBound, Region, WithMatches) tagged with the index's mutation
+// InitialBound, Region, WithMatches, Subtrajectory and its span limits)
+// tagged with the index's mutation
 // epoch. A mutation bumps the epoch, so every entry written before it
 // becomes unreachable at once — stale results can never serve (see
 // EpochSource for the ordering argument). All methods are safe for
@@ -110,6 +111,9 @@ func (rc *ResultCache) Get(epoch uint64, req Request) (Response, bool) {
 	if resp.Matches != nil {
 		out.Matches = append([][][]int32(nil), resp.Matches...)
 	}
+	if resp.Spans != nil {
+		out.Spans = append([][2]int32(nil), resp.Spans...)
+	}
 	return out, true
 }
 
@@ -128,6 +132,9 @@ func (rc *ResultCache) Put(epoch uint64, req Request, resp Response) {
 	stored := Response{Results: append([]Result(nil), resp.Results...)}
 	if resp.Matches != nil {
 		stored.Matches = append([][][]int32(nil), resp.Matches...)
+	}
+	if resp.Spans != nil {
+		stored.Spans = append([][2]int32(nil), resp.Spans...)
 	}
 	rc.c.Put(key, stored)
 }
@@ -173,7 +180,14 @@ func encodeRequestKey(req Request) string {
 	if req.RequireComplete {
 		flags |= 8
 	}
+	if req.Subtrajectory {
+		flags |= 16
+	}
 	buf = append(buf, flags)
+	if req.Subtrajectory {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(req.MinSpanPoints))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(req.MaxSpanPoints))
+	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(req.K))
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(req.InitialBound))
 	if r := req.Region; r != nil {

@@ -2,9 +2,16 @@ package query
 
 import (
 	"context"
+	"errors"
 	"math"
 
 	"activitytraj/internal/geo"
+)
+
+var (
+	errSpanWithoutSubtrajectory = errors.New("query: MinSpanPoints/MaxSpanPoints require Subtrajectory")
+	errNegativeSpan             = errors.New("query: negative span limit")
+	errSpanMinOverMax           = errors.New("query: MinSpanPoints exceeds MaxSpanPoints")
 )
 
 // Request describes one search: the query itself, the result count, the
@@ -53,6 +60,43 @@ type Request struct {
 	// engines always see every shard, so they ignore the flag — their
 	// responses are complete by construction.
 	RequireComplete bool
+
+	// Subtrajectory switches a candidate's distance from the whole
+	// trajectory to the best contiguous portion of it: the minimum over
+	// contiguous point spans [s, e] of the (Ordered or not) match distance
+	// computed as if only the span's points existed. MinSpanPoints and
+	// MaxSpanPoints (0 = unlimited) bound the allowed span length e-s+1.
+	// With both unset a whole-trajectory span is always allowed, so every
+	// distance is <= the classic one. Combine with WithMatches to learn the
+	// winning span: Response.Spans reports each result's [start, end] point
+	// indexes alongside the per-query-point covers in Response.Matches.
+	Subtrajectory bool
+	// MinSpanPoints, when > 0, excludes spans of fewer points. A trajectory
+	// shorter than MinSpanPoints has no legal span and is excluded entirely.
+	// Only meaningful with Subtrajectory.
+	MinSpanPoints int
+	// MaxSpanPoints, when > 0, excludes spans of more points. Only
+	// meaningful with Subtrajectory.
+	MaxSpanPoints int
+}
+
+// ValidateSpan checks the subtrajectory options for internal consistency.
+// Every engine calls it up front so malformed requests fail identically
+// across tiers rather than silently diverging.
+func (r Request) ValidateSpan() error {
+	if !r.Subtrajectory {
+		if r.MinSpanPoints != 0 || r.MaxSpanPoints != 0 {
+			return errSpanWithoutSubtrajectory
+		}
+		return nil
+	}
+	if r.MinSpanPoints < 0 || r.MaxSpanPoints < 0 {
+		return errNegativeSpan
+	}
+	if r.MaxSpanPoints > 0 && r.MinSpanPoints > r.MaxSpanPoints {
+		return errSpanMinOverMax
+	}
+	return nil
 }
 
 // Bound returns the effective initial pruning threshold: InitialBound when
@@ -75,6 +119,13 @@ type Response struct {
 	// requirement; for Ordered requests the covers comply with the query
 	// order, consecutive covers possibly sharing one boundary point).
 	Matches [][][]int32
+	// Spans, filled only when both Request.Subtrajectory and WithMatches
+	// are set, is parallel to Results: Spans[i] is the [start, end]
+	// trajectory point index pair (inclusive) of the winning span behind
+	// Results[i].Dist — the tight hull of Matches[i]'s covers. A result
+	// whose query has no activity requirement at all gets the empty span
+	// {0, -1}.
+	Spans [][2]int32
 	// Stats itemizes where this search's work went. It is per-request and
 	// in-band: no LastStats side channel, no clone-state ambiguity under
 	// concurrent serving.
@@ -91,6 +142,38 @@ type Response struct {
 	// the failed shards could not be considered. Single-process engines
 	// never set it.
 	Partial bool
+}
+
+// SpansFromMatches derives Response.Spans from Response.Matches: for each
+// result the tight [min, max] hull over all its covers' point indexes.
+// Every tier computes spans this way from identical covers, which is what
+// keeps subtrajectory responses byte-identical across single index,
+// sharded, and cluster serving. A result with no matched point (query
+// without activity requirements) gets {0, -1}.
+func SpansFromMatches(matches [][][]int32) [][2]int32 {
+	if matches == nil {
+		return nil
+	}
+	spans := make([][2]int32, len(matches))
+	for i, covers := range matches {
+		lo, hi := int32(math.MaxInt32), int32(-1)
+		for _, c := range covers {
+			for _, idx := range c {
+				if idx < lo {
+					lo = idx
+				}
+				if idx > hi {
+					hi = idx
+				}
+			}
+		}
+		if hi < 0 {
+			spans[i] = [2]int32{0, -1}
+		} else {
+			spans[i] = [2]int32{lo, hi}
+		}
+	}
+	return spans
 }
 
 // Engine is the contract every search method implements. The primary entry

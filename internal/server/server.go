@@ -68,6 +68,15 @@ type SearchRequest struct {
 	// down. Single-process servers always answer completely, so the flag is
 	// a no-op for them.
 	RequireComplete bool `json:"require_complete,omitempty"`
+	// Subtrajectory scores each trajectory by its best contiguous point
+	// span instead of the whole trajectory (see
+	// query.Request.Subtrajectory). Combine with with_matches to get each
+	// result's winning span.
+	Subtrajectory bool `json:"subtrajectory,omitempty"`
+	// MinSpanPoints/MaxSpanPoints bound the allowed span length in points
+	// (0 = unlimited); only valid with subtrajectory.
+	MinSpanPoints int `json:"min_span_points,omitempty"`
+	MaxSpanPoints int `json:"max_span_points,omitempty"`
 }
 
 // ResultJSON is one top-k entry on the wire.
@@ -77,6 +86,10 @@ type ResultJSON struct {
 	// Matches is present only when the request set with_matches: one
 	// ascending list of matched trajectory point indexes per query point.
 	Matches [][]int32 `json:"matches,omitempty"`
+	// Span is present only when the request set both subtrajectory and
+	// with_matches: the [start, end] trajectory point index pair (inclusive)
+	// of the winning span behind Dist.
+	Span []int32 `json:"span,omitempty"`
 }
 
 // SearchResponse is the /v1/search reply.

@@ -87,6 +87,9 @@ func ToQueryRequest(vocab *trajectory.Vocabulary, req SearchRequest) (query.Requ
 		InitialBound:    req.InitialBound,
 		WithMatches:     req.WithMatches,
 		RequireComplete: req.RequireComplete,
+		Subtrajectory:   req.Subtrajectory,
+		MinSpanPoints:   req.MinSpanPoints,
+		MaxSpanPoints:   req.MaxSpanPoints,
 	}
 	if sreq.K <= 0 {
 		sreq.K = DefaultK
@@ -94,6 +97,11 @@ func ToQueryRequest(vocab *trajectory.Vocabulary, req SearchRequest) (query.Requ
 	if req.Region != nil {
 		rect := geo.NewRect(req.Region.MinX, req.Region.MinY, req.Region.MaxX, req.Region.MaxY)
 		sreq.Region = &rect
+	}
+	// Span options are request-shape errors: reject at the wire door (400),
+	// like malformed points, rather than surfacing an engine error as a 500.
+	if err := sreq.ValidateSpan(); err != nil {
+		return query.Request{}, err
 	}
 	return sreq, nil
 }
@@ -152,6 +160,9 @@ func SearchResponseJSON(qresp query.Response, took time.Duration) SearchResponse
 		resp.Results[i] = ResultJSON{ID: uint32(r.ID), Dist: r.Dist}
 		if i < len(qresp.Matches) {
 			resp.Results[i].Matches = qresp.Matches[i]
+		}
+		if i < len(qresp.Spans) {
+			resp.Results[i].Span = []int32{qresp.Spans[i][0], qresp.Spans[i][1]}
 		}
 	}
 	return resp

@@ -51,6 +51,31 @@ func TestDecodeJSON(t *testing.T) {
 	}
 }
 
+// TestToQueryRequestSpanValidation: malformed span options are a
+// request-shape fault caught at the wire door (every tier maps
+// ToQueryRequest errors to 400) — never an engine error surfacing as 500.
+func TestToQueryRequestSpanValidation(t *testing.T) {
+	pts := []QueryPointJSON{{X: 1, Y: 2, Acts: []int{1}}}
+	bad := []SearchRequest{
+		{Points: pts, K: 3, Subtrajectory: true, MinSpanPoints: 9, MaxSpanPoints: 2},
+		{Points: pts, K: 3, Subtrajectory: true, MinSpanPoints: -1},
+		{Points: pts, K: 3, MaxSpanPoints: 4}, // limits without the mode
+	}
+	for i, req := range bad {
+		if _, err := ToQueryRequest(nil, req); err == nil {
+			t.Fatalf("bad span request %d accepted", i)
+		}
+	}
+	good := SearchRequest{Points: pts, K: 3, Subtrajectory: true, MaxSpanPoints: 12}
+	sreq, err := ToQueryRequest(nil, good)
+	if err != nil {
+		t.Fatalf("valid subtrajectory request rejected: %v", err)
+	}
+	if !sreq.Subtrajectory || sreq.MaxSpanPoints != 12 {
+		t.Fatalf("span fields lost in conversion: %+v", sreq)
+	}
+}
+
 // TestServerBodyCapAndStrictMutations pins the HTTP satellite end to end:
 // a body over DefaultMaxBodyBytes answers 413 on every JSON endpoint, and
 // the mutation endpoints reject unknown fields rather than silently

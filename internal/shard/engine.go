@@ -107,6 +107,9 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 	if err := q.Validate(); err != nil {
 		return query.Response{}, err
 	}
+	if err := req.ValidateSpan(); err != nil {
+		return query.Response{}, err
+	}
 	e.stats = query.SearchStats{}
 	if err := ctx.Err(); err != nil {
 		return query.Response{Truncated: true}, err
@@ -159,6 +162,8 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 	subReq := query.Request{
 		Query: q, K: k, Ordered: ordered,
 		InitialBound: req.InitialBound, Region: req.Region,
+		Subtrajectory: req.Subtrajectory,
+		MinSpanPoints: req.MinSpanPoints, MaxSpanPoints: req.MaxSpanPoints,
 	}
 	var (
 		wg       sync.WaitGroup
@@ -233,8 +238,11 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 	}
 	resp := query.Response{Results: shared.Results(), Stats: e.stats}
 	if req.WithMatches {
-		ms, err := e.fillMatches(ctx, q, ordered, req.Region, resp.Results)
+		ms, err := e.fillMatches(ctx, req, resp.Results)
 		resp.Matches = ms
+		if req.Subtrajectory {
+			resp.Spans = query.SpansFromMatches(ms)
+		}
 		resp.Stats = e.stats
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -264,8 +272,9 @@ func (e *Engine) searchShard(ctx context.Context, si int, req query.Request, sha
 
 // fillMatches answers Request.WithMatches after the scatter-gather merge:
 // each global result is routed back to its owning shard, whose sub-engine
-// re-derives the matched point indexes from the shard-local trajectory.
-func (e *Engine) fillMatches(ctx context.Context, q query.Query, ordered bool, region *geo.Rect, rs []query.Result) ([][][]int32, error) {
+// re-derives the matched point indexes from the shard-local trajectory
+// under the request's Region and span options.
+func (e *Engine) fillMatches(ctx context.Context, req query.Request, rs []query.Result) ([][][]int32, error) {
 	out := make([][][]int32, len(rs))
 	for i := range rs {
 		if err := ctx.Err(); err != nil {
@@ -275,7 +284,7 @@ func (e *Engine) fillMatches(ctx context.Context, q query.Query, ordered bool, r
 		if !ok {
 			return out, fmt.Errorf("shard: result trajectory %d has no owner", rs[i].ID)
 		}
-		m, err := e.subs[si].Matches(q, local, ordered, region, &e.stats)
+		m, err := e.subs[si].Matches(req, local, &e.stats)
 		if err != nil {
 			return out, err
 		}
