@@ -22,6 +22,7 @@ import (
 	"activitytraj/internal/queries"
 	"activitytraj/internal/query"
 	"activitytraj/internal/shard"
+	"activitytraj/internal/subscribe"
 	"activitytraj/internal/trajectory"
 )
 
@@ -370,6 +371,74 @@ func BenchmarkSkewedBatch(b *testing.B) {
 	}
 	b.ReportMetric(tPlain.Seconds()/tBatched.Seconds(), "speedup")
 	b.ReportMetric(float64(pages)/float64(searches), "pages/search")
+}
+
+// BenchmarkSubscribedIngest measures insert throughput on a dynamic index
+// with 0, 100 and 1000 standing subscriptions attached. Each timed iteration
+// is one insert; the final hub drain is inside the timed region, so the cost
+// of incrementally maintaining every subscription (reverse Algorithm-2
+// prefilter + selective scoring) is charged to the measurement. subs=0 is
+// the zero-subscriber fast path: one atomic load per mutation.
+//
+// reject-rate reports the fraction of (insert, subscription) evaluations the
+// admissible prefilter discarded without scoring — the lever that keeps
+// per-insert work sublinear in subscriber count. It must be > 0 under load
+// (asserted after warmup); exactness (no qualifying trajectory is ever
+// missed) is pinned separately by the enginetest differential suite.
+func BenchmarkSubscribedIngest(b *testing.B) {
+	ds := benchDataset(b, "LA")
+	baseN := len(ds.Trajs) * 4 / 5
+	stream := ds.Trajs[baseN:]
+	pool, err := queries.Generate(ds, queries.Config{NumQueries: 50, Seed: 61})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, nsubs := range []int{0, 100, 1000} {
+		b.Run(fmt.Sprintf("subs=%d", nsubs), func(b *testing.B) {
+			base := ds.Sample(baseN)
+			base.Name = ds.Name
+			// Compaction off: the measurement is pure insert + subscription
+			// maintenance, not generation rebuilds.
+			d, err := delta.NewDynamic(base, delta.Config{CompactThreshold: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hub := subscribe.NewDynamicHub(d, subscribe.Options{})
+			defer hub.Close()
+			for i := 0; i < nsubs; i++ {
+				if _, err := hub.Subscribe(context.Background(), query.Request{Query: pool[i%len(pool)], K: queries.DefaultK}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm: push part of the stream through so the prefilter counters
+			// are meaningful at any b.N.
+			warm := min(20, len(stream)/2)
+			for _, tr := range stream[:warm] {
+				if _, err := d.Insert(trajectory.Trajectory{Pts: tr.Pts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hub.Sync()
+			if st := hub.Stats(); nsubs > 0 && st.PrefilterRejected == 0 {
+				b.Fatalf("prefilter never rejected an insert during warmup: %+v", st)
+			}
+			rest := stream[warm:]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr := rest[i%len(rest)]
+				if _, err := d.Insert(trajectory.Trajectory{Pts: tr.Pts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			hub.Sync()
+			b.StopTimer()
+			st := hub.Stats()
+			if evals := st.PrefilterRejected + st.Scored; evals > 0 {
+				b.ReportMetric(float64(st.PrefilterRejected)/float64(evals), "reject-rate")
+			}
+			b.ReportMetric(float64(st.Admitted), "admitted")
+		})
+	}
 }
 
 // BenchmarkTable4_DatasetStats regenerates the Table IV statistics:

@@ -121,6 +121,62 @@ echo "$STATS" | grep -q "\"Shards\":$SHARDS" || {
 echo "$HIT" | grep -q '"ShardsSearched"' || {
     echo "search reply missing per-request stats: $HIT" >&2; exit 1; }
 
+echo "== standing query: -watch streams live top-k events"
+WQUERY="600,600:@1"
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -watch -events 3 -k 1 -json -query "$WQUERY" \
+    >"$WORK/watch.json" 2>"$WORK/watch.err" &
+WATCH=$!
+for _ in $(seq 1 60); do
+    if curl -fsS "$BASE/v1/stats" | grep -q '"Active":1'; then break; fi
+    if ! kill -0 "$WATCH" 2>/dev/null; then
+        echo "watcher died before subscribing:" >&2
+        cat "$WORK/watch.err" >&2
+        exit 1
+    fi
+    sleep 0.25
+done
+curl -fsS "$BASE/v1/stats" | grep -q '"Active":1' || {
+    echo "subscription never registered" >&2; cat "$WORK/watch.err" >&2; exit 1; }
+# A distance-0 insert at the query point must displace the k=1 incumbent, so
+# the watcher sees exactly its -events 3 budget: resync, leave, join.
+curl -fsS -X POST "$BASE/v1/insert" \
+    -d '{"points":[{"x":600,"y":600,"acts":[1]}]}' >/dev/null
+for _ in $(seq 1 120); do kill -0 "$WATCH" 2>/dev/null || break; sleep 0.25; done
+if kill -0 "$WATCH" 2>/dev/null; then
+    echo "watcher did not exit after 3 events" >&2
+    kill "$WATCH" 2>/dev/null || true
+    cat "$WORK/watch.err" >&2
+    exit 1
+fi
+wait "$WATCH" || { echo "watcher failed:" >&2; cat "$WORK/watch.err" >&2; exit 1; }
+[ "$(wc -l <"$WORK/watch.json")" -eq 3 ] || {
+    echo "expected 3 event lines from the watcher, got:" >&2
+    cat "$WORK/watch.json" >&2
+    exit 1
+}
+# The final event's live top-k must be byte-identical to a fresh search of
+# the same standing query (the subscription-engine exactness invariant).
+"$WORK/bin/atsqsearch" -data "$WORK/corpus.atrj" -server "$BASE" \
+    -query "$WQUERY" -k 1 -json >"$WORK/watch_fresh.json" 2>/dev/null
+if ! diff -u <(tail -n 1 "$WORK/watch.json") "$WORK/watch_fresh.json"; then
+    echo "FAIL: standing-query top-k differs from a fresh search" >&2
+    exit 1
+fi
+STATS=$(curl -fsS "$BASE/v1/stats")
+if echo "$STATS" | grep -q '"MutationEpoch":0[,}]'; then
+    echo "mutation epoch not advancing: $STATS" >&2; exit 1
+fi
+# The watcher's exit hangs up the stream; the server must free the slot.
+for _ in $(seq 1 40); do
+    STATS=$(curl -fsS "$BASE/v1/stats")
+    if echo "$STATS" | grep -q '"Active":0'; then break; fi
+    sleep 0.25
+done
+echo "$STATS" | grep -q '"Active":0' || {
+    echo "watcher hang-up did not free the subscription: $STATS" >&2; exit 1; }
+echo "   watch stream: 3 events, final top-k byte-identical to fresh search"
+
 echo "== graceful shutdown"
 kill -TERM "$SRV"
 for _ in $(seq 1 40); do kill -0 "$SRV" 2>/dev/null || break; sleep 0.25; done

@@ -24,6 +24,14 @@
 // byte-for-byte (the CI end-to-end job does exactly that). -seed makes
 // -random workloads reproducible across such runs.
 //
+// With -server and -watch, the query becomes a standing subscription: the
+// server maintains its top-k incrementally against the ingest stream and the
+// tool prints each join/leave/resync event (with the full current top-k) as
+// it arrives over SSE. -events N exits after N events, so scripts can wait
+// for a specific change; in -json mode each event prints the same canonical
+// results line a one-shot search would, making live state diffable against a
+// fresh search.
+//
 // -deadline caps each search: local engines run under a context with that
 // timeout (reporting the deadline error with the partial result count),
 // and -server runs forward it as the server's per-request ?timeout=
@@ -31,6 +39,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -70,6 +79,8 @@ func main() {
 	workers := flag.Int("workers", 1, "serve -random queries concurrently on this many engine clones (0 = GOMAXPROCS)")
 	deadline := flag.Duration("deadline", 0, "per-query search budget (0 = none); local searches return a deadline error, -server runs send it as ?timeout= and report the 504")
 	retries := flag.Int("retries", 3, "max retries per -server query on transient failures (connection errors, 502/503), with capped exponential backoff")
+	watch := flag.Bool("watch", false, "with -server: register the query as a standing subscription and stream its live top-k as events arrive (SSE)")
+	watchEvents := flag.Int("events", 0, "with -watch: exit successfully after this many events (0 = stream until interrupted)")
 	stream := flag.Int("stream", 0, "hold out the last N trajectories and ingest them online (dynamic index) while the -random workload runs")
 	compactAt := flag.Int("compact-threshold", 0, "dynamic-index delta mutations before background compaction (0 = default, <0 = never)")
 	subtraj := flag.Bool("subtrajectory", false, "score each trajectory by its best contiguous point span instead of the whole trajectory; implies requesting matches so the winning span is reported")
@@ -150,6 +161,23 @@ func main() {
 			Subtrajectory: *subtraj, MinSpanPoints: *minSpan, MaxSpanPoints: *maxSpan,
 			WithMatches: *subtraj,
 		}
+	}
+
+	if *watch {
+		if *serverURL == "" {
+			log.Fatal("-watch requires -server (subscriptions live on a running atsqserve)")
+		}
+		if len(qs) != 1 {
+			log.Fatal("-watch follows exactly one standing query; use -query or -random 1")
+		}
+		// Standing queries do not support with_matches, so -subtrajectory
+		// here watches span-scored distances without span reporting.
+		base := server.SearchRequest{
+			K: *k, Ordered: *ordered,
+			Subtrajectory: *subtraj, MinSpanPoints: *minSpan, MaxSpanPoints: *maxSpan,
+		}
+		watchRemote(*serverURL, qs[0], base, *watchEvents, *jsonOut, banner)
+		return
 	}
 
 	if *serverURL != "" {
@@ -332,14 +360,7 @@ func serveRemote(baseURL string, qs []activitytraj.Query, base server.SearchRequ
 	start := time.Now()
 	for qi, q := range qs {
 		req := base
-		req.Points = nil
-		for _, p := range q.Pts {
-			wire := server.QueryPointJSON{X: p.Loc.X, Y: p.Loc.Y}
-			for _, a := range p.Acts {
-				wire.Acts = append(wire.Acts, int(a))
-			}
-			req.Points = append(req.Points, wire)
-		}
+		req.Points = wirePoints(q)
 		body, err := json.Marshal(req)
 		if err != nil {
 			log.Fatalf("marshal query %d: %v", qi, err)
@@ -388,6 +409,103 @@ func serveRemote(baseURL string, qs []activitytraj.Query, base server.SearchRequ
 		printResults(results, spans, ds, false)
 	}
 	banner("%d queries answered by %s in %s\n", len(qs), baseURL, time.Since(start).Round(time.Millisecond))
+}
+
+// wirePoints converts a query's points to the wire shape shared by search
+// and subscribe bodies.
+func wirePoints(q activitytraj.Query) []server.QueryPointJSON {
+	var pts []server.QueryPointJSON
+	for _, p := range q.Pts {
+		wire := server.QueryPointJSON{X: p.Loc.X, Y: p.Loc.Y}
+		for _, a := range p.Acts {
+			wire.Acts = append(wire.Acts, int(a))
+		}
+		pts = append(pts, wire)
+	}
+	return pts
+}
+
+// watchRemote registers the query as a standing subscription on a running
+// atsqserve and follows its SSE event stream. The first frame is always a
+// resync carrying the seeded top-k; every later frame is a join/leave (or a
+// resync after falling behind), each with the full current top-k. In -json
+// mode each event prints one canonical jsonLine of that top-k — the same
+// shape as a one-shot search — so the Nth event's line can be diffed
+// byte-for-byte against a fresh `-server -json` search of the same query
+// (the CI end-to-end job does exactly that). With maxEvents > 0 the stream
+// ends successfully after that many events.
+func watchRemote(baseURL string, q activitytraj.Query, base server.SearchRequest, maxEvents int, jsonOut bool, banner func(string, ...any)) {
+	base.Points = wirePoints(q)
+	body, err := json.Marshal(base)
+	if err != nil {
+		log.Fatalf("marshal subscription: %v", err)
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+	hreq, err := http.NewRequest(http.MethodPost, baseURL+"/v1/subscribe", strings.NewReader(string(body)))
+	if err != nil {
+		log.Fatalf("subscribe: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", "text/event-stream")
+	// No client timeout: the stream lives until the event budget or an
+	// interrupt; the server keeps it alive with comment frames.
+	resp, err := (&http.Client{}).Do(hreq)
+	if err != nil {
+		log.Fatalf("subscribe: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var er server.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		log.Fatalf("subscribe: server status %d: %s", resp.StatusCode, er.Error)
+	}
+	banner("watching standing query on %s (k=%d)\n", baseURL, base.K)
+	br := bufio.NewReader(resp.Body)
+	for seen := 0; maxEvents <= 0 || seen < maxEvents; {
+		ev, err := readSSEEvent(br)
+		if err != nil {
+			log.Fatalf("event stream: %v", err)
+		}
+		seen++
+		if jsonOut {
+			emitJSONResults(0, ev.TopK)
+			continue
+		}
+		switch ev.Kind {
+		case "resync":
+			fmt.Printf("seq %-4d resync: %d results\n", ev.Seq, len(ev.TopK))
+		default:
+			fmt.Printf("seq %-4d %s trajectory %d (%.3f km)\n", ev.Seq, ev.Kind, ev.ID, ev.Dist)
+		}
+		for ri, r := range ev.TopK {
+			fmt.Printf("  %2d. trajectory %-6d distance %8.3f km\n", ri+1, r.ID, r.Dist)
+		}
+	}
+}
+
+// readSSEEvent reads one server-sent event's data payload, skipping
+// keepalive comments.
+func readSSEEvent(br *bufio.Reader) (server.EventJSON, error) {
+	var ev server.EventJSON
+	have := false
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if have {
+				return ev, nil
+			}
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				return ev, fmt.Errorf("bad event payload: %w", err)
+			}
+			have = true
+		}
+	}
 }
 
 // streamIngest holds the last n trajectories out of the base build and

@@ -36,11 +36,19 @@
 //
 // Endpoints (JSON):
 //
-//	GET  /healthz    liveness + shard count + recovery/compaction health
-//	POST /v1/search  {"k":9,"ordered":false,"points":[{"x":1.2,"y":3.4,"acts":[7],"names":["coffee"]}]}
-//	POST /v1/insert  {"points":[{"x":1.2,"y":3.4,"acts":[7]}]} -> {"id":N}
-//	POST /v1/delete  {"id":N}
-//	GET  /v1/stats   serving counters + per-shard index shape
+//	GET  /healthz        liveness + shard count + recovery/compaction health
+//	POST /v1/search      {"k":9,"ordered":false,"points":[{"x":1.2,"y":3.4,"acts":[7],"names":["coffee"]}]}
+//	POST /v1/insert      {"points":[{"x":1.2,"y":3.4,"acts":[7]}]} -> {"id":N}
+//	POST /v1/delete      {"id":N}
+//	GET  /v1/stats       serving counters + per-shard index shape + mutation epoch + subscription hub
+//	POST /v1/subscribe   standing query: SSE event stream (default) or ?mode=poll
+//	GET  /v1/subscribe   long-poll an existing subscription: ?id=N&from=SEQ&wait=30s
+//	POST /v1/unsubscribe {"id":N}
+//
+// A standing query (/v1/subscribe) is maintained incrementally against the
+// ingest stream: every accepted insert/delete that changes its top-k emits
+// a sequence-numbered join/leave event carrying the full new top-k, exactly
+// equal to re-running the search from scratch (see internal/subscribe).
 //
 // Every search reply carries its per-request SearchStats (candidates,
 // pages, cache traffic, shards searched/skipped). Searches run under the
@@ -171,9 +179,15 @@ func runSingle(ds *trajectory.Dataset, shards, compactAt int, dataDir, syncMode 
 		router = r
 	}
 	srv := server.New(router, server.Options{Workers: workers, Vocab: ds.Vocab, Recovery: recovery, ResultCacheEntries: resultCache})
-	log.Printf("%d shards built in %s; serving on %s", router.NumShards(),
-		time.Since(buildStart).Round(time.Millisecond), addr)
-	serve(addr, srv.Handler(), drain, router.Close)
+	log.Printf("%d shards built in %s (mutation epoch %d); serving on %s", router.NumShards(),
+		time.Since(buildStart).Round(time.Millisecond), router.Epoch(), addr)
+	serve(addr, srv.Handler(), drain, func() error {
+		// Stop the subscription hub before the router: live streams end,
+		// then the index closes under no observers.
+		srv.Close()
+		log.Printf("final mutation epoch %d", router.Epoch())
+		return router.Close()
+	})
 }
 
 // runNode serves one cluster shard replica.

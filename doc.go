@@ -231,6 +231,27 @@
 // routes by the first point's leaf cell; Router.Delete routes to the
 // owning shard. cmd/atsqserve serves a sharded index over HTTP.
 //
+// # Standing queries
+//
+// internal/subscribe (surfaced over HTTP as /v1/subscribe) turns a
+// one-shot Request into a subscription whose top-k stays current as the
+// corpus mutates. The lifecycle: Subscribe validates the request and
+// seeds the top-k with one ordinary search; from then on a hub hooked
+// into the dynamic index's mutation stream maintains it incrementally —
+// each insert is screened by an admissible lower bound (the paper's
+// Algorithm-2 bound run in reverse, from the new trajectory's bounding
+// box to the standing query) and scored exactly only if it could enter
+// the top-k, while a delete of a current member triggers a re-search
+// seeded with the old k-th distance as its pruning bound. Every change
+// appends a join/leave event — monotone sequence number, full top-k
+// snapshot — to a bounded per-subscription ring; a consumer that falls
+// behind the ring receives a single resync event (full snapshot, current
+// sequence) instead of a gap, and resuming from any retained sequence
+// replays exactly. Unsubscribe (or, over HTTP, an SSE client hanging up)
+// frees the subscription; closing the hub closes every stream. The
+// maintained top-k is byte-identical to a from-scratch search after
+// every mutation, which internal/enginetest pins differentially.
+//
 // # Durability and crash recovery
 //
 // Dynamic and sharded indexes are in-memory by default: a crash loses

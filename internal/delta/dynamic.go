@@ -240,6 +240,36 @@ type Dynamic struct {
 	// which would let a cache serve results predating unacknowledged
 	// inserts as fresh).
 	mutEpoch atomic.Uint64
+
+	// obs, when non-nil, is notified of every insert/delete under mu at the
+	// apply point (after the mutEpoch bump), so per-index notification order
+	// equals apply order. See MutationObserver.
+	obs MutationObserver
+}
+
+// MutationObserver receives insert/delete notifications from a Dynamic
+// index. Callbacks fire under the index's mutation lock, immediately after
+// the mutation became visible to searches (apply-then-bump order), so
+// notifications arrive in exactly the order mutations applied. They must
+// therefore be fast and must not call back into the index — enqueue and
+// return. Idempotent re-deletes and compaction swaps do not notify (the
+// corpus membership is unchanged).
+type MutationObserver interface {
+	// OnInsert reports a newly inserted trajectory: its assigned ID, its
+	// point coordinates, and the union of its points' activities. Both
+	// slices are immutable — observers may retain them.
+	OnInsert(id trajectory.TrajID, pts []geo.Point, acts trajectory.ActivitySet)
+	// OnDelete reports a newly effective delete (first tombstone for id).
+	OnDelete(id trajectory.TrajID)
+}
+
+// SetObserver attaches (nil detaches) the index's mutation observer. The
+// observer sees every mutation applied after SetObserver returns; mutations
+// already applied are the caller's to discover (e.g. by searching).
+func (d *Dynamic) SetObserver(obs MutationObserver) {
+	d.mu.Lock()
+	d.obs = obs
+	d.mu.Unlock()
 }
 
 // NewDynamic builds a dynamic index over ds. The dataset is the initial
@@ -362,8 +392,11 @@ func (d *Dynamic) InsertDeferred(tr trajectory.Trajectory) (trajectory.TrajID, f
 	id := trajectory.TrajID(d.nextID)
 	d.nextID++
 	tr.ID = id
-	gen.active.insert(id, tr)
+	ent := gen.active.insert(id, tr)
 	d.mutEpoch.Add(1) // apply-then-bump: after visibility, before the ack
+	if d.obs != nil {
+		d.obs.OnInsert(id, ent.pts, ent.acts)
+	}
 	d.mu.Unlock()
 	commit := func() error {
 		if d.log != nil {
@@ -411,6 +444,9 @@ func (d *Dynamic) Delete(id trajectory.TrajID) error {
 	}
 	gen.active.delete(id)
 	d.mutEpoch.Add(1) // apply-then-bump: after visibility, before the ack
+	if d.obs != nil {
+		d.obs.OnDelete(id)
+	}
 	d.mu.Unlock()
 	if d.log != nil {
 		if err := d.log.Commit(seq); err != nil {
@@ -610,6 +646,9 @@ type Stats struct {
 	Compactions int64
 	// IDSpace is one past the highest assigned trajectory ID.
 	IDSpace int
+	// MutEpoch is the mutation epoch (see Dynamic.Epoch): a monotone
+	// counter bumped apply-then-ack on every insert/delete/compaction swap.
+	MutEpoch uint64
 }
 
 // Stats returns a snapshot of the index's shape.
@@ -624,6 +663,7 @@ func (d *Dynamic) Stats() Stats {
 		Compacting:  gen.frozen != nil || d.compacting.Load(),
 		Compactions: d.compactions.Load(),
 		IDSpace:     d.nextID,
+		MutEpoch:    d.mutEpoch.Load(),
 	}
 	for _, l := range gen.ov.layers {
 		l.mu.RLock()
@@ -767,6 +807,30 @@ func (e *Engine) Search(ctx context.Context, req query.Request) (query.Response,
 	resp, err := e.inner.Search(ctx, req)
 	e.stats = resp.Stats
 	return resp, err
+}
+
+// ScoreOne scores a single trajectory against req's query with an exact
+// pruning threshold (see gat.Engine.ScoreFor): the returned distance is the
+// request's exact distance whenever ok is true, and ok is false when the
+// trajectory is absent (tombstoned, compacted-away husk, out of range) or
+// the matcher abandoned it for strictly exceeding threshold. The
+// subscription hub uses it to score one freshly inserted trajectory against
+// a standing query without running a full search. Fetch traffic is added to
+// stats.
+func (e *Engine) ScoreOne(req query.Request, id trajectory.TrajID, threshold float64, stats *query.SearchStats) (float64, bool, error) {
+	gen := e.acquireInner()
+	defer gen.release()
+	gen.active.mu.RLock()
+	defer gen.active.mu.RUnlock()
+	if gen.ov.Tombstoned(id) ||
+		(int(id) < len(gen.ds.Trajs) && len(gen.ds.Trajs[id].Pts) == 0) {
+		return 0, false, nil
+	}
+	d, out, err := e.inner.ScoreFor(req, id, threshold, stats)
+	if err != nil {
+		return 0, false, err
+	}
+	return d, out == evaluate.Scored, nil
 }
 
 // Matches re-derives the matched trajectory point indexes for one known

@@ -134,9 +134,10 @@ func NewLayer(g *grid.Grid, baseN, sketchM int) *Layer {
 	return l
 }
 
-// insert registers tr under id. The caller (Dynamic) assigns IDs
-// monotonically and never reuses one.
-func (l *Layer) insert(id trajectory.TrajID, tr trajectory.Trajectory) {
+// insert registers tr under id and returns the immutable entry built for
+// it (mutation observers read its activity set without re-deriving it).
+// The caller (Dynamic) assigns IDs monotonically and never reuses one.
+func (l *Layer) insert(id trajectory.TrajID, tr trajectory.Trajectory) *entry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := newEntry(tr, l.sketchM, l.g.Region())
@@ -146,6 +147,7 @@ func (l *Layer) insert(id trajectory.TrajID, tr trajectory.Trajectory) {
 	}
 	l.register(id, e)
 	l.muts.Add(1)
+	return e
 }
 
 // register adds e's points to the cell structures (or the overflow list).

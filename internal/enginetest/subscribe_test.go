@@ -1,0 +1,458 @@
+package enginetest
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"activitytraj/internal/delta"
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/shard"
+	"activitytraj/internal/subscribe"
+	"activitytraj/internal/trajectory"
+)
+
+// subSearcher is the fresh-search oracle a subscription must stay
+// byte-identical to.
+type subSearcher interface {
+	Search(ctx context.Context, req query.Request) (query.Response, error)
+}
+
+// innerRegion returns a rectangle covering the middle of the dataset's
+// spatial extent, so region-filtered subscriptions see a non-trivial subset.
+func innerRegion(ds *trajectory.Dataset) geo.Rect {
+	var b geo.Rect
+	first := true
+	for _, tr := range ds.Trajs {
+		for _, p := range tr.Pts {
+			if first {
+				b = geo.RectFromPoint(p.Loc)
+				first = false
+				continue
+			}
+			b = b.ExtendPoint(p.Loc)
+		}
+	}
+	w, h := b.Width(), b.Height()
+	return geo.Rect{
+		MinX: b.MinX + 0.2*w, MinY: b.MinY + 0.2*h,
+		MaxX: b.MaxX - 0.2*w, MaxY: b.MaxY - 0.2*h,
+	}
+}
+
+// verifySubs pins the exactness invariant: every subscription's live top-k
+// must be byte-identical (IDs and distance bits) to a from-scratch Search
+// of the same request.
+func verifySubs(t *testing.T, step int, eng subSearcher, subs []*subscribe.Subscription) {
+	t.Helper()
+	for i, s := range subs {
+		want, err := eng.Search(context.Background(), s.Request())
+		if err != nil {
+			t.Fatalf("step %d sub %d: fresh search: %v", step, i, err)
+		}
+		got := s.TopK()
+		if len(got) != len(want.Results) {
+			t.Fatalf("step %d sub %d: live top-k has %d results, fresh search %d\nlive: %v\nfresh: %v",
+				step, i, len(got), len(want.Results), got, want.Results)
+		}
+		for j := range got {
+			if got[j].ID != want.Results[j].ID ||
+				math.Float64bits(got[j].Dist) != math.Float64bits(want.Results[j].Dist) {
+				t.Fatalf("step %d sub %d result %d: live %v != fresh %v", step, i, j, got[j], want.Results[j])
+			}
+		}
+	}
+}
+
+// drainEvents advances each subscription's cursor, checking sequence
+// monotonicity and that replaying join/leave events reproduces exactly the
+// membership of the final event's TopK snapshot.
+type eventTracker struct {
+	cursor  uint64
+	members map[trajectory.TrajID]bool
+}
+
+func (et *eventTracker) drain(t *testing.T, step int, s *subscribe.Subscription) {
+	t.Helper()
+	evs, _, _ := s.Next(et.cursor)
+	if len(evs) == 0 {
+		return
+	}
+	for _, ev := range evs {
+		if ev.Seq != et.cursor+1 {
+			t.Fatalf("step %d: event seq %d after cursor %d (gap without resync)", step, ev.Seq, et.cursor)
+		}
+		et.cursor = ev.Seq
+		switch ev.Kind {
+		case subscribe.EventJoin:
+			if et.members[ev.ID] {
+				t.Fatalf("step %d: join of already-member %d", step, ev.ID)
+			}
+			et.members[ev.ID] = true
+		case subscribe.EventLeave:
+			if !et.members[ev.ID] {
+				t.Fatalf("step %d: leave of non-member %d", step, ev.ID)
+			}
+			delete(et.members, ev.ID)
+		default:
+			t.Fatalf("step %d: unexpected event kind %v with buffer never exceeded", step, ev.Kind)
+		}
+	}
+	last := evs[len(evs)-1]
+	if len(et.members) != len(last.TopK) {
+		t.Fatalf("step %d: event replay has %d members, snapshot %d", step, len(et.members), len(last.TopK))
+	}
+	for _, r := range last.TopK {
+		if !et.members[r.ID] {
+			t.Fatalf("step %d: snapshot member %d missing from event replay", step, r.ID)
+		}
+	}
+}
+
+// standingRequests builds a diverse subscription workload over qs: plain
+// ATSQ, ordered, subtrajectory-mode, region-filtered and bound-seeded.
+func standingRequests(t *testing.T, eng subSearcher, ds *trajectory.Dataset, qs []query.Query) []query.Request {
+	t.Helper()
+	region := innerRegion(ds)
+	reqs := []query.Request{
+		{Query: qs[0], K: 5},
+		{Query: qs[1], K: 3, Ordered: true},
+		{Query: qs[2], K: 4, Subtrajectory: true, MaxSpanPoints: 10},
+		{Query: qs[3], K: 6, Region: &region},
+	}
+	// A bound-seeded subscription: cap at the current 4th distance so the
+	// top-k is genuinely truncated by the bound.
+	resp, err := eng.Search(context.Background(), query.Request{Query: qs[4], K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) > 3 {
+		reqs = append(reqs, query.Request{Query: qs[4], K: 8, InitialBound: resp.Results[3].Dist})
+	}
+	return reqs
+}
+
+// matchInsert builds a trajectory matching q at distance zero: one point
+// per query location carrying exactly its activities. It MUST enter every
+// non-full or nonzero-k-th top-k over q.
+func matchInsert(q query.Query) trajectory.Trajectory {
+	pts := make([]trajectory.Point, len(q.Pts))
+	for i, qp := range q.Pts {
+		pts[i] = trajectory.Point{Loc: qp.Loc, Acts: qp.Acts}
+	}
+	return trajectory.Trajectory{Pts: pts}
+}
+
+// TestSubscriptionDifferential is the exactness gate for the subscription
+// engine on a single dynamic index: a randomized insert/delete stream —
+// including targeted distance-zero inserts, member deletes that force
+// bounded re-searches, and a compaction mid-stream — with every
+// subscription's top-k verified byte-identical to a from-scratch search
+// after every mutation.
+func TestSubscriptionDifferential(t *testing.T) {
+	ds := testDataset(t)
+	baseN := len(ds.Trajs) * 2 / 3
+	base := ds.Sample(baseN)
+	base.Name = ds.Name
+
+	d, err := delta.NewDynamic(base, delta.Config{GAT: gatCfgDefault(), CompactThreshold: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := subscribe.NewDynamicHub(d, subscribe.Options{EventBuffer: 128})
+	defer hub.Close()
+	verify := d.NewEngine()
+
+	qs := workload(t, ds, 6)
+	reqs := standingRequests(t, verify, ds, qs)
+	subs := make([]*subscribe.Subscription, len(reqs))
+	trackers := make([]*eventTracker, len(reqs))
+	for i, req := range reqs {
+		if subs[i], err = hub.Subscribe(context.Background(), req); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		trackers[i] = &eventTracker{members: map[trajectory.TrajID]bool{}}
+		for _, r := range subs[i].TopK() {
+			trackers[i].members[r.ID] = true
+		}
+	}
+	verifySubs(t, -1, verify, subs)
+
+	rng := rand.New(rand.NewSource(123))
+	pool := ds.Trajs[baseN:]
+	pi := 0
+	var live []trajectory.TrajID
+	for id := 0; id < baseN; id++ {
+		live = append(live, trajectory.TrajID(id))
+	}
+
+	const steps = 90
+	for step := 0; step < steps; step++ {
+		switch {
+		case step == steps/2:
+			// Compaction mid-stream: no events, but the generation swap must
+			// leave every live top-k still exact.
+			if err := d.CompactNow(); err != nil {
+				t.Fatalf("step %d: compact: %v", step, err)
+			}
+		case step%17 == 5:
+			// Targeted insert: a distance-zero match for one standing query.
+			// The prefilter must NOT reject it (missing it would break the
+			// differential below).
+			id, err := d.Insert(matchInsert(reqs[step%len(reqs)].Query))
+			if err != nil {
+				t.Fatalf("step %d: targeted insert: %v", step, err)
+			}
+			live = append(live, id)
+		case step%11 == 7:
+			// Member delete: forces the bounded re-search path.
+			if tk := subs[step%len(subs)].TopK(); len(tk) > 0 {
+				if err := d.Delete(tk[rng.Intn(len(tk))].ID); err != nil {
+					t.Fatalf("step %d: member delete: %v", step, err)
+				}
+			}
+		case rng.Intn(10) < 3 && len(live) > 0:
+			if err := d.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+		default:
+			tr := pool[pi%len(pool)]
+			pi++
+			id, err := d.Insert(trajectory.Trajectory{Pts: tr.Pts})
+			if err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			live = append(live, id)
+		}
+		hub.Sync()
+		verifySubs(t, step, verify, subs)
+		for i, s := range subs {
+			trackers[i].drain(t, step, s)
+		}
+	}
+
+	st := hub.Stats()
+	if st.PrefilterRejected == 0 {
+		t.Fatalf("prefilter never rejected an insert: %+v", st)
+	}
+	if st.Admitted == 0 {
+		t.Fatalf("no insert was ever admitted to a top-k: %+v", st)
+	}
+	if st.Researches == 0 {
+		t.Fatalf("no member delete triggered a re-search: %+v", st)
+	}
+	if st.Dropped != 0 || st.Errors != 0 {
+		t.Fatalf("dropped/errored events on a single index: %+v", st)
+	}
+}
+
+// TestShardedSubscriptionDifferential runs the same exactness gate on the
+// sharded tier: per-shard mutation observers feed one hub whose dispatcher
+// resolves shard-local IDs to global ones, and every subscription must stay
+// byte-identical to a from-scratch scatter-gather search.
+func TestShardedSubscriptionDifferential(t *testing.T) {
+	ds := testDataset(t)
+	baseN := len(ds.Trajs) * 2 / 3
+	base := ds.Sample(baseN)
+	base.Name = ds.Name
+
+	r, err := shard.NewRouter(base, shard.Config{
+		Shards: 3,
+		Delta:  delta.Config{GAT: gatCfgDefault(), CompactThreshold: 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := r.NewHub(subscribe.Options{EventBuffer: 128})
+	defer hub.Close()
+	verify := r.NewEngine()
+
+	qs := workload(t, ds, 6)
+	reqs := standingRequests(t, verify, ds, qs)
+	subs := make([]*subscribe.Subscription, len(reqs))
+	for i, req := range reqs {
+		if subs[i], err = hub.Subscribe(context.Background(), req); err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+	}
+	verifySubs(t, -1, verify, subs)
+
+	rng := rand.New(rand.NewSource(321))
+	pool := ds.Trajs[baseN:]
+	pi := 0
+	var live []trajectory.TrajID
+	for id := 0; id < baseN; id++ {
+		live = append(live, trajectory.TrajID(id))
+	}
+
+	const steps = 50
+	for step := 0; step < steps; step++ {
+		switch {
+		case step == steps/2:
+			if err := r.CompactAll(); err != nil {
+				t.Fatalf("step %d: compact: %v", step, err)
+			}
+		case step%13 == 4:
+			id, err := r.Insert(matchInsert(reqs[step%len(reqs)].Query))
+			if err != nil {
+				t.Fatalf("step %d: targeted insert: %v", step, err)
+			}
+			live = append(live, id)
+		case step%9 == 6:
+			if tk := subs[step%len(subs)].TopK(); len(tk) > 0 {
+				if err := r.Delete(tk[rng.Intn(len(tk))].ID); err != nil {
+					t.Fatalf("step %d: member delete: %v", step, err)
+				}
+			}
+		case rng.Intn(10) < 3 && len(live) > 0:
+			if err := r.Delete(live[rng.Intn(len(live))]); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+		default:
+			tr := pool[pi%len(pool)]
+			pi++
+			id, err := r.Insert(trajectory.Trajectory{Pts: tr.Pts})
+			if err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			live = append(live, id)
+		}
+		hub.Sync()
+		verifySubs(t, step, verify, subs)
+	}
+
+	st := hub.Stats()
+	if st.PrefilterRejected == 0 || st.Admitted == 0 {
+		t.Fatalf("sharded hub never exercised prefilter/admission: %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("sharded hub dropped events (ID resolution failed): %+v", st)
+	}
+}
+
+// TestSubscribedMutationStress is the -race gate: concurrent inserters,
+// deleters, a compactor, churning subscribers and event readers all run
+// against one hub; afterwards the surviving subscriptions must still be
+// byte-identical to fresh searches.
+func TestSubscribedMutationStress(t *testing.T) {
+	ds := testDataset(t)
+	baseN := len(ds.Trajs) / 2
+	base := ds.Sample(baseN)
+	base.Name = ds.Name
+
+	d, err := delta.NewDynamic(base, delta.Config{GAT: gatCfgDefault(), CompactThreshold: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := subscribe.NewDynamicHub(d, subscribe.Options{EventBuffer: 16})
+	defer hub.Close()
+
+	qs := workload(t, ds, 8)
+	durable := make([]*subscribe.Subscription, 4)
+	for i := range durable {
+		if durable[i], err = hub.Subscribe(context.Background(), query.Request{Query: qs[i], K: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Inserter: streams the held-out half.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, tr := range ds.Trajs[baseN:] {
+			if _, err := d.Insert(trajectory.Trajectory{Pts: tr.Pts}); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	// Deleter: tombstones base trajectories.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := 3; id < baseN; id += 7 {
+			if err := d.Delete(trajectory.TrajID(id)); err != nil {
+				t.Errorf("delete: %v", err)
+				return
+			}
+		}
+	}()
+	// Compactor.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if err := d.CompactNow(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	// Churning subscribers: subscribe, read a few event pages, unsubscribe.
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				s, err := hub.Subscribe(context.Background(), query.Request{Query: qs[4+(c+r)%4], K: 3})
+				if err != nil {
+					t.Errorf("churn subscribe: %v", err)
+					return
+				}
+				var cursor uint64
+				for i := 0; i < 4; i++ {
+					evs, wait, closed := s.Next(cursor)
+					if closed {
+						break
+					}
+					for _, ev := range evs {
+						cursor = ev.Seq
+					}
+					if evs == nil && wait != nil {
+						select {
+						case <-wait:
+						default:
+						}
+					}
+				}
+				if !hub.Unsubscribe(s.ID()) {
+					t.Errorf("churn unsubscribe lost sub %d", s.ID())
+					return
+				}
+			}
+		}(c)
+	}
+	// Concurrent event readers on the durable subscriptions.
+	for i := range durable {
+		wg.Add(1)
+		go func(s *subscribe.Subscription) {
+			defer wg.Done()
+			var cursor uint64
+			for r := 0; r < 50; r++ {
+				evs, _, _ := s.Next(cursor)
+				for _, ev := range evs {
+					if ev.Seq <= cursor && ev.Kind != subscribe.EventResync {
+						t.Errorf("non-monotone event seq %d after %d", ev.Seq, cursor)
+						return
+					}
+					cursor = ev.Seq
+				}
+			}
+		}(durable[i])
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	hub.Sync()
+	verify := d.NewEngine()
+	verifySubs(t, -1, verify, durable)
+	if st := hub.Stats(); st.Active != int64(len(durable)) {
+		t.Fatalf("expected %d active subscriptions after churn, got %+v", len(durable), st)
+	}
+}

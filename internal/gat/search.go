@@ -267,6 +267,24 @@ func (e *Engine) MatchesFor(req query.Request, id trajectory.TrajID, stats *quer
 	return e.ev.MatchSets(req.Query, id, req.Ordered, stats)
 }
 
+// ScoreFor scores a single trajectory against req's query under an exact
+// pruning threshold — the single-candidate core of the search loop, used by
+// the subscription hub to test one freshly inserted trajectory against a
+// standing query. The request's Region and span options are installed
+// first, so the outcome is exactly what a full search would compute for
+// this candidate: a distance with evaluate.Scored when d <= threshold holds
+// finitely (the matcher abandons only STRICTLY above threshold, so a
+// candidate at exactly the bound still scores fully), a non-Scored outcome
+// otherwise. Fetch traffic is added to stats.
+func (e *Engine) ScoreFor(req query.Request, id trajectory.TrajID, threshold float64, stats *query.SearchStats) (float64, evaluate.Outcome, error) {
+	e.ev.SetRegion(req.Region)
+	e.ev.SetSpan(req.Subtrajectory, req.MinSpanPoints, req.MaxSpanPoints)
+	if req.Ordered {
+		return e.ev.ScoreOATSQ(req.Query, id, threshold, stats)
+	}
+	return e.ev.ScoreATSQ(req.Query, id, threshold, stats)
+}
+
 // effThreshold returns the tightest exact pruning bound available: the
 // local k-th distance, tightened by the shared global bound when a sink is
 // attached and by the request's InitialBound when set. All three are upper

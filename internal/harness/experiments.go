@@ -478,6 +478,7 @@ func (s *Suite) All(w io.Writer) error {
 		{"throughput", s.Throughput},
 		{"mixed", s.Mixed},
 		{"sharded", s.Sharded},
+		{"watch", s.Watch},
 	}
 	for _, st := range steps {
 		fmt.Fprintf(w, "==== experiment: %s ====\n\n", st.name)
@@ -517,7 +518,9 @@ func (s *Suite) Run(name string, w io.Writer) error {
 		return s.Sharded(w)
 	case "cluster":
 		return s.Cluster(w)
+	case "watch":
+		return s.Watch(w)
 	default:
-		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed|sharded|cluster)", name)
+		return fmt.Errorf("harness: unknown experiment %q (want all|stats|k|q|phi|diameter|scale|granularity|ablations|throughput|mixed|sharded|cluster|watch)", name)
 	}
 }

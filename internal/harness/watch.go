@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"activitytraj/internal/delta"
+	"activitytraj/internal/queries"
+	"activitytraj/internal/query"
+	"activitytraj/internal/subscribe"
+	"activitytraj/internal/trajectory"
+)
+
+// WatchOptions configures a standing-query run against a dynamic index.
+type WatchOptions struct {
+	// Subscribers is how many standing queries are registered (cycling over
+	// the workload queries).
+	Subscribers int
+	// Mutations is the total mutation count (inserts + deletes).
+	Mutations int
+	// DeleteFraction is the probability a mutation deletes a previously
+	// inserted trajectory instead of inserting the next one.
+	DeleteFraction float64
+	// K is each subscription's result count.
+	K int
+	// Seed drives the mutation mix.
+	Seed int64
+}
+
+// WatchResult aggregates one standing-query run.
+type WatchResult struct {
+	Mutations int
+	Duration  time.Duration
+	// Delivery is the latency from an insert being applied to the index to a
+	// consumer goroutine holding the resulting join event — the full
+	// observer → dispatcher → prefilter/score → ring → wake path.
+	Delivery LatencySummary
+	Stats    subscribe.Stats
+}
+
+// RejectRate returns the fraction of (mutation, subscription) evaluations
+// the admissible prefilter discarded without exact scoring.
+func (r WatchResult) RejectRate() float64 {
+	if evals := r.Stats.PrefilterRejected + r.Stats.Scored; evals > 0 {
+		return float64(r.Stats.PrefilterRejected) / float64(evals)
+	}
+	return 0
+}
+
+// RunWatchWorkload registers opt.Subscribers standing queries on d, streams
+// a mixed insert/delete workload through it, and measures event-delivery
+// latency at concurrent consumers (one goroutine per subscription, blocking
+// in Subscription.Next like a streaming handler would).
+func RunWatchWorkload(d *delta.Dynamic, stream []trajectory.Trajectory, qs []query.Query, opt WatchOptions) (WatchResult, error) {
+	if opt.K <= 0 {
+		opt.K = queries.DefaultK
+	}
+	if opt.Mutations <= 0 {
+		opt.Mutations = len(stream)
+	}
+	hub := subscribe.NewDynamicHub(d, subscribe.Options{})
+	defer hub.Close()
+
+	subs := make([]*subscribe.Subscription, opt.Subscribers)
+	for i := range subs {
+		s, err := hub.Subscribe(context.Background(), query.Request{Query: qs[i%len(qs)], K: opt.K})
+		if err != nil {
+			return WatchResult{}, err
+		}
+		subs[i] = s
+	}
+
+	// insertAt is written under its mutex across the whole insert, so a
+	// consumer that sees the join event (which can only exist after the
+	// insert applied) always finds the timestamp.
+	var tmu sync.Mutex
+	insertAt := make(map[trajectory.TrajID]time.Time)
+	var lmu sync.Mutex
+	var delivery []time.Duration
+	var cwg sync.WaitGroup
+	for _, s := range subs {
+		cwg.Add(1)
+		go func(s *subscribe.Subscription) {
+			defer cwg.Done()
+			var cursor uint64
+			for {
+				evs, wait, closed := s.Next(cursor)
+				now := time.Now()
+				for _, ev := range evs {
+					cursor = ev.Seq
+					if ev.Kind != subscribe.EventJoin {
+						continue
+					}
+					tmu.Lock()
+					t0, ok := insertAt[ev.ID]
+					tmu.Unlock()
+					if ok {
+						lmu.Lock()
+						delivery = append(delivery, now.Sub(t0))
+						lmu.Unlock()
+					}
+				}
+				if closed {
+					return
+				}
+				if len(evs) == 0 {
+					<-wait
+				}
+			}
+		}(s)
+	}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var live []trajectory.TrajID
+	si := 0
+	start := time.Now()
+	for m := 0; m < opt.Mutations; m++ {
+		if rng.Float64() < opt.DeleteFraction && len(live) > 0 {
+			i := rng.Intn(len(live))
+			if err := d.Delete(live[i]); err != nil {
+				return WatchResult{}, err
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		tr := stream[si%len(stream)]
+		si++
+		tmu.Lock()
+		t0 := time.Now()
+		id, err := d.Insert(trajectory.Trajectory{Pts: tr.Pts})
+		if err != nil {
+			tmu.Unlock()
+			return WatchResult{}, err
+		}
+		insertAt[id] = t0
+		tmu.Unlock()
+		live = append(live, id)
+	}
+	hub.Sync()
+	dur := time.Since(start)
+	st := hub.Stats()
+	hub.Close() // closes subscriptions; consumers drain and exit
+	cwg.Wait()
+
+	return WatchResult{
+		Mutations: opt.Mutations,
+		Duration:  dur,
+		Delivery:  summarize(delivery),
+		Stats:     st,
+	}, nil
+}
+
+// Watch measures the subscription engine under live ingestion: standing
+// queries are maintained incrementally while a mixed 80/20 insert/delete
+// stream mutates the index, sweeping the subscriber count. The table
+// reports the reverse-Algorithm-2 prefilter's reject rate (the lever that
+// keeps per-insert maintenance sublinear in subscribers), the member-delete
+// re-search count, and join-event delivery latency percentiles as seen by
+// blocking consumers. This extends the paper's one-shot query model to the
+// continuous-query regime of a live check-in service.
+func (s *Suite) Watch(w io.Writer) error {
+	for _, dsName := range s.opts.Datasets {
+		ds, err := s.Dataset(dsName)
+		if err != nil {
+			return err
+		}
+		qs, err := s.workload(ds, queries.Config{Seed: s.opts.Seed + 71})
+		if err != nil {
+			return err
+		}
+		baseN := len(ds.Trajs) * 4 / 5
+		stream := ds.Trajs[baseN:]
+		tab := NewTable(
+			fmt.Sprintf("Standing queries — %s (%d base, %d mutations, 20%% deletes)",
+				dsName, baseN, len(stream)),
+			"subscribers", "events", "reject-rate", "scored", "admitted", "re-searches",
+			"deliver p50", "p95", "p99", "max (ms)")
+		for _, nsubs := range []int{1, 10, 100} {
+			base := ds.Sample(baseN)
+			base.Name = ds.Name
+			d, err := delta.NewDynamic(base, delta.Config{
+				CompactThreshold: max(len(stream)/2, 1),
+			})
+			if err != nil {
+				return err
+			}
+			res, err := RunWatchWorkload(d, stream, qs, WatchOptions{
+				Subscribers:    nsubs,
+				Mutations:      len(stream),
+				DeleteFraction: 0.2,
+				K:              s.opts.K,
+				Seed:           s.opts.Seed,
+			})
+			if err != nil {
+				return fmt.Errorf("harness: watch %s subs=%d: %w", dsName, nsubs, err)
+			}
+			tab.AddRow(
+				fmt.Sprint(nsubs),
+				fmt.Sprint(res.Stats.Events),
+				fmt.Sprintf("%.2f", res.RejectRate()),
+				fmt.Sprint(res.Stats.Scored),
+				fmt.Sprint(res.Stats.Admitted),
+				fmt.Sprint(res.Stats.Researches),
+				lms(res.Delivery.P50), lms(res.Delivery.P95), lms(res.Delivery.P99), lms(res.Delivery.Max),
+			)
+		}
+		tab.Write(w)
+	}
+	return nil
+}

@@ -25,6 +25,7 @@ import (
 	"activitytraj/internal/queries"
 	"activitytraj/internal/query"
 	"activitytraj/internal/shard"
+	"activitytraj/internal/subscribe"
 	"activitytraj/internal/trajectory"
 )
 
@@ -140,6 +141,15 @@ type StatsResponse struct {
 	Deletes   int64       `json:"deletes"`
 	Workers   int         `json:"workers"`
 	Index     shard.Stats `json:"index"`
+	// MutationEpoch is the router's composed mutation counter (the sum of
+	// every shard's apply count) — the same value that invalidates the
+	// result cache and sequences subscription maintenance. It also appears
+	// per shard inside Index; surfacing it here lets clients watch ingest
+	// progress without parsing shard detail.
+	MutationEpoch uint64 `json:"mutation_epoch"`
+	// Subscriptions reports the standing-query hub: active subscriptions,
+	// queue depth, prefilter/admission counters and event totals.
+	Subscriptions subscribe.Stats `json:"subscriptions"`
 }
 
 // DefaultK is the result count used when a search request leaves K unset
@@ -163,6 +173,11 @@ type Options struct {
 	// ErrorLog receives the server-side detail of 5xx faults, whose wire
 	// bodies are sanitized. Nil uses the process-wide standard logger.
 	ErrorLog *log.Logger
+	// SubscriptionBuffer sizes each standing query's event ring (<= 0
+	// selects subscribe.DefaultEventBuffer). A consumer that falls more than
+	// a full ring behind is resynchronized with a single `resync` event
+	// carrying the complete current top-k instead of the evicted backlog.
+	SubscriptionBuffer int
 	// ResultCacheEntries, when > 0, enables an epoch-invalidated result
 	// cache of that many entries in front of the engine pool: a search
 	// whose canonical request was already answered at the current mutation
@@ -187,6 +202,10 @@ type Server struct {
 	// rcache, when non-nil, answers repeated searches without borrowing an
 	// engine; its epoch source is the router's composed mutation counter.
 	rcache *query.ResultCache
+	// hub maintains standing queries against the router's mutation stream.
+	// Always present: with zero subscribers its per-mutation cost is one
+	// atomic load, so the search/ingest fast paths are unaffected.
+	hub *subscribe.Hub
 
 	searches atomic.Int64
 	inserts  atomic.Int64
@@ -218,8 +237,18 @@ func New(r *shard.Router, opts Options) *Server {
 	if opts.ResultCacheEntries > 0 {
 		s.rcache = query.NewResultCache(opts.ResultCacheEntries, r)
 	}
+	s.hub = r.NewHub(subscribe.Options{EventBuffer: opts.SubscriptionBuffer})
 	return s
 }
+
+// Hub exposes the standing-query hub (for in-process embedders and tests).
+func (s *Server) Hub() *subscribe.Hub { return s.hub }
+
+// Close stops the subscription hub: the router's mutation observers are
+// detached, the dispatcher exits, and every live subscription is closed
+// (streaming handlers see it and end their responses). Call after the HTTP
+// listener has stopped accepting requests.
+func (s *Server) Close() { s.hub.Close() }
 
 // Handler returns the route table. Borrowed engines give each in-flight
 // search an exclusive engine (and so exact per-request SearchStats); the
@@ -231,6 +260,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/insert", s.handleInsert)
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("/v1/unsubscribe", s.handleUnsubscribe)
 	return mux
 }
 
@@ -401,12 +432,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		UptimeSec: time.Since(s.started).Seconds(),
-		Searches:  s.searches.Load(),
-		Inserts:   s.inserts.Load(),
-		Deletes:   s.deletes.Load(),
-		Workers:   s.workers,
-		Index:     s.router.Stats(),
+		UptimeSec:     time.Since(s.started).Seconds(),
+		Searches:      s.searches.Load(),
+		Inserts:       s.inserts.Load(),
+		Deletes:       s.deletes.Load(),
+		Workers:       s.workers,
+		Index:         s.router.Stats(),
+		MutationEpoch: s.router.Epoch(),
+		Subscriptions: s.hub.Stats(),
 	})
 }
 

@@ -17,6 +17,13 @@ import (
 
 func testServer(t *testing.T, shards int) (*Server, *trajectory.Dataset) {
 	t.Helper()
+	return testServerOpts(t, shards, Options{Workers: 2})
+}
+
+// testServerOpts builds a server over a fresh small corpus with explicit
+// options (Vocab is filled in from the generated dataset).
+func testServerOpts(t *testing.T, shards int, opts Options) (*Server, *trajectory.Dataset) {
+	t.Helper()
 	ds, err := dataset.Generate(dataset.Config{
 		Name:            "srv",
 		Seed:            3,
@@ -36,7 +43,10 @@ func testServer(t *testing.T, shards int) (*Server, *trajectory.Dataset) {
 	if err != nil {
 		t.Fatalf("router: %v", err)
 	}
-	return New(r, Options{Workers: 2, Vocab: ds.Vocab}), ds
+	opts.Vocab = ds.Vocab
+	s := New(r, opts)
+	t.Cleanup(s.Close)
+	return s, ds
 }
 
 func post[T any](t *testing.T, ts *httptest.Server, path string, body any, wantStatus int) T {

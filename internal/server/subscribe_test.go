@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  EventJSON
+}
+
+// readFrame blocks until the next complete SSE frame, skipping keepalive
+// comments.
+func readFrame(t *testing.T, br *bufio.Reader) sseFrame {
+	t.Helper()
+	var fr sseFrame
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("sse read: %v", err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			if fr.event != "" {
+				return fr
+			}
+		case strings.HasPrefix(line, ":"):
+			// keepalive comment
+		case strings.HasPrefix(line, "event: "):
+			fr.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &fr.data); err != nil {
+				t.Fatalf("sse data: %v in %q", err, line)
+			}
+		}
+	}
+}
+
+// waitActive polls the hub until it reports want active subscriptions.
+func waitActive(t *testing.T, s *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.Hub().Stats().Active == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hub never reached %d active subscriptions: %+v", want, s.Hub().Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// remotePoint places query/insert geometry far outside the generated
+// corpus region, so inserted trajectories' distances dominate every corpus
+// member and event sequences are deterministic.
+func remotePoint(x, y float64, acts ...int) QueryPointJSON {
+	return QueryPointJSON{X: x, Y: y, Acts: acts}
+}
+
+// TestSubscribeSSELifecycle drives the default streaming mode end to end:
+// the opening resync frame, a join event caused by an insert that must enter
+// the top-k (verified byte-identical against a fresh search), and the
+// client hang-up freeing the subscription.
+func TestSubscribeSSELifecycle(t *testing.T) {
+	s, _ := testServer(t, 2)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sreq := SearchRequest{K: 3, Points: []QueryPointJSON{remotePoint(500, 500, 7)}}
+	body, _ := json.Marshal(sreq)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/subscribe", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("subscribe: status %d content-type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	br := bufio.NewReader(resp.Body)
+	first := readFrame(t, br)
+	if first.event != "resync" || first.data.Kind != "resync" {
+		t.Fatalf("first frame = %+v, want resync", first)
+	}
+	waitActive(t, s, 1)
+
+	// An insert at the query point with the exact activities scores zero:
+	// it MUST join (the admissible prefilter cannot reject it).
+	ins := post[InsertResponse](t, ts, "/v1/insert", InsertRequest{Points: []QueryPointJSON{remotePoint(500, 500, 7)}}, http.StatusOK)
+	// A full seed top-k emits a leave (the displaced member) before the
+	// join; consume frames gaplessly until the join arrives.
+	seq := first.data.Seq
+	var join sseFrame
+	for {
+		fr := readFrame(t, br)
+		seq++
+		if fr.data.Seq != seq {
+			t.Fatalf("frame seq %d, want gapless %d", fr.data.Seq, seq)
+		}
+		if fr.event == "join" {
+			join = fr
+			break
+		}
+		if fr.event != "leave" {
+			t.Fatalf("unexpected frame before join: %+v", fr)
+		}
+	}
+	if join.data.ID != ins.ID || join.data.Dist != 0 {
+		t.Fatalf("expected join of %d at dist 0, got %+v", ins.ID, join)
+	}
+
+	// The event's top-k snapshot must equal a from-scratch search.
+	fresh := post[SearchResponse](t, ts, "/v1/search", sreq, http.StatusOK)
+	if len(join.data.TopK) != len(fresh.Results) {
+		t.Fatalf("event topk %v != fresh search %v", join.data.TopK, fresh.Results)
+	}
+	for i := range fresh.Results {
+		if join.data.TopK[i].ID != fresh.Results[i].ID || join.data.TopK[i].Dist != fresh.Results[i].Dist {
+			t.Fatalf("event topk[%d] %+v != fresh %+v", i, join.data.TopK[i], fresh.Results[i])
+		}
+	}
+
+	// /v1/stats surfaces the hub and the mutation epoch.
+	st := get[StatsResponse](t, ts, "/v1/stats")
+	if st.Subscriptions.Active != 1 || st.Subscriptions.Events == 0 {
+		t.Fatalf("stats subscriptions: %+v", st.Subscriptions)
+	}
+	if st.MutationEpoch == 0 {
+		t.Fatalf("stats mutation epoch not surfaced: %+v", st)
+	}
+
+	// Hang up mid-stream: the server must free the subscription.
+	cancel()
+	waitActive(t, s, 0)
+}
+
+// TestSubscribeLongPollResume drives ?mode=poll: events accumulate while the
+// client is away, a long-poll from an old cursor replays exactly the missed
+// events, and unsubscribe invalidates the ID.
+func TestSubscribeLongPollResume(t *testing.T) {
+	s, _ := testServer(t, 2)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sreq := SearchRequest{K: 4, Points: []QueryPointJSON{remotePoint(700, 700, 9)}}
+	sub := post[SubscribeResponse](t, ts, "/v1/subscribe?mode=poll", sreq, http.StatusOK)
+	waitActive(t, s, 1)
+
+	// Two inserts at distinct distances, each forced into the top-k.
+	post[InsertResponse](t, ts, "/v1/insert", InsertRequest{Points: []QueryPointJSON{remotePoint(700.5, 700, 9)}}, http.StatusOK)
+	post[InsertResponse](t, ts, "/v1/insert", InsertRequest{Points: []QueryPointJSON{remotePoint(700.25, 700, 9)}}, http.StatusOK)
+	s.Hub().Sync()
+
+	all := get[PollResponse](t, ts, fmt.Sprintf("/v1/subscribe?id=%d&from=%d&wait=2s", sub.ID, sub.Seq))
+	if len(all.Events) < 2 {
+		t.Fatalf("expected >= 2 events after two admitted inserts, got %+v", all)
+	}
+	for i, ev := range all.Events {
+		if want := sub.Seq + 1 + uint64(i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (gapless replay)", i, ev.Seq, want)
+		}
+	}
+
+	// Resume from the first event's sequence: exactly the rest, verbatim.
+	rest := get[PollResponse](t, ts, fmt.Sprintf("/v1/subscribe?id=%d&from=%d&wait=2s", sub.ID, all.Events[0].Seq))
+	if len(rest.Events) != len(all.Events)-1 {
+		t.Fatalf("resume returned %d events, want %d", len(rest.Events), len(all.Events)-1)
+	}
+	for i, ev := range rest.Events {
+		want := all.Events[i+1]
+		got, _ := json.Marshal(ev)
+		exp, _ := json.Marshal(want)
+		if !bytes.Equal(got, exp) {
+			t.Fatalf("resumed event %d = %s, want %s", i, got, exp)
+		}
+	}
+
+	// A caught-up cursor with a short wait answers an empty page.
+	last := all.Events[len(all.Events)-1].Seq
+	empty := get[PollResponse](t, ts, fmt.Sprintf("/v1/subscribe?id=%d&from=%d&wait=30ms", sub.ID, last))
+	if len(empty.Events) != 0 || empty.Closed {
+		t.Fatalf("caught-up poll = %+v, want empty open page", empty)
+	}
+
+	if r := post[UnsubscribeResponse](t, ts, "/v1/unsubscribe", UnsubscribeRequest{ID: sub.ID}, http.StatusOK); !r.Removed {
+		t.Fatal("unsubscribe reported not removed")
+	}
+	if r := post[UnsubscribeResponse](t, ts, "/v1/unsubscribe", UnsubscribeRequest{ID: sub.ID}, http.StatusOK); r.Removed {
+		t.Fatal("double unsubscribe reported removed")
+	}
+	resp, err := http.Get(ts.URL + fmt.Sprintf("/v1/subscribe?id=%d&from=0", sub.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("poll after unsubscribe: status %d, want 404", resp.StatusCode)
+	}
+	waitActive(t, s, 0)
+}
+
+// TestSubscribeSlowConsumerResync shrinks the event ring to 2 and overflows
+// it, asserting the consumer is handed a single documented `resync` event
+// carrying the full current top-k rather than a gapped backlog.
+func TestSubscribeSlowConsumerResync(t *testing.T) {
+	s, _ := testServerOpts(t, 2, Options{Workers: 2, SubscriptionBuffer: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sreq := SearchRequest{K: 1, Points: []QueryPointJSON{remotePoint(1000, 1000, 5)}}
+	sub := post[SubscribeResponse](t, ts, "/v1/subscribe?mode=poll", sreq, http.StatusOK)
+
+	// Each insert is closer than the last; with k=1 every admitted insert
+	// displaces the incumbent, emitting up to two events — at least 5 total,
+	// overflowing the 2-slot ring.
+	var lastID uint32
+	for _, dx := range []float64{0.8, 0.4, 0.1} {
+		ins := post[InsertResponse](t, ts, "/v1/insert", InsertRequest{Points: []QueryPointJSON{remotePoint(1000+dx, 1000, 5)}}, http.StatusOK)
+		lastID = ins.ID
+	}
+	s.Hub().Sync()
+
+	page := get[PollResponse](t, ts, fmt.Sprintf("/v1/subscribe?id=%d&from=%d&wait=2s", sub.ID, sub.Seq))
+	if len(page.Events) != 1 || page.Events[0].Kind != "resync" {
+		t.Fatalf("overflowed consumer got %+v, want a single resync event", page.Events)
+	}
+	rs := page.Events[0]
+	if len(rs.TopK) != 1 || rs.TopK[0].ID != lastID {
+		t.Fatalf("resync topk = %+v, want the final nearest insert %d", rs.TopK, lastID)
+	}
+	if hs := s.Hub().Stats(); hs.Resyncs == 0 {
+		t.Fatalf("resync not counted: %+v", hs)
+	}
+
+	// The resync's sequence is current: following from it replays cleanly.
+	after := get[PollResponse](t, ts, fmt.Sprintf("/v1/subscribe?id=%d&from=%d&wait=30ms", sub.ID, rs.Seq))
+	if len(after.Events) != 0 {
+		t.Fatalf("post-resync poll = %+v, want empty", after.Events)
+	}
+}

@@ -270,6 +270,21 @@ func (e *Engine) searchShard(ctx context.Context, si int, req query.Request, sha
 	return resp.Stats, err
 }
 
+// ScoreOne scores a single GLOBAL trajectory ID against req with an exact
+// pruning threshold (see delta.Engine.ScoreOne): the ID is routed back to
+// its owning shard, whose sub-engine scores the shard-local trajectory. ok
+// is false for unknown IDs, recovery holes, tombstoned trajectories, and
+// candidates the matcher abandoned for strictly exceeding threshold. The
+// subscription hub's insert path uses it to test one trajectory against a
+// standing query without a scatter-gather search.
+func (e *Engine) ScoreOne(req query.Request, gid trajectory.TrajID, threshold float64, stats *query.SearchStats) (float64, bool, error) {
+	si, local, ok := e.r.Owner(gid)
+	if !ok {
+		return 0, false, nil
+	}
+	return e.subs[si].ScoreOne(req, local, threshold, stats)
+}
+
 // fillMatches answers Request.WithMatches after the scatter-gather merge:
 // each global result is routed back to its owning shard, whose sub-engine
 // re-derives the matched point indexes from the shard-local trajectory

@@ -401,6 +401,10 @@ type Stats struct {
 	Shards int
 	// NextID is one past the highest assigned global trajectory ID.
 	NextID int
+	// MutationEpoch is the summed per-shard mutation epoch (see
+	// Router.Epoch) — the counter that invalidates result caches and tags
+	// subscription staleness.
+	MutationEpoch uint64
 	// PerShard holds one entry per shard, in shard order.
 	PerShard []ShardStats
 }
@@ -410,7 +414,7 @@ func (r *Router) Stats() Stats {
 	r.mu.Lock()
 	next := r.nextID
 	r.mu.Unlock()
-	s := Stats{Shards: len(r.shards), NextID: next, PerShard: make([]ShardStats, len(r.shards))}
+	s := Stats{Shards: len(r.shards), NextID: next, MutationEpoch: r.Epoch(), PerShard: make([]ShardStats, len(r.shards))}
 	for si, sh := range r.shards {
 		sh.idmu.RLock()
 		ss := ShardStats{

@@ -1,0 +1,226 @@
+package subscribe
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"activitytraj/internal/geo"
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// fakeBackend scores trajectories from a fixed distance table, so event
+// sequences are fully deterministic. It mimics the real engines' contract:
+// Search returns the k nearest by (dist, id); Score returns ok only when the
+// distance is within the threshold.
+type fakeBackend struct {
+	dist map[trajectory.TrajID]float64
+}
+
+func (b *fakeBackend) Search(_ context.Context, req query.Request) (query.Response, error) {
+	var rs []query.Result
+	bound := req.Bound()
+	for id, d := range b.dist {
+		if d <= bound {
+			rs = append(rs, query.Result{ID: id, Dist: d})
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Dist != rs[j].Dist {
+			return rs[i].Dist < rs[j].Dist
+		}
+		return rs[i].ID < rs[j].ID
+	})
+	if req.K > 0 && len(rs) > req.K {
+		rs = rs[:req.K]
+	}
+	return query.Response{Results: rs}, nil
+}
+
+func (b *fakeBackend) Score(_ query.Request, id trajectory.TrajID, threshold float64, _ *query.SearchStats) (float64, bool, error) {
+	d, ok := b.dist[id]
+	if !ok || d > threshold {
+		return 0, false, nil
+	}
+	return d, true, nil
+}
+
+func testReq() query.Request {
+	return query.Request{
+		Query: query.Query{Pts: []query.Point{{
+			Loc:  geo.Point{X: 0, Y: 0},
+			Acts: trajectory.NewActivitySet(1),
+		}}},
+		K: 2,
+	}
+}
+
+// feed pushes an insert whose geometry sits at the query point with matching
+// activities, so the prefilter admits it and the fake backend decides.
+func feed(h *Hub, id trajectory.TrajID) {
+	h.FeedInsert(0, id, []geo.Point{{X: 0, Y: 0}}, trajectory.NewActivitySet(1))
+	h.Sync()
+}
+
+func mustSub(t *testing.T, h *Hub, req query.Request) *Subscription {
+	t.Helper()
+	s, err := h.Subscribe(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEventRingAndResync pins the consumer contract: in-window cursors get
+// exact replay, an evicted window gets a single resync event carrying the
+// full current top-k, and a future cursor clamps to the head and waits.
+func TestEventRingAndResync(t *testing.T) {
+	b := &fakeBackend{dist: map[trajectory.TrajID]float64{}}
+	h := New(b, Options{EventBuffer: 2})
+	defer h.Close()
+	s := mustSub(t, h, testReq())
+	if tk := s.TopK(); len(tk) != 0 {
+		t.Fatalf("seed over empty store: %v", tk)
+	}
+
+	// Each insert is strictly better than the last: 1,2 join; 3 evicts 1;
+	// 4 evicts 2. Six events total, ring keeps the last two.
+	for id, d := range map[trajectory.TrajID]float64{1: 4, 2: 3, 3: 2, 4: 1} {
+		b.dist[id] = d
+	}
+	for id := trajectory.TrajID(1); id <= 4; id++ {
+		feed(h, id)
+	}
+	if got := s.LastSeq(); got != 6 {
+		t.Fatalf("lastSeq = %d, want 6", got)
+	}
+
+	// Cursor before the retained window: one synthesized resync at the head.
+	evs, _, closed := s.Next(0)
+	if closed || len(evs) != 1 || evs[0].Kind != EventResync || evs[0].Seq != 6 {
+		t.Fatalf("Next(0) = %v closed=%v, want single resync at seq 6", evs, closed)
+	}
+	wantTop := []query.Result{{ID: 4, Dist: 1}, {ID: 3, Dist: 2}}
+	if len(evs[0].TopK) != 2 || evs[0].TopK[0] != wantTop[0] || evs[0].TopK[1] != wantTop[1] {
+		t.Fatalf("resync TopK = %v, want %v", evs[0].TopK, wantTop)
+	}
+	if h.Stats().Resyncs == 0 {
+		t.Fatal("resync not counted")
+	}
+
+	// Cursor inside the window: exact replay of events 5 and 6 (leave 2,
+	// join 4), each snapshotting the final state.
+	evs, _, _ = s.Next(4)
+	if len(evs) != 2 || evs[0].Seq != 5 || evs[0].Kind != EventLeave || evs[0].ID != 2 ||
+		evs[1].Seq != 6 || evs[1].Kind != EventJoin || evs[1].ID != 4 || evs[1].Dist != 1 {
+		t.Fatalf("Next(4) = %v, want leave(2)@5 join(4)@6", evs)
+	}
+
+	// Caught-up cursor: no events, a wait channel. A future cursor clamps.
+	for _, cursor := range []uint64{6, 99} {
+		evs, wait, closed := s.Next(cursor)
+		if evs != nil || wait == nil || closed {
+			t.Fatalf("Next(%d) = (%v, %v, %v), want wait channel", cursor, evs, wait, closed)
+		}
+	}
+
+	// The wait channel fires on the next event.
+	_, wait, _ := s.Next(6)
+	b.dist[5] = 0.5
+	feed(h, 5)
+	select {
+	case <-wait:
+	default:
+		t.Fatal("wait channel did not fire after a new event")
+	}
+}
+
+// TestPrefilterAndIdempotency covers the reject paths (activities, region,
+// geometry bound) and duplicate/unknown-ID handling.
+func TestPrefilterAndIdempotency(t *testing.T) {
+	b := &fakeBackend{dist: map[trajectory.TrajID]float64{1: 0.1, 2: 0.2, 3: 3}}
+	h := New(b, Options{})
+	defer h.Close()
+	region := geo.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}
+	req := testReq()
+	req.Region = &region
+	req.InitialBound = 5
+	s := mustSub(t, h, req)
+	if tk := s.TopK(); len(tk) != 2 || tk[0].ID != 1 || tk[1].ID != 2 {
+		t.Fatalf("seed = %v", tk)
+	}
+
+	// Wrong activities; outside region; lower bound beyond the k-th dist.
+	h.FeedInsert(0, 10, []geo.Point{{X: 0, Y: 0}}, trajectory.NewActivitySet(2))
+	h.FeedInsert(0, 11, []geo.Point{{X: 7, Y: 7}}, trajectory.NewActivitySet(1))
+	h.FeedInsert(0, 12, []geo.Point{{X: 0, Y: 0.9}}, trajectory.NewActivitySet(1))
+	h.Sync()
+	st := h.Stats()
+	if st.PrefilterRejected != 3 || st.Scored != 0 {
+		t.Fatalf("prefilter stats: %+v", st)
+	}
+
+	// Duplicate insert of a current member is a no-op; deleting a
+	// non-member is a no-op; neither emits events.
+	before := s.LastSeq()
+	feed(h, 1)
+	h.FeedDelete(0, 99)
+	h.Sync()
+	if s.LastSeq() != before {
+		t.Fatalf("idempotent mutations emitted events: %d -> %d", before, s.LastSeq())
+	}
+
+	// A member delete on a full top-k re-searches; id 3 backfills.
+	delete(b.dist, 1)
+	h.FeedDelete(0, 1)
+	h.Sync()
+	if tk := s.TopK(); len(tk) != 2 || tk[0].ID != 2 || tk[1].ID != 3 {
+		t.Fatalf("after member delete: %v", tk)
+	}
+	if st := h.Stats(); st.Researches != 1 {
+		t.Fatalf("expected one re-search: %+v", st)
+	}
+}
+
+// TestLifecycle pins Subscribe/Unsubscribe/Close semantics.
+func TestLifecycle(t *testing.T) {
+	b := &fakeBackend{dist: map[trajectory.TrajID]float64{}}
+	h := New(b, Options{})
+	s := mustSub(t, h, testReq())
+	if h.Stats().Active != 1 {
+		t.Fatalf("stats: %+v", h.Stats())
+	}
+	if got, ok := h.Get(s.ID()); !ok || got != s {
+		t.Fatal("Get did not return the live subscription")
+	}
+
+	req := testReq()
+	req.WithMatches = true
+	if _, err := h.Subscribe(context.Background(), req); err == nil {
+		t.Fatal("WithMatches subscription must be rejected")
+	}
+
+	if !h.Unsubscribe(s.ID()) || h.Unsubscribe(s.ID()) {
+		t.Fatal("Unsubscribe must succeed once")
+	}
+	if _, _, closed := s.Next(0); !closed {
+		t.Fatal("Next on an unsubscribed subscription must report closed")
+	}
+	if h.Stats().Active != 0 {
+		t.Fatalf("stats after unsubscribe: %+v", h.Stats())
+	}
+
+	s2 := mustSub(t, h, testReq())
+	h.Close()
+	if _, _, closed := s2.Next(0); !closed {
+		t.Fatal("Close must close live subscriptions")
+	}
+	if _, err := h.Subscribe(context.Background(), testReq()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after Close = %v, want ErrClosed", err)
+	}
+	// Feeds after Close are dropped without blocking.
+	h.FeedInsert(0, 1, []geo.Point{{X: 0, Y: 0}}, trajectory.NewActivitySet(1))
+	h.FeedDelete(0, 1)
+}

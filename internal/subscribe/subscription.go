@@ -1,0 +1,178 @@
+package subscribe
+
+import (
+	"sync"
+
+	"activitytraj/internal/query"
+	"activitytraj/internal/trajectory"
+)
+
+// Subscription is one standing query: the request, its live top-k, and a
+// bounded ring of the events that changed it. The hub's dispatcher is the
+// only mutator; consumers read concurrently through TopK/LastSeq/Next.
+type Subscription struct {
+	id      uint64
+	hub     *Hub
+	req     query.Request
+	allActs trajectory.ActivitySet
+	k       int
+
+	mu   sync.Mutex
+	topk []query.Result // ascending (Dist, ID), len <= k
+
+	// Event ring: seqs firstSeq..lastSeq live in ring[(head+i)%len].
+	ring     []Event
+	head     int
+	n        int
+	firstSeq uint64 // seq of ring[head]; lastSeq+1 when empty
+	lastSeq  uint64
+
+	notify chan struct{} // closed and replaced on every append
+	closed bool
+}
+
+// ID returns the subscription's hub-unique identifier.
+func (s *Subscription) ID() uint64 { return s.id }
+
+// Request returns the standing request. The returned value shares the
+// query's slices; treat it as read-only.
+func (s *Subscription) Request() query.Request { return s.req }
+
+// TopK returns a copy of the current top-k, ascending (Dist, ID).
+func (s *Subscription) TopK() []query.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]query.Result(nil), s.topk...)
+}
+
+// Snapshot returns the newest sequence number together with the top-k as of
+// that sequence, read atomically (TopK and LastSeq read separately can tear
+// against a concurrent event; a server handing a client a resume cursor
+// needs the pair to be consistent).
+func (s *Subscription) Snapshot() (uint64, []query.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq, append([]query.Result(nil), s.topk...)
+}
+
+// LastSeq returns the sequence number of the newest event (0 before any).
+func (s *Subscription) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeq
+}
+
+// Closed reports whether the subscription was unsubscribed or its hub
+// closed. Events appended before closing remain readable via Next.
+func (s *Subscription) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Next returns the events with sequence numbers greater than after.
+//
+//   - If events are pending, they are returned (oldest first). When the
+//     oldest requested events were evicted from the ring, a single
+//     synthesized resync event is returned instead: its Seq is the current
+//     newest sequence and its TopK the current full state, so the consumer
+//     resumes from Seq having observed exactly the live state.
+//   - If no events are pending, Next returns a nil slice and a channel that
+//     is closed when the next event arrives (or the subscription closes);
+//     wait on it and call Next again.
+//   - closed is true once the subscription is closed AND its backlog after
+//     `after` is drained; the returned events (if any) are still valid.
+//
+// An `after` beyond the newest sequence is treated as the newest (a client
+// resuming against a restarted server cannot block forever on a stale
+// cursor).
+func (s *Subscription) Next(after uint64) (evs []Event, wait <-chan struct{}, closed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if after > s.lastSeq {
+		after = s.lastSeq
+	}
+	if after == s.lastSeq {
+		if s.closed {
+			return nil, nil, true
+		}
+		return nil, s.notify, false
+	}
+	if after+1 < s.firstSeq {
+		// The gap was evicted: resynchronize with full state.
+		s.hub.resyncs.Add(1)
+		ev := Event{Seq: s.lastSeq, Kind: EventResync, TopK: append([]query.Result(nil), s.topk...)}
+		return []Event{ev}, nil, false
+	}
+	evs = make([]Event, 0, s.lastSeq-after)
+	for seq := after + 1; seq <= s.lastSeq; seq++ {
+		evs = append(evs, s.ring[(s.head+int(seq-s.firstSeq))%len(s.ring)])
+	}
+	return evs, nil, false
+}
+
+// contains reports membership of id in the top-k. Caller holds s.mu.
+func (s *Subscription) contains(id trajectory.TrajID) bool {
+	for _, r := range s.topk {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// insertResult places r into the ascending (Dist, ID) order. Caller holds
+// s.mu and guarantees len(topk) < k.
+func (s *Subscription) insertResult(r query.Result) {
+	i := len(s.topk)
+	for i > 0 && (s.topk[i-1].Dist > r.Dist ||
+		(s.topk[i-1].Dist == r.Dist && s.topk[i-1].ID > r.ID)) {
+		i--
+	}
+	s.topk = append(s.topk, query.Result{})
+	copy(s.topk[i+1:], s.topk[i:])
+	s.topk[i] = r
+}
+
+// removeID deletes id from the top-k, preserving order. Caller holds s.mu.
+func (s *Subscription) removeID(id trajectory.TrajID) {
+	for i, r := range s.topk {
+		if r.ID == id {
+			s.topk = append(s.topk[:i], s.topk[i+1:]...)
+			return
+		}
+	}
+}
+
+// emit appends an event with the next sequence number and a snapshot of the
+// current top-k, evicting the oldest ring entry when full, and wakes
+// waiting consumers. Caller holds s.mu (dispatcher only).
+func (s *Subscription) emit(kind EventKind, id trajectory.TrajID, dist float64) {
+	s.lastSeq++
+	ev := Event{Seq: s.lastSeq, Kind: kind, ID: id, Dist: dist,
+		TopK: append([]query.Result(nil), s.topk...)}
+	if s.n == len(s.ring) {
+		s.ring[s.head] = Event{}
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		s.firstSeq++
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = ev
+	s.n++
+	s.hub.events.Add(1)
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+// close marks the subscription closed and wakes waiting consumers. The
+// event backlog stays readable.
+func (s *Subscription) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
